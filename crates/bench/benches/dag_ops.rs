@@ -1,0 +1,41 @@
+//! DAG analysis microbenchmarks: the graph quantities recomputed inside the
+//! Decima-like scorer at every scheduling event.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcaps_dag::analysis;
+use pcaps_workloads::{AlibabaGenerator, TpchQuery, TpchScale};
+
+fn dag_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_analysis");
+    let tpch = TpchQuery(21).job(TpchScale::Gb50, 0);
+    let alibaba = AlibabaGenerator::new(7).next_job();
+    for (label, job) in [("tpch_q21", &tpch), ("alibaba", &alibaba)] {
+        group.bench_with_input(BenchmarkId::new("critical_path", label), job, |b, job| {
+            b.iter(|| criterion::black_box(analysis::critical_path(job)))
+        });
+        group.bench_with_input(BenchmarkId::new("stage_levels", label), job, |b, job| {
+            b.iter(|| criterion::black_box(analysis::stage_levels(job)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bottleneck_scores", label),
+            job,
+            |b, job| b.iter(|| criterion::black_box(analysis::bottleneck_scores(job))),
+        );
+    }
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.bench_function("tpch_q9_50g", |b| {
+        b.iter(|| criterion::black_box(TpchQuery(9).job(TpchScale::Gb50, 3)))
+    });
+    group.bench_function("alibaba_job", |b| {
+        let mut gen = AlibabaGenerator::new(11);
+        b.iter(|| criterion::black_box(gen.next_job()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dag_analysis, workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end simulation throughput per scheduler: how long one experiment
+//! trial of each table/figure configuration takes.  This is the quantity
+//! that determines the wall-clock cost of reproducing Tables 2 and 3 and the
+//! parameter sweeps (Figs. 7–19).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcaps_bench::{bench_config, runner};
+use runner::{run_trial, BaseScheduler, SchedulerSpec};
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_trial");
+    group.sample_size(10);
+    let cfg = bench_config(10, 20);
+    for (label, spec) in [
+        ("fifo", SchedulerSpec::Baseline(BaseScheduler::Fifo)),
+        ("k8s_default", SchedulerSpec::Baseline(BaseScheduler::KubeDefault)),
+        ("weighted_fair", SchedulerSpec::Baseline(BaseScheduler::WeightedFair)),
+        ("decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+        ("greenhadoop", SchedulerSpec::GreenHadoop { theta: 0.5 }),
+        ("cap_fifo", SchedulerSpec::cap_moderate(BaseScheduler::Fifo)),
+        ("pcaps", SchedulerSpec::pcaps_moderate()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("10_jobs_20_exec", label), &spec, |b, &spec| {
+            b.iter(|| criterion::black_box(run_trial(&cfg, spec).result.makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks for the carbon-awareness primitives: the Ψγ threshold
+//! function (PCAPS) and the k-search threshold set (CAP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcaps_core::{KSearchThresholds, ThresholdFn};
+
+fn threshold_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_psi");
+    let f = ThresholdFn::new(0.5, 130.0, 765.0);
+    group.bench_function("evaluate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += f.evaluate(i as f64 / 100.0);
+            }
+            criterion::black_box(acc)
+        })
+    });
+    group.bench_function("admits_and_parallelism", |b| {
+        b.iter(|| {
+            let mut admitted = 0usize;
+            for i in 0..100 {
+                let r = i as f64 / 100.0;
+                if f.admits(r, 400.0) {
+                    admitted += f.scale_parallelism(25, 400.0);
+                }
+            }
+            criterion::black_box(admitted)
+        })
+    });
+    group.finish();
+}
+
+fn ksearch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cap_ksearch");
+    for &k in &[20usize, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, &k| {
+            b.iter(|| {
+                criterion::black_box(KSearchThresholds::new(k, k / 5, 130.0, 765.0))
+            })
+        });
+    }
+    let t = KSearchThresholds::new(100, 20, 130.0, 765.0);
+    group.bench_function("quota_lookup", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for c_val in (130..=765).step_by(5) {
+                total += t.quota(c_val as f64);
+            }
+            criterion::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, threshold_eval, ksearch);
+criterion_main!(benches);

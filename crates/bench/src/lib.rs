@@ -1,0 +1,47 @@
+//! # pcaps-bench — Criterion benchmarks for the PCAPS reproduction
+//!
+//! The benchmark targets mirror the paper's performance evaluation and the
+//! ablations called out in DESIGN.md §4:
+//!
+//! * `scheduler_latency` — Fig. 20: per-invocation scheduling latency of
+//!   FIFO, CAP-FIFO, the Decima-like scheduler and PCAPS as the number of
+//!   outstanding jobs grows,
+//! * `threshold_and_ksearch` — cost of evaluating Ψγ and of building /
+//!   querying the CAP k-search threshold set,
+//! * `dag_ops` — critical-path / bottom-level analysis on TPC-H DAGs (the
+//!   inner loop of the Decima-like scorer),
+//! * `simulator_throughput` — end-to-end simulation speed per scheduler for
+//!   a standard experiment batch (what determines how long Tables 2/3 take),
+//! * `ablations` — PCAPS design ablations (parallelism scaling on/off,
+//!   48-hour lookahead vs static bounds).
+//!
+//! Run everything with `cargo bench --workspace`.
+
+/// Re-export of the experiment runner used by several benches, so the bench
+/// targets stay small.
+pub use pcaps_experiments::runner;
+
+/// Builds the standard small benchmark workload: `jobs` mixed TPC-H queries
+/// on `executors` executors in the German grid.
+pub fn bench_config(jobs: usize, executors: usize) -> runner::ExperimentConfig {
+    let mut cfg = runner::ExperimentConfig::simulator(
+        pcaps_carbon::GridRegion::Germany,
+        jobs,
+        42,
+    );
+    cfg.executors = executors;
+    cfg.trace_days = 7;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_runnable() {
+        let cfg = bench_config(3, 8);
+        let out = runner::run_trial(&cfg, runner::SchedulerSpec::pcaps_moderate());
+        assert!(out.result.all_jobs_complete());
+    }
+}

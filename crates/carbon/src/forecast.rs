@@ -1,0 +1,159 @@
+//! Forecasting the carbon bounds `L` and `U`.
+//!
+//! Threshold-based carbon-aware algorithms (both PCAPS's Ψγ function and
+//! CAP's k-search thresholds) require bounds `L ≤ c(t) ≤ U` on the carbon
+//! intensities expected "in the near future".  Following the paper (§6.1),
+//! the bounds correspond to the minimum and maximum *forecasted* intensity
+//! over a lookahead window (48 hours by default).
+//!
+//! [`BoundsForecaster`] wraps a trace and answers those queries.  Two modes
+//! are provided:
+//!
+//! * [`ForecastMode::Lookahead`] — a perfect forecast over the next `horizon`
+//!   seconds (what the paper's experiments use),
+//! * [`ForecastMode::Static`] — global min/max of the whole trace, the most
+//!   conservative possible bounds (used by the `ablation_forecast` bench).
+
+use crate::trace::{CarbonSignal, CarbonTrace};
+use serde::{Deserialize, Serialize};
+
+/// How the forecaster derives `L` and `U`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForecastMode {
+    /// Min/max over `[t, t + horizon_seconds]`.
+    Lookahead {
+        /// Lookahead horizon in seconds.
+        horizon_seconds: f64,
+    },
+    /// Min/max over the entire trace, independent of `t`.
+    Static,
+}
+
+/// The default 48-hour lookahead used throughout the paper.
+pub const DEFAULT_LOOKAHEAD_SECONDS: f64 = 48.0 * 3600.0;
+
+/// Wraps a [`CarbonTrace`] with a bounds-forecasting policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundsForecaster {
+    trace: CarbonTrace,
+    mode: ForecastMode,
+}
+
+impl BoundsForecaster {
+    /// Creates a forecaster with the paper's default 48-hour lookahead.
+    pub fn new(trace: CarbonTrace) -> Self {
+        BoundsForecaster {
+            trace,
+            mode: ForecastMode::Lookahead {
+                horizon_seconds: DEFAULT_LOOKAHEAD_SECONDS,
+            },
+        }
+    }
+
+    /// Creates a forecaster with an explicit mode.
+    pub fn with_mode(trace: CarbonTrace, mode: ForecastMode) -> Self {
+        if let ForecastMode::Lookahead { horizon_seconds } = mode {
+            assert!(
+                horizon_seconds > 0.0,
+                "lookahead horizon must be positive, got {horizon_seconds}"
+            );
+        }
+        BoundsForecaster { trace, mode }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &CarbonTrace {
+        &self.trace
+    }
+
+    /// The forecasting mode.
+    pub fn mode(&self) -> ForecastMode {
+        self.mode
+    }
+
+    /// Forecast bounds `(L, U)` as seen at time `t`.
+    pub fn bounds_at(&self, t: f64) -> (f64, f64) {
+        match self.mode {
+            ForecastMode::Lookahead { horizon_seconds } => self.trace.bounds(t, horizon_seconds),
+            ForecastMode::Static => (self.trace.min(), self.trace.max()),
+        }
+    }
+}
+
+impl CarbonSignal for BoundsForecaster {
+    fn intensity(&self, t: f64) -> f64 {
+        self.trace.intensity(t)
+    }
+
+    fn bounds(&self, t: f64, _horizon: f64) -> (f64, f64) {
+        self.bounds_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> CarbonTrace {
+        // 4 days of a simple repeating pattern so lookahead windows differ.
+        let mut v = Vec::new();
+        for d in 0..4 {
+            for h in 0..24 {
+                v.push(100.0 + (d * 24 + h) as f64);
+            }
+        }
+        CarbonTrace::hourly("ramp", v)
+    }
+
+    #[test]
+    fn lookahead_bounds_depend_on_time() {
+        let f = BoundsForecaster::with_mode(
+            trace(),
+            ForecastMode::Lookahead {
+                horizon_seconds: 24.0 * 3600.0,
+            },
+        );
+        let (l0, u0) = f.bounds_at(0.0);
+        let (l1, u1) = f.bounds_at(24.0 * 3600.0);
+        assert!(l1 > l0);
+        assert!(u1 > u0);
+        assert!(l0 <= u0 && l1 <= u1);
+    }
+
+    #[test]
+    fn static_bounds_are_global() {
+        let t = trace();
+        let (gmin, gmax) = (t.min(), t.max());
+        let f = BoundsForecaster::with_mode(t, ForecastMode::Static);
+        assert_eq!(f.bounds_at(0.0), (gmin, gmax));
+        assert_eq!(f.bounds_at(1e7), (gmin, gmax));
+    }
+
+    #[test]
+    fn default_horizon_is_48h() {
+        let f = BoundsForecaster::new(trace());
+        match f.mode() {
+            ForecastMode::Lookahead { horizon_seconds } => {
+                assert_eq!(horizon_seconds, 48.0 * 3600.0)
+            }
+            _ => panic!("default must be lookahead"),
+        }
+    }
+
+    #[test]
+    fn signal_impl_delegates() {
+        let f = BoundsForecaster::new(trace());
+        assert_eq!(f.intensity(0.0), 100.0);
+        let (l, u) = CarbonSignal::bounds(&f, 0.0, 0.0);
+        assert!(l <= u);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn rejects_zero_horizon() {
+        let _ = BoundsForecaster::with_mode(
+            trace(),
+            ForecastMode::Lookahead { horizon_seconds: 0.0 },
+        );
+    }
+}

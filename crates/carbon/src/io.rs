@@ -1,0 +1,241 @@
+//! Loading real carbon intensity traces from CSV.
+//!
+//! The paper uses Electricity Maps history, which is distributed as CSV with
+//! one row per hour.  This module loads such files (or any
+//! `timestamp,intensity`-style export, e.g. from WattTime) so the synthetic
+//! generator can be swapped for real data without touching any other code:
+//! the loader returns an ordinary [`CarbonTrace`].
+//!
+//! Expected format: a header line, then one row per interval with the
+//! intensity in some column.  Columns are selected by name
+//! (case-insensitive), rows must be in chronological order, and the step is
+//! inferred as constant (hourly by default).
+
+use crate::trace::CarbonTrace;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors raised while parsing a carbon trace CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceIoError {
+    /// The file could not be read.
+    Io(String),
+    /// The file had no header line.
+    MissingHeader,
+    /// The requested intensity column was not present in the header.
+    MissingColumn {
+        /// Column that was requested.
+        column: String,
+    },
+    /// A row had a value that could not be parsed as a number.
+    BadValue {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The raw cell contents.
+        value: String,
+    },
+    /// The file contained a header but no data rows.
+    Empty,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "could not read trace file: {e}"),
+            TraceIoError::MissingHeader => write!(f, "trace CSV has no header line"),
+            TraceIoError::MissingColumn { column } => {
+                write!(f, "trace CSV has no column named {column:?}")
+            }
+            TraceIoError::BadValue { line, value } => {
+                write!(f, "line {line}: {value:?} is not a valid carbon intensity")
+            }
+            TraceIoError::Empty => write!(f, "trace CSV contains no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Name of the column holding the carbon intensity (case-insensitive).
+    /// Electricity Maps exports call it `carbon_intensity_avg`.
+    pub intensity_column: String,
+    /// Seconds between consecutive rows (3600 for hourly data).
+    pub step_seconds: f64,
+    /// Label given to the resulting trace.
+    pub label: String,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            intensity_column: "carbon_intensity_avg".to_string(),
+            step_seconds: 3600.0,
+            label: "csv".to_string(),
+        }
+    }
+}
+
+/// Parses a carbon trace from CSV text.
+pub fn parse_csv(contents: &str, options: &CsvOptions) -> Result<CarbonTrace, TraceIoError> {
+    let mut lines = contents.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceIoError::MissingHeader)?;
+    let wanted = options.intensity_column.to_ascii_lowercase();
+    let column = header
+        .split(',')
+        .position(|c| c.trim().to_ascii_lowercase() == wanted)
+        .ok_or_else(|| TraceIoError::MissingColumn {
+            column: options.intensity_column.clone(),
+        })?;
+
+    let mut values = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cell = line.split(',').nth(column).unwrap_or("").trim();
+        let value: f64 = cell.parse().map_err(|_| TraceIoError::BadValue {
+            line: idx + 1,
+            value: cell.to_string(),
+        })?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(TraceIoError::BadValue {
+                line: idx + 1,
+                value: cell.to_string(),
+            });
+        }
+        values.push(value);
+    }
+    if values.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    Ok(CarbonTrace::new(
+        options.label.clone(),
+        0.0,
+        options.step_seconds,
+        values,
+    ))
+}
+
+/// Loads a carbon trace from a CSV file on disk.
+pub fn load_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<CarbonTrace, TraceIoError> {
+    let contents = fs::read_to_string(path).map_err(|e| TraceIoError::Io(e.to_string()))?;
+    parse_csv(&contents, options)
+}
+
+/// Writes a trace back out as CSV (`hour,intensity`), the format the
+/// experiment harness stores in `results/`.
+pub fn to_csv(trace: &CarbonTrace) -> String {
+    let mut out = String::from("hour,carbon_intensity_avg\n");
+    for (i, v) in trace.values.iter().enumerate() {
+        out.push_str(&format!("{i},{v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+datetime,zone,carbon_intensity_avg,other
+2021-01-01T00:00Z,DE,420.5,x
+2021-01-01T01:00Z,DE,433.0,y
+2021-01-01T02:00Z,DE,401.2,z
+";
+
+    #[test]
+    fn parses_electricity_maps_style_csv() {
+        let trace = parse_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.values, vec![420.5, 433.0, 401.2]);
+        assert_eq!(trace.step, 3600.0);
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let opts = CsvOptions {
+            intensity_column: "CARBON_INTENSITY_AVG".into(),
+            ..CsvOptions::default()
+        };
+        assert!(parse_csv(SAMPLE, &opts).is_ok());
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let opts = CsvOptions {
+            intensity_column: "nope".into(),
+            ..CsvOptions::default()
+        };
+        assert_eq!(
+            parse_csv(SAMPLE, &opts).unwrap_err(),
+            TraceIoError::MissingColumn { column: "nope".into() }
+        );
+    }
+
+    #[test]
+    fn bad_value_is_reported_with_line() {
+        let bad = "carbon_intensity_avg\n100.0\nnot-a-number\n";
+        match parse_csv(bad, &CsvOptions::default()).unwrap_err() {
+            TraceIoError::BadValue { line, value } => {
+                assert_eq!(line, 3);
+                assert_eq!(value, "not-a-number");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_value_rejected() {
+        let bad = "carbon_intensity_avg\n-5.0\n";
+        assert!(matches!(
+            parse_csv(bad, &CsvOptions::default()),
+            Err(TraceIoError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        assert_eq!(parse_csv("", &CsvOptions::default()).unwrap_err(), TraceIoError::MissingHeader);
+        assert_eq!(
+            parse_csv("carbon_intensity_avg\n", &CsvOptions::default()).unwrap_err(),
+            TraceIoError::Empty
+        );
+    }
+
+    #[test]
+    fn round_trip_through_to_csv() {
+        let original = parse_csv(SAMPLE, &CsvOptions::default()).unwrap();
+        let csv = to_csv(&original);
+        let opts = CsvOptions {
+            intensity_column: "carbon_intensity_avg".into(),
+            ..CsvOptions::default()
+        };
+        let reparsed = parse_csv(&csv, &opts).unwrap();
+        assert_eq!(original.values, reparsed.values);
+    }
+
+    #[test]
+    fn load_csv_reports_missing_file() {
+        assert!(matches!(
+            load_csv("/nonexistent/trace.csv", &CsvOptions::default()),
+            Err(TraceIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        for e in [
+            TraceIoError::Io("x".into()),
+            TraceIoError::MissingHeader,
+            TraceIoError::MissingColumn { column: "c".into() },
+            TraceIoError::BadValue { line: 2, value: "v".into() },
+            TraceIoError::Empty,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The six power grids studied in the paper, with their published summary
+//! statistics (Table 1) and qualitative generation-mix parameters used by the
+//! synthetic trace generator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A power grid region evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GridRegion {
+    /// PJM Interconnection (US Mid-Atlantic) — nuclear/gas heavy, moderate CV.
+    Pjm,
+    /// California ISO — large solar share, pronounced duck curve, high CV.
+    Caiso,
+    /// Ontario, Canada — hydro/nuclear, very low absolute intensity, high CV
+    /// (small denominator).
+    Ontario,
+    /// Germany — large wind/solar share, high variability.
+    Germany,
+    /// New South Wales, Australia — coal heavy with growing solar.
+    Nsw,
+    /// South Africa — coal dominated, nearly flat intensity.
+    SouthAfrica,
+}
+
+/// Published Table 1 statistics for a grid (gCO₂eq/kWh).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridStats {
+    /// Minimum observed hourly carbon intensity.
+    pub min: f64,
+    /// Maximum observed hourly carbon intensity.
+    pub max: f64,
+    /// Mean hourly carbon intensity.
+    pub mean: f64,
+    /// Coefficient of variation (standard deviation / mean).
+    pub coeff_var: f64,
+}
+
+/// Qualitative shape parameters for the synthetic generator: how much of the
+/// variation is diurnal (solar-driven), seasonal, and irregular (wind/noise),
+/// plus the phase of the diurnal cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridShape {
+    /// Weight of the solar-style diurnal component (peaks at night, dips
+    /// mid-day) in the normalised shape signal.
+    pub diurnal_weight: f64,
+    /// Weight of the slow seasonal component.
+    pub seasonal_weight: f64,
+    /// Weight of the autoregressive noise component (wind variability,
+    /// demand noise, imports).
+    pub noise_weight: f64,
+    /// Hour of day (0..24) at which the diurnal component peaks.
+    pub diurnal_peak_hour: f64,
+}
+
+impl GridRegion {
+    /// All six regions in the order used by the paper's tables.
+    pub const ALL: [GridRegion; 6] = [
+        GridRegion::Pjm,
+        GridRegion::Caiso,
+        GridRegion::Ontario,
+        GridRegion::Germany,
+        GridRegion::Nsw,
+        GridRegion::SouthAfrica,
+    ];
+
+    /// The short grid code used in the paper's tables and figures.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GridRegion::Pjm => "PJM",
+            GridRegion::Caiso => "CAISO",
+            GridRegion::Ontario => "ON",
+            GridRegion::Germany => "DE",
+            GridRegion::Nsw => "NSW",
+            GridRegion::SouthAfrica => "ZA",
+        }
+    }
+
+    /// Parses a grid code (case-insensitive).
+    pub fn from_code(code: &str) -> Option<GridRegion> {
+        match code.to_ascii_uppercase().as_str() {
+            "PJM" => Some(GridRegion::Pjm),
+            "CAISO" => Some(GridRegion::Caiso),
+            "ON" | "ONTARIO" => Some(GridRegion::Ontario),
+            "DE" | "GERMANY" => Some(GridRegion::Germany),
+            "NSW" => Some(GridRegion::Nsw),
+            "ZA" | "SOUTHAFRICA" | "SOUTH_AFRICA" => Some(GridRegion::SouthAfrica),
+            _ => None,
+        }
+    }
+
+    /// Target statistics from Table 1 of the paper.
+    pub fn table1_stats(&self) -> GridStats {
+        match self {
+            GridRegion::Pjm => GridStats { min: 293.0, max: 567.0, mean: 425.0, coeff_var: 0.110 },
+            GridRegion::Caiso => GridStats { min: 83.0, max: 451.0, mean: 274.0, coeff_var: 0.309 },
+            GridRegion::Ontario => GridStats { min: 12.0, max: 179.0, mean: 50.0, coeff_var: 0.654 },
+            GridRegion::Germany => GridStats { min: 130.0, max: 765.0, mean: 440.0, coeff_var: 0.280 },
+            GridRegion::Nsw => GridStats { min: 267.0, max: 817.0, mean: 647.0, coeff_var: 0.143 },
+            GridRegion::SouthAfrica => GridStats { min: 586.0, max: 785.0, mean: 713.0, coeff_var: 0.046 },
+        }
+    }
+
+    /// Shape parameters describing each grid's generation mix.
+    ///
+    /// CAISO's variation is predominantly solar-diurnal (duck curve); ON's
+    /// intensity is driven by marginal gas imports on top of hydro/nuclear,
+    /// so it is mostly noise; DE mixes strong wind noise with solar; ZA is
+    /// coal-dominated and nearly flat; PJM and NSW have moderate diurnal
+    /// demand-driven cycles.
+    pub fn shape(&self) -> GridShape {
+        match self {
+            GridRegion::Pjm => GridShape {
+                diurnal_weight: 0.55,
+                seasonal_weight: 0.25,
+                noise_weight: 0.20,
+                diurnal_peak_hour: 4.0,
+            },
+            GridRegion::Caiso => GridShape {
+                diurnal_weight: 0.75,
+                seasonal_weight: 0.10,
+                noise_weight: 0.15,
+                diurnal_peak_hour: 2.0,
+            },
+            GridRegion::Ontario => GridShape {
+                diurnal_weight: 0.35,
+                seasonal_weight: 0.15,
+                noise_weight: 0.50,
+                diurnal_peak_hour: 6.0,
+            },
+            GridRegion::Germany => GridShape {
+                diurnal_weight: 0.45,
+                seasonal_weight: 0.20,
+                noise_weight: 0.35,
+                diurnal_peak_hour: 3.0,
+            },
+            GridRegion::Nsw => GridShape {
+                diurnal_weight: 0.60,
+                seasonal_weight: 0.15,
+                noise_weight: 0.25,
+                diurnal_peak_hour: 5.0,
+            },
+            GridRegion::SouthAfrica => GridShape {
+                diurnal_weight: 0.40,
+                seasonal_weight: 0.20,
+                noise_weight: 0.40,
+                diurnal_peak_hour: 5.0,
+            },
+        }
+    }
+
+    /// The number of hourly data points in the paper's traces
+    /// (2020-01-01 .. 2022-12-31 = 26 304 hours).
+    pub const PAPER_TRACE_HOURS: usize = 26_304;
+}
+
+impl fmt::Display for GridRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for r in GridRegion::ALL {
+            assert_eq!(GridRegion::from_code(r.code()), Some(r));
+        }
+        assert_eq!(GridRegion::from_code("caiso"), Some(GridRegion::Caiso));
+        assert_eq!(GridRegion::from_code("unknown"), None);
+    }
+
+    #[test]
+    fn table1_stats_are_consistent() {
+        for r in GridRegion::ALL {
+            let s = r.table1_stats();
+            assert!(s.min < s.mean && s.mean < s.max, "{r}: min < mean < max");
+            assert!(s.coeff_var > 0.0 && s.coeff_var < 1.0);
+        }
+    }
+
+    #[test]
+    fn caiso_is_most_variable_of_named_pairs() {
+        // The paper highlights CAISO as high-renewable / high-CV and ZA as
+        // coal-heavy / low-CV.
+        assert!(
+            GridRegion::Caiso.table1_stats().coeff_var
+                > GridRegion::SouthAfrica.table1_stats().coeff_var
+        );
+        assert!(
+            GridRegion::Ontario.table1_stats().coeff_var
+                > GridRegion::Pjm.table1_stats().coeff_var
+        );
+    }
+
+    #[test]
+    fn shapes_are_normalised_mixes() {
+        for r in GridRegion::ALL {
+            let s = r.shape();
+            let total = s.diurnal_weight + s.seasonal_weight + s.noise_weight;
+            assert!((0.9..=1.1).contains(&total), "{r}: weights should sum to ~1");
+            assert!((0.0..24.0).contains(&s.diurnal_peak_hour));
+        }
+    }
+
+    #[test]
+    fn display_matches_code() {
+        assert_eq!(GridRegion::Germany.to_string(), "DE");
+    }
+}

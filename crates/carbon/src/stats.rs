@@ -1,0 +1,81 @@
+//! Summary statistics of carbon traces (Table 1 of the paper).
+
+use crate::trace::CarbonTrace;
+use serde::{Deserialize, Serialize};
+
+/// Min / max / mean / coefficient of variation of a trace, the columns of
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Minimum intensity (gCO₂eq/kWh).
+    pub min: f64,
+    /// Maximum intensity (gCO₂eq/kWh).
+    pub max: f64,
+    /// Mean intensity (gCO₂eq/kWh).
+    pub mean: f64,
+    /// Standard deviation (gCO₂eq/kWh).
+    pub std_dev: f64,
+    /// Coefficient of variation (std_dev / mean); higher values indicate more
+    /// renewable-driven variability.
+    pub coeff_var: f64,
+    /// Number of data points summarised.
+    pub points: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over all values of the trace.
+    pub fn of(trace: &CarbonTrace) -> TraceStats {
+        Self::of_values(&trace.values)
+    }
+
+    /// Computes statistics over a raw slice of intensities.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of_values(values: &[f64]) -> TraceStats {
+        assert!(!values.is_empty(), "cannot summarise an empty trace");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std_dev = var.sqrt();
+        TraceStats {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            std_dev,
+            coeff_var: if mean > 0.0 { std_dev / mean } else { 0.0 },
+            points: values.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let t = CarbonTrace::hourly("x", vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert!((s.coeff_var - 0.4).abs() < 1e-12);
+        assert_eq!(s.points, 8);
+    }
+
+    #[test]
+    fn constant_trace_has_zero_cv() {
+        let t = CarbonTrace::constant("flat", 100.0, 24);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.coeff_var, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_values_panic() {
+        let _ = TraceStats::of_values(&[]);
+    }
+}

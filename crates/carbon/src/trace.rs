@@ -1,0 +1,259 @@
+//! Piecewise-constant carbon intensity traces.
+
+use serde::{Deserialize, Serialize};
+
+/// Anything that can report a carbon intensity at a point in time and bounds
+/// over a window.  Implemented by [`CarbonTrace`] and by forecast wrappers.
+pub trait CarbonSignal {
+    /// Carbon intensity (gCO₂eq/kWh) at time `t` seconds.
+    fn intensity(&self, t: f64) -> f64;
+
+    /// Minimum and maximum intensity over the window `[t, t + horizon]`.
+    /// These are the `L` and `U` bounds used by threshold-based algorithms.
+    fn bounds(&self, t: f64, horizon: f64) -> (f64, f64);
+}
+
+/// A piecewise-constant carbon intensity trace.
+///
+/// The value reported for any time inside `[start + i*step, start + (i+1)*step)`
+/// is `values[i]`.  Queries before the start return the first value; queries
+/// past the end wrap around (the trace is treated as periodic), which lets
+/// multi-day experiments run against a trace of any length — matching the
+/// paper's methodology of running each experiment "over a full carbon trace".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarbonTrace {
+    /// Trace start time in seconds (usually 0).
+    pub start: f64,
+    /// Seconds between consecutive reported values (3600 for hourly data).
+    pub step: f64,
+    /// Reported intensities in gCO₂eq/kWh.
+    pub values: Vec<f64>,
+    /// Optional human-readable label (e.g., the grid code).
+    pub label: String,
+}
+
+impl CarbonTrace {
+    /// Creates a trace from raw values.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty, `step <= 0`, or any value is negative or
+    /// non-finite — traces are static experiment inputs, so malformed data is
+    /// a programming error.
+    pub fn new(label: impl Into<String>, start: f64, step: f64, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "carbon trace must contain at least one value");
+        assert!(step > 0.0 && step.is_finite(), "trace step must be positive");
+        for (i, v) in values.iter().enumerate() {
+            assert!(
+                v.is_finite() && *v >= 0.0,
+                "carbon intensity at index {i} must be finite and non-negative, got {v}"
+            );
+        }
+        CarbonTrace {
+            start,
+            step,
+            values,
+            label: label.into(),
+        }
+    }
+
+    /// Creates an hourly trace starting at time 0.
+    pub fn hourly(label: impl Into<String>, values: Vec<f64>) -> Self {
+        CarbonTrace::new(label, 0.0, 3600.0, values)
+    }
+
+    /// A constant trace — useful for tests and for modelling a grid with no
+    /// variability (carbon-aware schedulers should degenerate to their
+    /// carbon-agnostic behaviour on such a trace).
+    pub fn constant(label: impl Into<String>, value: f64, points: usize) -> Self {
+        CarbonTrace::hourly(label, vec![value; points.max(1)])
+    }
+
+    /// Number of reported values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the trace has no values (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration in seconds (before wrapping).
+    pub fn duration(&self) -> f64 {
+        self.step * self.values.len() as f64
+    }
+
+    /// Index of the value in effect at time `t` (with periodic wrapping).
+    pub fn index_at(&self, t: f64) -> usize {
+        let rel = (t - self.start).max(0.0);
+        let idx = (rel / self.step).floor() as usize;
+        idx % self.values.len()
+    }
+
+    /// The time at which the value currently in effect at `t` changes.
+    pub fn next_change(&self, t: f64) -> f64 {
+        let rel = (t - self.start).max(0.0);
+        let idx = (rel / self.step).floor();
+        self.start + (idx + 1.0) * self.step
+    }
+
+    /// Minimum intensity over the whole trace.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum intensity over the whole trace.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean intensity over the whole trace.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Returns a sub-trace of `n` values starting at value index `offset`
+    /// (wrapping around the end), re-anchored to start at time 0.  Used by
+    /// the experiment harness to start trials at random offsets in the trace.
+    pub fn window(&self, offset: usize, n: usize) -> CarbonTrace {
+        assert!(n > 0, "window must contain at least one value");
+        let len = self.values.len();
+        let values = (0..n).map(|i| self.values[(offset + i) % len]).collect();
+        CarbonTrace::new(self.label.clone(), 0.0, self.step, values)
+    }
+
+    /// Integrates the intensity over `[t0, t1]`, returning
+    /// gCO₂eq/kWh · seconds.  Used by the accounting module.
+    pub fn integrate(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut t = t0;
+        // Walk step boundaries; bounded by the number of steps in [t0, t1].
+        while t < t1 {
+            let seg_end = self.next_change(t).min(t1);
+            total += self.intensity(t) * (seg_end - t);
+            t = seg_end;
+        }
+        total
+    }
+}
+
+impl CarbonSignal for CarbonTrace {
+    fn intensity(&self, t: f64) -> f64 {
+        self.values[self.index_at(t)]
+    }
+
+    fn bounds(&self, t: f64, horizon: f64) -> (f64, f64) {
+        assert!(horizon >= 0.0, "lookahead horizon must be non-negative");
+        let first = self.index_at(t);
+        let steps = (horizon / self.step).ceil() as usize + 1;
+        let steps = steps.min(self.values.len());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for k in 0..steps {
+            let v = self.values[(first + k) % self.values.len()];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::hourly("test", vec![100.0, 200.0, 300.0, 50.0])
+    }
+
+    #[test]
+    fn indexing_and_intensity() {
+        let t = trace();
+        assert_eq!(t.intensity(0.0), 100.0);
+        assert_eq!(t.intensity(3599.0), 100.0);
+        assert_eq!(t.intensity(3600.0), 200.0);
+        assert_eq!(t.intensity(3.5 * 3600.0), 50.0);
+    }
+
+    #[test]
+    fn wraps_periodically() {
+        let t = trace();
+        assert_eq!(t.intensity(4.0 * 3600.0), 100.0);
+        assert_eq!(t.intensity(9.0 * 3600.0), 200.0);
+    }
+
+    #[test]
+    fn next_change_is_step_boundary() {
+        let t = trace();
+        assert_eq!(t.next_change(0.0), 3600.0);
+        assert_eq!(t.next_change(3599.9), 3600.0);
+        assert_eq!(t.next_change(3600.0), 7200.0);
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let t = trace();
+        assert_eq!(t.min(), 50.0);
+        assert_eq!(t.max(), 300.0);
+        assert!((t.mean() - 162.5).abs() < 1e-12);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.duration(), 4.0 * 3600.0);
+    }
+
+    #[test]
+    fn bounds_limited_to_horizon() {
+        let t = trace();
+        // Looking ahead only one hour from t=0 sees values {100, 200}.
+        let (l, u) = t.bounds(0.0, 3600.0);
+        assert_eq!((l, u), (100.0, 200.0));
+        // Looking ahead the full trace sees everything.
+        let (l, u) = t.bounds(0.0, 24.0 * 3600.0);
+        assert_eq!((l, u), (50.0, 300.0));
+    }
+
+    #[test]
+    fn integrate_piecewise() {
+        let t = trace();
+        // One full hour at 100.
+        assert!((t.integrate(0.0, 3600.0) - 100.0 * 3600.0).abs() < 1e-6);
+        // Half of hour 0 plus half of hour 1.
+        let v = t.integrate(1800.0, 5400.0);
+        assert!((v - (100.0 * 1800.0 + 200.0 * 1800.0)).abs() < 1e-6);
+        // Degenerate interval.
+        assert_eq!(t.integrate(100.0, 100.0), 0.0);
+        assert_eq!(t.integrate(200.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn window_rebases_time() {
+        let t = trace();
+        let w = t.window(2, 3);
+        assert_eq!(w.values, vec![300.0, 50.0, 100.0]);
+        assert_eq!(w.intensity(0.0), 300.0);
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = CarbonTrace::constant("flat", 400.0, 10);
+        assert_eq!(t.min(), 400.0);
+        assert_eq!(t.max(), 400.0);
+        let (l, u) = t.bounds(0.0, 48.0 * 3600.0);
+        assert_eq!((l, u), (400.0, 400.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_trace_rejected() {
+        let _ = CarbonTrace::hourly("bad", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_value_rejected() {
+        let _ = CarbonTrace::hourly("bad", vec![100.0, -5.0]);
+    }
+}

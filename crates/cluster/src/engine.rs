@@ -1,0 +1,561 @@
+//! The discrete-event simulation engine.
+
+use crate::config::ClusterConfig;
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::executor::ExecutorPool;
+use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
+use crate::profile::{ExecutorSegment, UsageProfile};
+use crate::result::{InvocationSample, SimulationResult};
+use crate::scheduler_api::{Assignment, CarbonView, JobView, Scheduler, SchedulingContext};
+use pcaps_carbon::{CarbonSignal, CarbonTrace};
+use pcaps_dag::JobId;
+use std::time::Instant;
+
+/// A configured simulation, ready to be run against a scheduling policy.
+///
+/// The same `Simulator` can be run multiple times with different schedulers —
+/// every run starts from a pristine copy of the workload, so results are
+/// directly comparable (this is how the experiment harness produces the
+/// "normalised with respect to baseline" numbers of Tables 2 and 3).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: ClusterConfig,
+    workload: Vec<SubmittedJob>,
+    carbon: CarbonTrace,
+}
+
+impl Simulator {
+    /// Creates a simulator.  The workload is sorted by arrival time; job ids
+    /// are assigned in arrival order.
+    pub fn new(config: ClusterConfig, mut workload: Vec<SubmittedJob>, carbon: CarbonTrace) -> Self {
+        workload.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("arrival times are finite")
+        });
+        Simulator {
+            config,
+            workload,
+            carbon,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The workload (sorted by arrival).
+    pub fn workload(&self) -> &[SubmittedJob] {
+        &self.workload
+    }
+
+    /// The carbon trace the run is accounted against.
+    pub fn carbon(&self) -> &CarbonTrace {
+        &self.carbon
+    }
+
+    /// Runs the simulation to completion with the given scheduler.
+    pub fn run(&self, scheduler: &mut dyn Scheduler) -> Result<SimulationResult, SimError> {
+        if self.workload.is_empty() {
+            return Err(SimError::EmptyWorkload);
+        }
+        for job in &self.workload {
+            if let Err(e) = job.dag.validate() {
+                return Err(SimError::InvalidJob {
+                    job: job.dag.name.clone(),
+                    reason: e.to_string(),
+                });
+            }
+        }
+        let mut engine = Engine::new(&self.config, &self.workload, &self.carbon);
+        engine.run(scheduler)
+    }
+}
+
+/// Mutable state of one run.
+struct Engine<'a> {
+    config: &'a ClusterConfig,
+    workload: &'a [SubmittedJob],
+    carbon: &'a CarbonTrace,
+
+    time: f64,
+    events: EventQueue,
+    executors: ExecutorPool,
+    /// `jobs[i]` is populated once job `i` arrives.
+    jobs: Vec<Option<ActiveJob>>,
+    profile: UsageProfile,
+    records: Vec<JobRecord>,
+    invocations: Vec<InvocationSample>,
+    tasks_dispatched: usize,
+    completed_jobs: usize,
+    /// Next carbon-intensity change, in schedule time.
+    next_carbon_change: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a ClusterConfig, workload: &'a [SubmittedJob], carbon: &'a CarbonTrace) -> Self {
+        let mut events = EventQueue::new();
+        for (i, job) in workload.iter().enumerate() {
+            events.push(job.arrival, Event::JobArrival { job: JobId(i as u64) });
+        }
+        let carbon_step_schedule = carbon.step / config.time_scale;
+        Engine {
+            config,
+            workload,
+            carbon,
+            time: 0.0,
+            events,
+            executors: ExecutorPool::new(config.num_executors),
+            jobs: vec![None; workload.len()],
+            profile: UsageProfile::new(),
+            records: Vec::new(),
+            invocations: Vec::new(),
+            tasks_dispatched: 0,
+            completed_jobs: 0,
+            next_carbon_change: carbon_step_schedule,
+        }
+    }
+
+    /// Converts a schedule time to carbon-trace time.
+    fn carbon_time(&self, t: f64) -> f64 {
+        t * self.config.time_scale
+    }
+
+    fn carbon_view(&self) -> CarbonView {
+        let ct = self.carbon_time(self.time);
+        let intensity = self.carbon.intensity(ct);
+        let (lower_bound, upper_bound) = self.carbon.bounds(ct, self.config.forecast_horizon);
+        CarbonView {
+            intensity,
+            lower_bound,
+            upper_bound,
+        }
+    }
+
+    fn incomplete_jobs(&self) -> usize {
+        self.workload.len() - self.completed_jobs
+    }
+
+    fn arrived_incomplete(&self) -> usize {
+        self.jobs
+            .iter()
+            .flatten()
+            .filter(|j| !j.is_complete())
+            .count()
+    }
+
+    fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<SimulationResult, SimError> {
+        let carbon_step_schedule = self.carbon.step / self.config.time_scale;
+        loop {
+            if self.events.is_empty() && self.incomplete_jobs() == 0 {
+                break;
+            }
+            let heap_time = self.events.peek_time();
+            let wake_on_carbon = match heap_time {
+                Some(ht) => self.next_carbon_change < ht,
+                None => true,
+            };
+            if wake_on_carbon {
+                self.time = self.next_carbon_change;
+                self.next_carbon_change += carbon_step_schedule;
+                if self.time > self.config.max_sim_time {
+                    return Err(SimError::TimeLimitExceeded {
+                        limit: self.config.max_sim_time,
+                        incomplete_jobs: self.incomplete_jobs(),
+                    });
+                }
+                self.schedule_loop(scheduler)?;
+            } else {
+                let (t, event) = self.events.pop().expect("peeked time implies non-empty");
+                self.time = t;
+                if self.time > self.config.max_sim_time {
+                    return Err(SimError::TimeLimitExceeded {
+                        limit: self.config.max_sim_time,
+                        incomplete_jobs: self.incomplete_jobs(),
+                    });
+                }
+                self.handle_event(event);
+                self.schedule_loop(scheduler)?;
+            }
+        }
+
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.completion)
+            .fold(0.0_f64, f64::max);
+        self.records.sort_by_key(|r| r.id);
+        Ok(SimulationResult {
+            scheduler: scheduler.name().to_string(),
+            jobs: std::mem::take(&mut self.records),
+            profile: std::mem::take(&mut self.profile),
+            makespan,
+            invocations: std::mem::take(&mut self.invocations),
+            tasks_dispatched: self.tasks_dispatched,
+            jobs_submitted: self.workload.len(),
+        })
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::JobArrival { job } => {
+                let submitted = &self.workload[job.index()];
+                self.jobs[job.index()] =
+                    Some(ActiveJob::new(job, submitted.dag.clone(), submitted.arrival));
+                let in_system = self.arrived_incomplete();
+                self.profile.record_jobs_in_system(self.time, in_system);
+            }
+            Event::TaskFinish { executor, job, stage } => {
+                self.executors.get_mut(executor).finish();
+                let active = self.jobs[job.index()]
+                    .as_mut()
+                    .expect("task finished for a job that never arrived");
+                active.busy_executors = active.busy_executors.saturating_sub(1);
+                let stage_done = active.progress.finish_task(&active.dag, stage);
+                if stage_done && active.progress.job_complete() {
+                    active.completion = Some(self.time);
+                    self.completed_jobs += 1;
+                    self.records.push(JobRecord {
+                        id: active.id,
+                        name: active.dag.name.clone(),
+                        arrival: active.arrival,
+                        completion: self.time,
+                        executor_seconds: active.executor_seconds,
+                        total_work: active.dag.total_work(),
+                        num_stages: active.dag.num_stages(),
+                    });
+                    let in_system = self.arrived_incomplete();
+                    self.profile.record_jobs_in_system(self.time, in_system);
+                }
+                self.profile
+                    .record_usage(self.time, self.executors.busy_count());
+            }
+        }
+    }
+
+    /// Repeatedly invokes the scheduler until it defers, returns nothing
+    /// applicable, or the cluster is saturated.
+    fn schedule_loop(&mut self, scheduler: &mut dyn Scheduler) -> Result<(), SimError> {
+        loop {
+            if self.executors.free_count() == 0 {
+                return Ok(());
+            }
+            let carbon = self.carbon_view();
+            let assignments;
+            let queue_length;
+            {
+                let views: Vec<JobView<'_>> = self
+                    .jobs
+                    .iter()
+                    .flatten()
+                    .filter(|j| !j.is_complete())
+                    .map(|j| JobView {
+                        id: j.id,
+                        dag: &j.dag,
+                        progress: &j.progress,
+                        arrival: j.arrival,
+                        busy_executors: j.busy_executors,
+                    })
+                    .collect();
+                let ctx = SchedulingContext {
+                    time: self.time,
+                    carbon,
+                    total_executors: self.config.num_executors,
+                    free_executors: self.executors.free_count(),
+                    busy_executors: self.executors.busy_count(),
+                    per_job_cap: self.config.job_cap(),
+                    jobs: views,
+                };
+                if !ctx.has_dispatchable_work() {
+                    return Ok(());
+                }
+                queue_length = ctx.queue_length();
+                let started = Instant::now();
+                assignments = scheduler.schedule(&ctx);
+                self.invocations.push(InvocationSample {
+                    time: self.time,
+                    queue_length,
+                    latency_seconds: started.elapsed().as_secs_f64(),
+                });
+            }
+            if assignments.is_empty() {
+                return Ok(());
+            }
+            let dispatched = self.apply_assignments(&assignments)?;
+            if dispatched == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Applies assignments, returning the number of tasks actually
+    /// dispatched.
+    fn apply_assignments(&mut self, assignments: &[Assignment]) -> Result<usize, SimError> {
+        let mut dispatched = 0;
+        for a in assignments {
+            if a.job.index() >= self.jobs.len() {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!("unknown job {}", a.job),
+                });
+            }
+            let Some(active) = self.jobs[a.job.index()].as_mut() else {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!("{} has not arrived yet", a.job),
+                });
+            };
+            if a.stage.index() >= active.dag.num_stages() {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!("{} has no {}", a.job, a.stage),
+                });
+            }
+            if active.is_complete() || a.executors == 0 {
+                continue;
+            }
+            let cap_room = self
+                .config
+                .job_cap()
+                .saturating_sub(active.busy_executors);
+            let budget = a
+                .executors
+                .min(self.executors.free_count())
+                .min(cap_room)
+                .min(active.progress.pending_tasks(a.stage));
+            for _ in 0..budget {
+                let Some(exec_idx) = self.executors.pick_free_for(a.job) else {
+                    break;
+                };
+                let active = self.jobs[a.job.index()].as_mut().expect("checked above");
+                let Some(task_idx) = active.progress.dispatch_task(&active.dag, a.stage) else {
+                    break;
+                };
+                let task = active.dag.stage(a.stage).tasks[task_idx];
+                let move_delay = if self.executors.get(exec_idx).needs_move_delay(a.job) {
+                    self.config.executor_move_delay
+                } else {
+                    0.0
+                };
+                let finish_time = self.time + move_delay + task.duration;
+                self.executors.get_mut(exec_idx).start(a.job, self.time);
+                active.busy_executors += 1;
+                active.executor_seconds += task.duration;
+                self.events.push(
+                    finish_time,
+                    Event::TaskFinish {
+                        executor: exec_idx,
+                        job: a.job,
+                        stage: a.stage,
+                    },
+                );
+                self.profile.record_segment(ExecutorSegment {
+                    executor: exec_idx,
+                    job: a.job,
+                    stage: a.stage,
+                    start: self.time,
+                    end: finish_time,
+                });
+                dispatched += 1;
+                self.tasks_dispatched += 1;
+            }
+        }
+        if dispatched > 0 {
+            self.profile
+                .record_usage(self.time, self.executors.busy_count());
+        }
+        Ok(dispatched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedulers::SimpleFifo;
+    use pcaps_dag::{JobDagBuilder, Task};
+
+    fn chain_job(name: &str, stages: usize, tasks: usize, dur: f64) -> pcaps_dag::JobDag {
+        let mut b = JobDagBuilder::new(name);
+        for i in 0..stages {
+            b = b.stage(format!("s{i}"), vec![Task::new(dur); tasks]);
+        }
+        let mut b2 = b;
+        for i in 1..stages {
+            b2 = b2
+                .edge(pcaps_dag::StageId((i - 1) as u32), pcaps_dag::StageId(i as u32))
+                .unwrap();
+        }
+        b2.build().unwrap()
+    }
+
+    fn flat_trace() -> CarbonTrace {
+        CarbonTrace::constant("flat", 300.0, 26_304)
+    }
+
+    #[test]
+    fn single_job_single_executor_makespan_is_total_work() {
+        let job = chain_job("j", 3, 2, 5.0);
+        let total = job.total_work();
+        let config = ClusterConfig::new(1).with_move_delay(0.0).with_time_scale(1.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        assert!(result.all_jobs_complete());
+        assert!((result.makespan - total).abs() < 1e-9);
+        assert_eq!(result.tasks_dispatched, 6);
+    }
+
+    #[test]
+    fn parallelism_reduces_makespan() {
+        let job = chain_job("j", 1, 8, 10.0);
+        let mk = |k: usize| {
+            let config = ClusterConfig::new(k).with_move_delay(0.0).with_time_scale(1.0);
+            let sim = Simulator::new(
+                config,
+                vec![SubmittedJob::at(0.0, job.clone())],
+                flat_trace(),
+            );
+            sim.run(&mut SimpleFifo::new()).unwrap().makespan
+        };
+        assert!((mk(1) - 80.0).abs() < 1e-9);
+        assert!((mk(4) - 20.0).abs() < 1e-9);
+        assert!((mk(8) - 10.0).abs() < 1e-9);
+        assert!((mk(100) - 10.0).abs() < 1e-9, "cannot go below one task length");
+    }
+
+    #[test]
+    fn precedence_is_respected() {
+        // Two stages of one task each: total makespan is serial even with
+        // many executors.
+        let job = chain_job("j", 2, 1, 7.0);
+        let config = ClusterConfig::new(10).with_move_delay(0.0).with_time_scale(1.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        assert!((result.makespan - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_job_cap_limits_parallelism() {
+        let job = chain_job("j", 1, 8, 10.0);
+        let config = ClusterConfig::new(8)
+            .with_per_job_cap(Some(2))
+            .with_move_delay(0.0)
+            .with_time_scale(1.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        // 8 tasks of 10 s on at most 2 executors → 40 s.
+        assert!((result.makespan - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_delay_charged_when_switching_jobs() {
+        // One executor, two single-task jobs: the second task pays the move
+        // delay, and the first does too (fresh executor).
+        let j0 = chain_job("a", 1, 1, 10.0);
+        let j1 = chain_job("b", 1, 1, 10.0);
+        let config = ClusterConfig::new(1).with_move_delay(2.0).with_time_scale(1.0);
+        let sim = Simulator::new(
+            config,
+            vec![SubmittedJob::at(0.0, j0), SubmittedJob::at(0.0, j1)],
+            flat_trace(),
+        );
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        assert!((result.makespan - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        let j0 = chain_job("a", 1, 1, 5.0);
+        let j1 = chain_job("b", 1, 1, 5.0);
+        let config = ClusterConfig::new(2).with_move_delay(0.0).with_time_scale(1.0);
+        let sim = Simulator::new(
+            config,
+            vec![SubmittedJob::at(100.0, j1), SubmittedJob::at(0.0, j0)],
+            flat_trace(),
+        );
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        assert!(result.all_jobs_complete());
+        // Second job cannot start before its arrival at t=100.
+        assert!((result.makespan - 105.0).abs() < 1e-9);
+        // Job records are sorted by id and ids by arrival.
+        assert!(result.jobs[0].arrival < result.jobs[1].arrival);
+    }
+
+    #[test]
+    fn empty_workload_is_error() {
+        let sim = Simulator::new(ClusterConfig::new(1), vec![], flat_trace());
+        assert_eq!(sim.run(&mut SimpleFifo::new()).unwrap_err(), SimError::EmptyWorkload);
+    }
+
+    #[test]
+    fn records_capture_executor_seconds() {
+        let job = chain_job("j", 2, 3, 4.0);
+        let config = ClusterConfig::new(3).with_move_delay(0.0).with_time_scale(1.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        assert!((result.jobs[0].executor_seconds - 24.0).abs() < 1e-9);
+        assert_eq!(result.jobs[0].num_stages, 2);
+        assert!(result.mean_invocation_latency() >= 0.0);
+    }
+
+    #[test]
+    fn usage_profile_is_recorded() {
+        let job = chain_job("j", 1, 4, 5.0);
+        let config = ClusterConfig::new(4).with_move_delay(0.0).with_time_scale(1.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        let result = sim.run(&mut SimpleFifo::new()).unwrap();
+        assert!(!result.profile.usage.is_empty());
+        assert_eq!(result.profile.segments.len(), 4);
+        // At time just after 0 all four executors are busy.
+        assert_eq!(result.profile.busy_at(0.1), 4.0);
+        // After completion nobody is busy.
+        assert_eq!(result.profile.busy_at(100.0), 0.0);
+    }
+
+    /// A scheduler that always defers — the run must abort with a time-limit
+    /// error instead of hanging.
+    struct NeverSchedule;
+    impl Scheduler for NeverSchedule {
+        fn name(&self) -> &str {
+            "never"
+        }
+        fn schedule(&mut self, _ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn deferring_forever_hits_time_limit() {
+        let job = chain_job("j", 1, 1, 5.0);
+        let config = ClusterConfig::new(1)
+            .with_time_scale(1.0)
+            .with_max_sim_time(10_000.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        match sim.run(&mut NeverSchedule) {
+            Err(SimError::TimeLimitExceeded { incomplete_jobs, .. }) => {
+                assert_eq!(incomplete_jobs, 1)
+            }
+            other => panic!("expected time limit error, got {other:?}"),
+        }
+    }
+
+    /// A scheduler that returns an assignment for a bogus job id.
+    struct BadScheduler;
+    impl Scheduler for BadScheduler {
+        fn name(&self) -> &str {
+            "bad"
+        }
+        fn schedule(&mut self, _ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+            vec![Assignment::new(JobId(999), pcaps_dag::StageId(0), 1)]
+        }
+    }
+
+    #[test]
+    fn invalid_assignment_is_an_error() {
+        let job = chain_job("j", 1, 1, 5.0);
+        let config = ClusterConfig::new(1).with_time_scale(1.0);
+        let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], flat_trace());
+        assert!(matches!(
+            sim.run(&mut BadScheduler),
+            Err(SimError::InvalidAssignment { .. })
+        ));
+    }
+}

@@ -1,0 +1,71 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors that can abort a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The workload list is empty — there is nothing to simulate.
+    EmptyWorkload,
+    /// A submitted job failed DAG validation.
+    InvalidJob {
+        /// Name of the offending job.
+        job: String,
+        /// The validation failure message.
+        reason: String,
+    },
+    /// The simulation exceeded `max_sim_time` without completing all jobs —
+    /// almost always a scheduler that defers outstanding work forever.
+    TimeLimitExceeded {
+        /// The configured limit (schedule seconds).
+        limit: f64,
+        /// Number of jobs that had not completed.
+        incomplete_jobs: usize,
+    },
+    /// Internal invariant violation (a bug in the engine or a scheduler that
+    /// returned an assignment for a non-existent job/stage).
+    InvalidAssignment {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyWorkload => write!(f, "workload contains no jobs"),
+            SimError::InvalidJob { job, reason } => {
+                write!(f, "job {job:?} failed validation: {reason}")
+            }
+            SimError::TimeLimitExceeded { limit, incomplete_jobs } => write!(
+                f,
+                "simulation exceeded the time limit of {limit} s with {incomplete_jobs} incomplete job(s); \
+                 the scheduler appears to defer work indefinitely"
+            ),
+            SimError::InvalidAssignment { reason } => {
+                write!(f, "scheduler returned an invalid assignment: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::EmptyWorkload.to_string().contains("no jobs"));
+        assert!(SimError::TimeLimitExceeded { limit: 10.0, incomplete_jobs: 3 }
+            .to_string()
+            .contains("3 incomplete"));
+        assert!(SimError::InvalidJob { job: "x".into(), reason: "cycle".into() }
+            .to_string()
+            .contains("cycle"));
+        assert!(SimError::InvalidAssignment { reason: "bad stage".into() }
+            .to_string()
+            .contains("bad stage"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by time; ties are broken by a monotonically increasing
+//! sequence number so the simulation is fully deterministic regardless of
+//! floating-point equality of timestamps.
+
+use pcaps_dag::{JobId, StageId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulator event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A job from the workload arrives at the cluster.
+    JobArrival {
+        /// Index of the job in the submitted workload (also its [`JobId`]).
+        job: JobId,
+    },
+    /// A task finishes on an executor, freeing it.
+    TaskFinish {
+        /// Index of the executor that becomes free.
+        executor: usize,
+        /// Job whose task finished.
+        job: JobId,
+        /// Stage whose task finished.
+        stage: StageId,
+    },
+}
+
+/// An event stamped with its occurrence time.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap and we want the earliest
+        // event first.  NaN times are rejected at push time.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are always finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-priority event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Pushes an event occurring at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is not finite.
+    pub fn push(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, Event::JobArrival { job: JobId(1) });
+        q.push(1.0, Event::JobArrival { job: JobId(0) });
+        q.push(3.0, Event::JobArrival { job: JobId(2) });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::JobArrival { job: JobId(10) });
+        q.push(2.0, Event::JobArrival { job: JobId(20) });
+        let first = q.pop().unwrap().1;
+        let second = q.pop().unwrap().1;
+        assert_eq!(first, Event::JobArrival { job: JobId(10) });
+        assert_eq!(second, Event::JobArrival { job: JobId(20) });
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7.0, Event::JobArrival { job: JobId(0) });
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, Event::JobArrival { job: JobId(0) });
+    }
+
+    #[test]
+    fn task_finish_events_carry_payload() {
+        let mut q = EventQueue::new();
+        q.push(
+            1.0,
+            Event::TaskFinish {
+                executor: 3,
+                job: JobId(2),
+                stage: StageId(1),
+            },
+        );
+        match q.pop().unwrap().1 {
+            Event::TaskFinish { executor, job, stage } => {
+                assert_eq!(executor, 3);
+                assert_eq!(job, JobId(2));
+                assert_eq!(stage, StageId(1));
+            }
+            _ => panic!("wrong event type"),
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Executor state tracking.
+
+use pcaps_dag::JobId;
+use serde::{Deserialize, Serialize};
+
+/// Runtime state of a single executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorState {
+    /// Job the executor is currently running a task for (`None` when idle).
+    pub current_job: Option<JobId>,
+    /// Last job the executor ran a task for — used to decide whether an
+    /// executor-movement delay applies when it picks up new work.
+    pub last_job: Option<JobId>,
+    /// Time at which the executor last became busy (for bookkeeping).
+    pub busy_since: Option<f64>,
+}
+
+impl ExecutorState {
+    /// A fresh idle executor that has never run anything.
+    pub fn idle() -> Self {
+        ExecutorState {
+            current_job: None,
+            last_job: None,
+            busy_since: None,
+        }
+    }
+
+    /// True if the executor is currently running a task.
+    pub fn is_busy(&self) -> bool {
+        self.current_job.is_some()
+    }
+
+    /// Marks the executor busy for `job` starting at `time`.
+    pub fn start(&mut self, job: JobId, time: f64) {
+        debug_assert!(!self.is_busy(), "executor double-booked");
+        self.current_job = Some(job);
+        self.busy_since = Some(time);
+    }
+
+    /// Marks the executor idle after finishing a task.
+    pub fn finish(&mut self) {
+        debug_assert!(self.is_busy(), "idle executor cannot finish a task");
+        self.last_job = self.current_job.take();
+        self.busy_since = None;
+    }
+
+    /// Whether picking up a task of `job` requires a movement delay (the
+    /// executor last served a different job, or never served any).
+    pub fn needs_move_delay(&self, job: JobId) -> bool {
+        self.last_job != Some(job)
+    }
+}
+
+/// A pool of executors with free-list maintenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutorPool {
+    states: Vec<ExecutorState>,
+}
+
+impl ExecutorPool {
+    /// Creates a pool of `n` idle executors.
+    pub fn new(n: usize) -> Self {
+        ExecutorPool {
+            states: vec![ExecutorState::idle(); n],
+        }
+    }
+
+    /// Total number of executors.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the pool has no executors (never the case in a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of currently busy executors.
+    pub fn busy_count(&self) -> usize {
+        self.states.iter().filter(|e| e.is_busy()).count()
+    }
+
+    /// Number of currently idle executors.
+    pub fn free_count(&self) -> usize {
+        self.len() - self.busy_count()
+    }
+
+    /// State of executor `idx`.
+    pub fn get(&self, idx: usize) -> &ExecutorState {
+        &self.states[idx]
+    }
+
+    /// Mutable state of executor `idx`.
+    pub fn get_mut(&mut self, idx: usize) -> &mut ExecutorState {
+        &mut self.states[idx]
+    }
+
+    /// Picks an idle executor for `job`, preferring one whose last job was
+    /// `job` (so no movement delay applies).  Returns its index.
+    pub fn pick_free_for(&self, job: JobId) -> Option<usize> {
+        let mut fallback = None;
+        for (i, e) in self.states.iter().enumerate() {
+            if e.is_busy() {
+                continue;
+            }
+            if e.last_job == Some(job) {
+                return Some(i);
+            }
+            if fallback.is_none() {
+                fallback = Some(i);
+            }
+        }
+        fallback
+    }
+
+    /// Iterates over `(index, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ExecutorState)> {
+        self.states.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut e = ExecutorState::idle();
+        assert!(!e.is_busy());
+        assert!(e.needs_move_delay(JobId(0)));
+        e.start(JobId(0), 5.0);
+        assert!(e.is_busy());
+        assert_eq!(e.busy_since, Some(5.0));
+        e.finish();
+        assert!(!e.is_busy());
+        assert_eq!(e.last_job, Some(JobId(0)));
+        assert!(!e.needs_move_delay(JobId(0)));
+        assert!(e.needs_move_delay(JobId(1)));
+    }
+
+    #[test]
+    fn pool_counts() {
+        let mut pool = ExecutorPool::new(3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.free_count(), 3);
+        pool.get_mut(1).start(JobId(0), 0.0);
+        assert_eq!(pool.busy_count(), 1);
+        assert_eq!(pool.free_count(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn pick_prefers_warm_executor() {
+        let mut pool = ExecutorPool::new(3);
+        // Executor 2 previously ran job 7.
+        pool.get_mut(2).start(JobId(7), 0.0);
+        pool.get_mut(2).finish();
+        assert_eq!(pool.pick_free_for(JobId(7)), Some(2));
+        // For a different job any free executor (the first) is fine.
+        assert_eq!(pool.pick_free_for(JobId(1)), Some(0));
+    }
+
+    #[test]
+    fn pick_none_when_all_busy() {
+        let mut pool = ExecutorPool::new(2);
+        pool.get_mut(0).start(JobId(0), 0.0);
+        pool.get_mut(1).start(JobId(1), 0.0);
+        assert_eq!(pool.pick_free_for(JobId(0)), None);
+    }
+
+    #[test]
+    fn iter_enumerates_all() {
+        let pool = ExecutorPool::new(4);
+        assert_eq!(pool.iter().count(), 4);
+    }
+}

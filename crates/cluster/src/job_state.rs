@@ -1,0 +1,141 @@
+//! Workload submission and per-job runtime state / completion records.
+
+use pcaps_dag::{JobDag, JobId, JobProgress};
+use serde::{Deserialize, Serialize};
+
+/// A job together with its arrival time — one element of the workload handed
+/// to the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmittedJob {
+    /// Arrival time (schedule seconds).
+    pub arrival: f64,
+    /// The job DAG.
+    pub dag: JobDag,
+}
+
+impl SubmittedJob {
+    /// Submits `dag` at time `arrival`.
+    pub fn at(arrival: f64, dag: JobDag) -> Self {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival time must be finite and non-negative"
+        );
+        SubmittedJob { arrival, dag }
+    }
+}
+
+/// Runtime state of a job once it has arrived at the cluster.
+#[derive(Debug, Clone)]
+pub struct ActiveJob {
+    /// The job's id (its index in the workload).
+    pub id: JobId,
+    /// The static DAG.
+    pub dag: JobDag,
+    /// Task-level progress.
+    pub progress: JobProgress,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Completion time, set when the last task finishes.
+    pub completion: Option<f64>,
+    /// Number of executors currently running tasks of this job.
+    pub busy_executors: usize,
+    /// Executor-seconds of task work dispatched so far (excluding executor
+    /// movement delays).
+    pub executor_seconds: f64,
+}
+
+impl ActiveJob {
+    /// Creates runtime state for a job arriving at `arrival`.
+    pub fn new(id: JobId, dag: JobDag, arrival: f64) -> Self {
+        let progress = JobProgress::new(&dag);
+        ActiveJob {
+            id,
+            dag,
+            progress,
+            arrival,
+            completion: None,
+            busy_executors: 0,
+            executor_seconds: 0.0,
+        }
+    }
+
+    /// True once every stage has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completion.is_some()
+    }
+}
+
+/// Completion record for one job, used to compute JCT and per-job carbon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's name (from the DAG).
+    pub name: String,
+    /// Arrival time (schedule seconds).
+    pub arrival: f64,
+    /// Completion time (schedule seconds).
+    pub completion: f64,
+    /// Total executor-seconds consumed by the job's tasks (excluding
+    /// movement delays).
+    pub executor_seconds: f64,
+    /// Total work of the job as described by its DAG.
+    pub total_work: f64,
+    /// Number of stages in the job.
+    pub num_stages: usize,
+}
+
+impl JobRecord {
+    /// Job completion time: completion minus arrival.
+    pub fn jct(&self) -> f64 {
+        self.completion - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcaps_dag::{JobDagBuilder, Task};
+
+    fn dag() -> JobDag {
+        JobDagBuilder::new("j")
+            .stage("a", vec![Task::new(1.0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn submitted_job_holds_arrival() {
+        let s = SubmittedJob::at(12.0, dag());
+        assert_eq!(s.arrival, 12.0);
+        assert_eq!(s.dag.name, "j");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_arrival_rejected() {
+        let _ = SubmittedJob::at(-1.0, dag());
+    }
+
+    #[test]
+    fn active_job_lifecycle() {
+        let mut a = ActiveJob::new(JobId(0), dag(), 3.0);
+        assert!(!a.is_complete());
+        a.completion = Some(10.0);
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn record_jct() {
+        let r = JobRecord {
+            id: JobId(1),
+            name: "x".into(),
+            arrival: 5.0,
+            completion: 30.0,
+            executor_seconds: 12.0,
+            total_work: 12.0,
+            num_stages: 3,
+        };
+        assert_eq!(r.jct(), 25.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # pcaps-cluster — a discrete-event Spark-like cluster simulator
+//!
+//! The paper evaluates PCAPS and CAP in two environments: a 100-node Spark on
+//! Kubernetes prototype and a high-fidelity simulator of Spark's standalone
+//! mode (Mao et al. [48]).  This crate implements the latter from scratch and
+//! exposes enough configuration (per-job executor caps, executor-movement
+//! delays, time scaling) to emulate the prototype's behaviour as well — see
+//! Appendix A.1.2 of the paper and DESIGN.md §1 for how the two differ.
+//!
+//! The simulator is event driven.  Jobs arrive over time; each job is a
+//! [`pcaps_dag::JobDag`] of stages; each stage consists of tasks that run on
+//! executors.  A *scheduling event* occurs whenever a job arrives, a task
+//! finishes (freeing an executor), or the carbon intensity changes — exactly
+//! the event set of Algorithm 1.  At each scheduling event the engine asks a
+//! [`Scheduler`] which stage(s) to dispatch onto the free executors; the
+//! scheduler may also decline to dispatch anything (idling the executors
+//! until the next event), which is how carbon-aware deferral is expressed.
+//!
+//! The engine records an executor-usage profile, per-job records and
+//! scheduler-invocation latencies, from which the metrics crate derives the
+//! carbon footprint (ex post facto, §5.2), JCT, and ECT.
+//!
+//! ## Example
+//!
+//! ```
+//! use pcaps_cluster::{ClusterConfig, Simulator, SubmittedJob, schedulers::SimpleFifo};
+//! use pcaps_carbon::CarbonTrace;
+//! use pcaps_dag::{JobDagBuilder, Task};
+//!
+//! let job = JobDagBuilder::new("j")
+//!     .stage("a", vec![Task::new(5.0); 4])
+//!     .stage("b", vec![Task::new(2.0)])
+//!     .edge_by_name("a", "b").unwrap()
+//!     .build().unwrap();
+//! let config = ClusterConfig::new(4);
+//! let carbon = CarbonTrace::constant("flat", 300.0, 48);
+//! let sim = Simulator::new(config, vec![SubmittedJob::at(0.0, job)], carbon);
+//! let mut fifo = SimpleFifo::new();
+//! let result = sim.run(&mut fifo).unwrap();
+//! assert!(result.all_jobs_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod executor;
+pub mod job_state;
+pub mod profile;
+pub mod result;
+pub mod scheduler_api;
+pub mod schedulers;
+
+pub use config::ClusterConfig;
+pub use engine::Simulator;
+pub use error::SimError;
+pub use job_state::{JobRecord, SubmittedJob};
+pub use profile::{ExecutorSegment, UsageProfile};
+pub use result::SimulationResult;
+pub use scheduler_api::{Assignment, CarbonView, JobView, Scheduler, SchedulingContext};

@@ -1,0 +1,133 @@
+//! Output of a simulation run.
+
+use crate::job_state::JobRecord;
+use crate::profile::UsageProfile;
+use serde::{Deserialize, Serialize};
+
+/// One scheduler-invocation latency sample (used to reproduce Fig. 20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationSample {
+    /// Schedule time at which the scheduler was invoked.
+    pub time: f64,
+    /// Number of active jobs at the time of the invocation.
+    pub queue_length: usize,
+    /// Wall-clock latency of the invocation in seconds.
+    pub latency_seconds: f64,
+}
+
+/// Everything recorded during one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// Name of the scheduler that produced the run.
+    pub scheduler: String,
+    /// Per-job completion records, ordered by job id.
+    pub jobs: Vec<JobRecord>,
+    /// Executor usage profile.
+    pub profile: UsageProfile,
+    /// Schedule time at which the last job completed (end-to-end completion
+    /// time measured from time 0).
+    pub makespan: f64,
+    /// Scheduler invocation latency samples.
+    pub invocations: Vec<InvocationSample>,
+    /// Total number of tasks dispatched.
+    pub tasks_dispatched: usize,
+    /// Number of jobs submitted in the workload.
+    pub jobs_submitted: usize,
+}
+
+impl SimulationResult {
+    /// True if every submitted job completed.
+    pub fn all_jobs_complete(&self) -> bool {
+        self.jobs.len() == self.jobs_submitted
+    }
+
+    /// End-to-end completion time (ECT): total time to complete all jobs in
+    /// the experiment, i.e. the makespan of the whole batch.
+    pub fn ect(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Average job completion time across all completed jobs.
+    pub fn average_jct(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(JobRecord::jct).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Total executor-seconds consumed by all jobs.
+    pub fn total_executor_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.executor_seconds).sum()
+    }
+
+    /// Mean scheduler invocation latency in seconds (0 if never invoked).
+    pub fn mean_invocation_latency(&self) -> f64 {
+        if self.invocations.is_empty() {
+            return 0.0;
+        }
+        self.invocations
+            .iter()
+            .map(|s| s.latency_seconds)
+            .sum::<f64>()
+            / self.invocations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcaps_dag::JobId;
+
+    fn record(id: u64, arrival: f64, completion: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            name: format!("j{id}"),
+            arrival,
+            completion,
+            executor_seconds: 10.0,
+            total_work: 10.0,
+            num_stages: 2,
+        }
+    }
+
+    fn result() -> SimulationResult {
+        SimulationResult {
+            scheduler: "test".into(),
+            jobs: vec![record(0, 0.0, 10.0), record(1, 5.0, 25.0)],
+            profile: UsageProfile::new(),
+            makespan: 25.0,
+            invocations: vec![
+                InvocationSample { time: 0.0, queue_length: 1, latency_seconds: 2e-6 },
+                InvocationSample { time: 5.0, queue_length: 2, latency_seconds: 4e-6 },
+            ],
+            tasks_dispatched: 4,
+            jobs_submitted: 2,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = result();
+        assert!(r.all_jobs_complete());
+        assert_eq!(r.ect(), 25.0);
+        assert!((r.average_jct() - 15.0).abs() < 1e-12);
+        assert!((r.total_executor_seconds() - 20.0).abs() < 1e-12);
+        assert!((r.mean_invocation_latency() - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_detected() {
+        let mut r = result();
+        r.jobs_submitted = 3;
+        assert!(!r.all_jobs_complete());
+    }
+
+    #[test]
+    fn empty_jobs_give_zero_jct() {
+        let mut r = result();
+        r.jobs.clear();
+        r.invocations.clear();
+        assert_eq!(r.average_jct(), 0.0);
+        assert_eq!(r.mean_invocation_latency(), 0.0);
+    }
+}

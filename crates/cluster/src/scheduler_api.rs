@@ -1,0 +1,208 @@
+//! The interface between the simulation engine and scheduling policies.
+//!
+//! At every *scheduling event* (job arrival, task completion, carbon
+//! intensity change) the engine builds a [`SchedulingContext`] describing the
+//! cluster and asks the [`Scheduler`] for [`Assignment`]s.  Returning an
+//! empty vector means "idle the free executors until the next event" — this
+//! is how carbon-aware policies defer work (Algorithm 1, line 10).
+//!
+//! The engine keeps re-invoking the scheduler while it keeps returning
+//! applicable assignments and free executors remain, so a policy may either
+//! return one stage per invocation (as Decima and PCAPS do) or fill the whole
+//! cluster in a single call (as FIFO does); both styles compose with the
+//! engine identically.
+
+use pcaps_dag::{JobDag, JobId, JobProgress, StageId};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of the carbon signal at the current scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarbonView {
+    /// Current carbon intensity `c(t)` in gCO₂eq/kWh.
+    pub intensity: f64,
+    /// Forecast lower bound `L` over the lookahead window.
+    pub lower_bound: f64,
+    /// Forecast upper bound `U` over the lookahead window.
+    pub upper_bound: f64,
+}
+
+impl CarbonView {
+    /// A carbon view for a grid with no variability (L = U = c); useful in
+    /// tests and for carbon-agnostic runs.
+    pub fn flat(intensity: f64) -> Self {
+        CarbonView {
+            intensity,
+            lower_bound: intensity,
+            upper_bound: intensity,
+        }
+    }
+}
+
+/// Read-only view of one active (incomplete) job.
+#[derive(Debug)]
+pub struct JobView<'a> {
+    /// The job's id.
+    pub id: JobId,
+    /// The static DAG.
+    pub dag: &'a JobDag,
+    /// Task-level progress.
+    pub progress: &'a JobProgress,
+    /// Arrival time (schedule seconds).
+    pub arrival: f64,
+    /// Executors currently running tasks of this job.
+    pub busy_executors: usize,
+}
+
+impl JobView<'_> {
+    /// Stages of this job that are runnable and still have undispatched
+    /// tasks (the job's contribution to the set `A_t` of Definition 4.1).
+    pub fn dispatchable_stages(&self) -> Vec<StageId> {
+        self.progress.dispatchable_stages()
+    }
+
+    /// Remaining undispatched work in executor-seconds.
+    pub fn remaining_work(&self) -> f64 {
+        self.progress.remaining_work(self.dag)
+    }
+}
+
+/// Everything a scheduler can see when making a decision.
+#[derive(Debug)]
+pub struct SchedulingContext<'a> {
+    /// Current schedule time (seconds).
+    pub time: f64,
+    /// Carbon intensity and forecast bounds.
+    pub carbon: CarbonView,
+    /// Total number of executors in the cluster (`K`).
+    pub total_executors: usize,
+    /// Executors currently idle.
+    pub free_executors: usize,
+    /// Executors currently running tasks.
+    pub busy_executors: usize,
+    /// Per-job executor cap enforced by the engine.
+    pub per_job_cap: usize,
+    /// Active jobs, ordered by arrival time (FIFO order).
+    pub jobs: Vec<JobView<'a>>,
+}
+
+impl<'a> SchedulingContext<'a> {
+    /// All `(job, stage)` pairs that could be dispatched right now.
+    pub fn dispatchable(&self) -> Vec<(JobId, StageId)> {
+        self.jobs
+            .iter()
+            .flat_map(|j| j.dispatchable_stages().into_iter().map(move |s| (j.id, s)))
+            .collect()
+    }
+
+    /// True if at least one stage has undispatched tasks whose precedence
+    /// constraints are satisfied.
+    pub fn has_dispatchable_work(&self) -> bool {
+        self.jobs
+            .iter()
+            .any(|j| !j.dispatchable_stages().is_empty())
+    }
+
+    /// Looks up the view for a job id.
+    pub fn job(&self, id: JobId) -> Option<&JobView<'a>> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Number of active (incomplete) jobs — the "queue length" reported by
+    /// the latency experiments (Fig. 20).
+    pub fn queue_length(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// A scheduling decision: dispatch up to `executors` tasks of `stage` (of
+/// job `job`) onto free executors now.  The engine clamps the count by the
+/// number of free executors, the job's remaining pending tasks, and the
+/// per-job executor cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Target job.
+    pub job: JobId,
+    /// Target stage within the job.
+    pub stage: StageId,
+    /// Maximum number of tasks to dispatch now (the stage's parallelism
+    /// allowance for this scheduling event).
+    pub executors: usize,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    pub fn new(job: JobId, stage: StageId, executors: usize) -> Self {
+        Assignment { job, stage, executors }
+    }
+}
+
+/// A scheduling policy.
+///
+/// Implementations must be deterministic given their own internal RNG state;
+/// the engine itself introduces no randomness.
+pub trait Scheduler {
+    /// Human-readable policy name used in result tables.
+    fn name(&self) -> &str;
+
+    /// Called at every scheduling event.  Returning an empty vector idles
+    /// the free executors until the next event.
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcaps_dag::{JobDagBuilder, Task};
+
+    fn make_dag() -> JobDag {
+        JobDagBuilder::new("j")
+            .stage("a", vec![Task::new(1.0), Task::new(1.0)])
+            .stage("b", vec![Task::new(2.0)])
+            .edge_by_name("a", "b")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn context_dispatchable_lists_ready_stages() {
+        let dag = make_dag();
+        let progress = JobProgress::new(&dag);
+        let ctx = SchedulingContext {
+            time: 0.0,
+            carbon: CarbonView::flat(300.0),
+            total_executors: 4,
+            free_executors: 4,
+            busy_executors: 0,
+            per_job_cap: 4,
+            jobs: vec![JobView {
+                id: JobId(0),
+                dag: &dag,
+                progress: &progress,
+                arrival: 0.0,
+                busy_executors: 0,
+            }],
+        };
+        assert!(ctx.has_dispatchable_work());
+        assert_eq!(ctx.dispatchable(), vec![(JobId(0), StageId(0))]);
+        assert_eq!(ctx.queue_length(), 1);
+        assert!(ctx.job(JobId(0)).is_some());
+        assert!(ctx.job(JobId(9)).is_none());
+        assert!((ctx.job(JobId(0)).unwrap().remaining_work() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_carbon_view() {
+        let c = CarbonView::flat(123.0);
+        assert_eq!(c.intensity, 123.0);
+        assert_eq!(c.lower_bound, c.upper_bound);
+    }
+
+    #[test]
+    fn assignment_constructor() {
+        let a = Assignment::new(JobId(1), StageId(2), 3);
+        assert_eq!(a.job, JobId(1));
+        assert_eq!(a.stage, StageId(2));
+        assert_eq!(a.executors, 3);
+    }
+}

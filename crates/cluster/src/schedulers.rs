@@ -1,0 +1,144 @@
+//! Minimal reference schedulers bundled with the simulator.
+//!
+//! The full set of paper baselines (Spark/Kubernetes default, Weighted Fair,
+//! the Decima-like probabilistic scheduler, GreenHadoop) lives in the
+//! `pcaps-schedulers` crate; this module only provides the two trivial
+//! policies the engine's own tests and doctests need, so the simulator crate
+//! stays self-contained.
+
+use crate::scheduler_api::{Assignment, Scheduler, SchedulingContext};
+
+/// First-in-first-out stage scheduler with unbounded per-stage parallelism:
+/// the earliest-arrived job with dispatchable work gets as many executors as
+/// it has pending tasks.  This mirrors Spark standalone FIFO behaviour
+/// (Appendix A.1.2 of the paper).
+#[derive(Debug, Default, Clone)]
+pub struct SimpleFifo;
+
+impl SimpleFifo {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        SimpleFifo
+    }
+}
+
+impl Scheduler for SimpleFifo {
+    fn name(&self) -> &str {
+        "simple-fifo"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+        let mut free = ctx.free_executors;
+        let mut out = Vec::new();
+        // ctx.jobs is ordered by arrival, so iterating in order is FIFO.
+        for job in &ctx.jobs {
+            if free == 0 {
+                break;
+            }
+            for stage in job.dispatchable_stages() {
+                if free == 0 {
+                    break;
+                }
+                let want = job.progress.pending_tasks(stage).min(free);
+                if want > 0 {
+                    out.push(Assignment::new(job.id, stage, want));
+                    free -= want;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Round-robin scheduler: cycles over jobs, giving one task at a time.  Not a
+/// paper baseline, but useful as a structurally different policy in tests.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+        if ctx.jobs.is_empty() || ctx.free_executors == 0 {
+            return Vec::new();
+        }
+        let n = ctx.jobs.len();
+        for offset in 0..n {
+            let job = &ctx.jobs[(self.cursor + offset) % n];
+            if let Some(stage) = job.dispatchable_stages().first().copied() {
+                self.cursor = (self.cursor + offset + 1) % n;
+                return vec![Assignment::new(job.id, stage, 1)];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::engine::Simulator;
+    use crate::job_state::SubmittedJob;
+    use pcaps_carbon::CarbonTrace;
+    use pcaps_dag::{JobDagBuilder, Task};
+
+    fn job(name: &str, tasks: usize, dur: f64) -> pcaps_dag::JobDag {
+        JobDagBuilder::new(name)
+            .stage("only", vec![Task::new(dur); tasks])
+            .build()
+            .unwrap()
+    }
+
+    fn run(scheduler: &mut dyn Scheduler, executors: usize) -> crate::SimulationResult {
+        let config = ClusterConfig::new(executors)
+            .with_move_delay(0.0)
+            .with_time_scale(1.0);
+        // Job a is twice as large as job b; both arrive together.
+        let workload = vec![
+            SubmittedJob::at(0.0, job("a", 8, 10.0)),
+            SubmittedJob::at(0.0, job("b", 4, 10.0)),
+        ];
+        let sim = Simulator::new(config, workload, CarbonTrace::constant("flat", 100.0, 100));
+        sim.run(scheduler).unwrap()
+    }
+
+    #[test]
+    fn fifo_prioritises_first_job() {
+        let result = run(&mut SimpleFifo::new(), 4);
+        // FIFO gives all executors to job a until it is fully dispatched
+        // (two waves of 4 tasks), then serves b: a completes at 20, b at 30.
+        assert!((result.jobs[0].completion - 20.0).abs() < 1e-9);
+        assert!((result.jobs[1].completion - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let result = run(&mut RoundRobin::new(), 4);
+        assert!(result.all_jobs_complete());
+        // Round robin alternates between the jobs once executors start
+        // freeing, so the large job a finishes later than it does under FIFO
+        // while b is not starved.
+        let fifo = run(&mut SimpleFifo::new(), 4);
+        assert!(result.jobs[0].completion > fifo.jobs[0].completion);
+        assert!((result.jobs[0].completion - 30.0).abs() < 1e-9);
+        assert!((result.jobs[1].completion - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SimpleFifo::new().name(), "simple-fifo");
+        assert_eq!(RoundRobin::new().name(), "round-robin");
+    }
+}

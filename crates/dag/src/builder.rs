@@ -1,0 +1,216 @@
+//! Validated construction of job DAGs.
+
+use crate::error::DagError;
+use crate::graph::Adjacency;
+use crate::ids::StageId;
+use crate::job::JobDag;
+use crate::stage::Stage;
+use crate::task::Task;
+use std::collections::HashMap;
+
+/// Builder for [`JobDag`] that assigns dense stage ids and validates the
+/// result (non-empty stages, acyclic precedence) at [`JobDagBuilder::build`].
+///
+/// Stages can be referenced either by the [`StageId`] returned from
+/// [`JobDagBuilder::add_stage`] or by name via
+/// [`JobDagBuilder::edge_by_name`].
+#[derive(Debug, Clone)]
+pub struct JobDagBuilder {
+    name: String,
+    stages: Vec<Stage>,
+    edges: Vec<(StageId, StageId)>,
+    by_name: HashMap<String, StageId>,
+}
+
+impl JobDagBuilder {
+    /// Starts a new builder for a job with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobDagBuilder {
+            name: name.into(),
+            stages: Vec::new(),
+            edges: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Adds a stage and returns its id.
+    pub fn add_stage(&mut self, name: impl Into<String>, tasks: Vec<Task>) -> StageId {
+        let id = StageId(self.stages.len() as u32);
+        let name = name.into();
+        self.by_name.insert(name.clone(), id);
+        self.stages.push(Stage::new(id, name, tasks));
+        id
+    }
+
+    /// Adds a stage in fluent style, discarding the id (look it up by name
+    /// later if needed).
+    pub fn stage(mut self, name: impl Into<String>, tasks: Vec<Task>) -> Self {
+        self.add_stage(name, tasks);
+        self
+    }
+
+    /// Convenience: add a stage of `n` identical tasks of `duration` seconds.
+    pub fn uniform_stage(self, name: impl Into<String>, n: usize, duration: f64) -> Self {
+        self.stage(name, vec![Task::new(duration); n])
+    }
+
+    /// Records a precedence edge `from -> to` by stage id.
+    ///
+    /// Endpoint validation happens immediately for self-loops and at
+    /// [`JobDagBuilder::build`] for everything else.
+    pub fn edge(mut self, from: StageId, to: StageId) -> Result<Self, DagError> {
+        if from == to {
+            return Err(DagError::SelfLoop { stage: from });
+        }
+        self.edges.push((from, to));
+        Ok(self)
+    }
+
+    /// Records a precedence edge between two previously added stages by name.
+    pub fn edge_by_name(self, from: &str, to: &str) -> Result<Self, DagError> {
+        let f = *self
+            .by_name
+            .get(from)
+            .ok_or_else(|| DagError::UnknownStageName { name: from.to_string() })?;
+        let t = *self
+            .by_name
+            .get(to)
+            .ok_or_else(|| DagError::UnknownStageName { name: to.to_string() })?;
+        self.edge(f, t)
+    }
+
+    /// Looks up a stage id by name.
+    pub fn stage_id(&self, name: &str) -> Option<StageId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of stages added so far.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Finalises the job, validating all invariants.
+    pub fn build(self) -> Result<JobDag, DagError> {
+        if self.stages.is_empty() {
+            return Err(DagError::EmptyJob);
+        }
+        for s in &self.stages {
+            if s.tasks.is_empty() {
+                return Err(DagError::EmptyStage { stage: s.id });
+            }
+        }
+        let mut adjacency = Adjacency::new(self.stages.len());
+        for (f, t) in self.edges {
+            adjacency.add_edge(f, t)?;
+        }
+        // Cycle check.
+        adjacency.topological_order()?;
+        let job = JobDag {
+            name: self.name,
+            stages: self.stages,
+            adjacency,
+        };
+        debug_assert!(job.validate().is_ok());
+        Ok(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_diamond() {
+        let job = JobDagBuilder::new("diamond")
+            .uniform_stage("a", 4, 1.0)
+            .uniform_stage("b", 2, 2.0)
+            .uniform_stage("c", 2, 2.0)
+            .uniform_stage("d", 1, 5.0)
+            .edge_by_name("a", "b")
+            .unwrap()
+            .edge_by_name("a", "c")
+            .unwrap()
+            .edge_by_name("b", "d")
+            .unwrap()
+            .edge_by_name("c", "d")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(job.num_stages(), 4);
+        assert_eq!(job.adjacency.num_edges(), 4);
+        assert_eq!(job.source_stages(), vec![StageId(0)]);
+        assert_eq!(job.sink_stages(), vec![StageId(3)]);
+    }
+
+    #[test]
+    fn rejects_empty_job() {
+        assert_eq!(JobDagBuilder::new("e").build().unwrap_err(), DagError::EmptyJob);
+    }
+
+    #[test]
+    fn rejects_empty_stage() {
+        let err = JobDagBuilder::new("e")
+            .stage("a", vec![])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::EmptyStage { stage: StageId(0) });
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let err = JobDagBuilder::new("cyc")
+            .uniform_stage("a", 1, 1.0)
+            .uniform_stage("b", 1, 1.0)
+            .edge(StageId(0), StageId(1))
+            .unwrap()
+            .edge(StageId(1), StageId(0))
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::CycleDetected { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_name() {
+        let err = JobDagBuilder::new("x")
+            .uniform_stage("a", 1, 1.0)
+            .edge_by_name("a", "nope")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DagError::UnknownStageName { name: "nope".to_string() }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_stage_id_at_build() {
+        let err = JobDagBuilder::new("x")
+            .uniform_stage("a", 1, 1.0)
+            .edge(StageId(0), StageId(3))
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::UnknownStage { stage: StageId(3) });
+    }
+
+    #[test]
+    fn rejects_self_loop_immediately() {
+        let err = JobDagBuilder::new("x")
+            .uniform_stage("a", 1, 1.0)
+            .edge(StageId(0), StageId(0))
+            .unwrap_err();
+        assert_eq!(err, DagError::SelfLoop { stage: StageId(0) });
+    }
+
+    #[test]
+    fn add_stage_returns_sequential_ids() {
+        let mut b = JobDagBuilder::new("seq");
+        let a = b.add_stage("a", vec![Task::new(1.0)]);
+        let c = b.add_stage("c", vec![Task::new(1.0)]);
+        assert_eq!(a, StageId(0));
+        assert_eq!(c, StageId(1));
+        assert_eq!(b.stage_id("c"), Some(StageId(1)));
+        assert_eq!(b.stage_id("missing"), None);
+        assert_eq!(b.num_stages(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for DAG construction and validation.
+
+use crate::ids::StageId;
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::JobDag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The job contains no stages at all.
+    EmptyJob,
+    /// A stage has zero tasks.
+    EmptyStage {
+        /// The offending stage.
+        stage: StageId,
+    },
+    /// An edge references a stage id that does not exist in the job.
+    UnknownStage {
+        /// The id that was referenced but never defined.
+        stage: StageId,
+    },
+    /// An edge references a stage name that does not exist in the job.
+    UnknownStageName {
+        /// The name that was referenced but never defined.
+        name: String,
+    },
+    /// An edge from a stage to itself.
+    SelfLoop {
+        /// The stage with the self edge.
+        stage: StageId,
+    },
+    /// The same edge was added twice.
+    DuplicateEdge {
+        /// Edge source.
+        from: StageId,
+        /// Edge destination.
+        to: StageId,
+    },
+    /// The precedence edges contain a cycle, so the graph is not a DAG.
+    CycleDetected {
+        /// A stage known to participate in (or be downstream of) the cycle.
+        stage: StageId,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::EmptyJob => write!(f, "job has no stages"),
+            DagError::EmptyStage { stage } => write!(f, "{stage} has no tasks"),
+            DagError::UnknownStage { stage } => {
+                write!(f, "edge references unknown {stage}")
+            }
+            DagError::UnknownStageName { name } => {
+                write!(f, "edge references unknown stage name {name:?}")
+            }
+            DagError::SelfLoop { stage } => write!(f, "self-loop on {stage}"),
+            DagError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            DagError::CycleDetected { stage } => {
+                write!(f, "precedence constraints contain a cycle involving {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            DagError::EmptyJob.to_string(),
+            DagError::EmptyStage { stage: StageId(3) }.to_string(),
+            DagError::UnknownStage { stage: StageId(9) }.to_string(),
+            DagError::UnknownStageName { name: "x".into() }.to_string(),
+            DagError::SelfLoop { stage: StageId(1) }.to_string(),
+            DagError::DuplicateEdge { from: StageId(0), to: StageId(1) }.to_string(),
+            DagError::CycleDetected { stage: StageId(2) }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(DagError::EmptyStage { stage: StageId(3) }
+            .to_string()
+            .contains("stage3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DagError::EmptyJob);
+        assert_eq!(e.to_string(), "job has no stages");
+    }
+}

@@ -1,0 +1,313 @@
+//! Runtime progress tracking for a job: which stages are runnable, which
+//! tasks remain, and when the job is complete.
+//!
+//! [`Frontier`] answers the purely structural question "given this set of
+//! completed stages, which stages are now eligible to run?".
+//! [`JobProgress`] layers task-level bookkeeping on top: how many tasks of a
+//! runnable stage have not been dispatched yet, how many are in flight, and
+//! when a stage (and eventually the job) completes.  The cluster simulator
+//! keeps one [`JobProgress`] per active job.
+
+use crate::ids::StageId;
+use crate::job::JobDag;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Structural frontier: tracks completed stages and exposes the set of
+/// runnable stages (all parents complete, not itself complete).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frontier {
+    num_stages: usize,
+    completed: BTreeSet<StageId>,
+    /// Number of incomplete parents per stage.
+    missing_parents: Vec<usize>,
+}
+
+impl Frontier {
+    /// Creates a frontier for the given job with nothing completed.
+    pub fn new(job: &JobDag) -> Self {
+        let missing_parents = job
+            .stage_ids()
+            .map(|s| job.adjacency.parents(s).len())
+            .collect();
+        Frontier {
+            num_stages: job.num_stages(),
+            completed: BTreeSet::new(),
+            missing_parents,
+        }
+    }
+
+    /// Marks `stage` complete.  Calling this twice for the same stage is a
+    /// logic error and panics in debug builds; in release it is a no-op.
+    pub fn complete(&mut self, job: &JobDag, stage: StageId) {
+        debug_assert!(
+            !self.completed.contains(&stage),
+            "{stage} completed twice"
+        );
+        if !self.completed.insert(stage) {
+            return;
+        }
+        for &c in job.adjacency.children(stage) {
+            debug_assert!(self.missing_parents[c.index()] > 0);
+            self.missing_parents[c.index()] = self.missing_parents[c.index()].saturating_sub(1);
+        }
+    }
+
+    /// True if `stage` has been completed.
+    pub fn is_complete(&self, stage: StageId) -> bool {
+        self.completed.contains(&stage)
+    }
+
+    /// True if every parent of `stage` is complete and `stage` itself is not.
+    pub fn is_runnable(&self, stage: StageId) -> bool {
+        !self.is_complete(stage) && self.missing_parents[stage.index()] == 0
+    }
+
+    /// All runnable stages in increasing id order.
+    pub fn runnable(&self) -> Vec<StageId> {
+        (0..self.num_stages as u32)
+            .map(StageId)
+            .filter(|&s| self.is_runnable(s))
+            .collect()
+    }
+
+    /// Number of completed stages.
+    pub fn num_completed(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// True when every stage of the job has completed.
+    pub fn job_complete(&self) -> bool {
+        self.completed.len() == self.num_stages
+    }
+}
+
+/// Task-level progress of one job executing on a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProgress {
+    frontier: Frontier,
+    /// Tasks of each stage not yet dispatched (count).
+    pending_tasks: Vec<usize>,
+    /// Tasks of each stage currently running (count).
+    running_tasks: Vec<usize>,
+    /// Tasks of each stage already finished (count).
+    finished_tasks: Vec<usize>,
+}
+
+impl JobProgress {
+    /// Creates progress state for a fresh job.
+    pub fn new(job: &JobDag) -> Self {
+        JobProgress {
+            frontier: Frontier::new(job),
+            pending_tasks: job.stages.iter().map(|s| s.num_tasks()).collect(),
+            running_tasks: vec![0; job.num_stages()],
+            finished_tasks: vec![0; job.num_stages()],
+        }
+    }
+
+    /// Structural frontier (completed stages / runnable set).
+    pub fn frontier(&self) -> &Frontier {
+        &self.frontier
+    }
+
+    /// Stages that are runnable *and* still have undispatched tasks.
+    /// This is the set `A_t` of Definition 4.1 restricted to this job.
+    pub fn dispatchable_stages(&self) -> Vec<StageId> {
+        self.frontier
+            .runnable()
+            .into_iter()
+            .filter(|s| self.pending_tasks[s.index()] > 0)
+            .collect()
+    }
+
+    /// Number of undispatched tasks of `stage`.
+    pub fn pending_tasks(&self, stage: StageId) -> usize {
+        self.pending_tasks[stage.index()]
+    }
+
+    /// Number of in-flight tasks of `stage`.
+    pub fn running_tasks(&self, stage: StageId) -> usize {
+        self.running_tasks[stage.index()]
+    }
+
+    /// Number of finished tasks of `stage`.
+    pub fn finished_tasks(&self, stage: StageId) -> usize {
+        self.finished_tasks[stage.index()]
+    }
+
+    /// Total undispatched tasks over all runnable and future stages.
+    pub fn total_pending_tasks(&self) -> usize {
+        self.pending_tasks.iter().sum()
+    }
+
+    /// Remaining work (executor-seconds) of undispatched tasks, an input to
+    /// Decima-style scoring and GreenHadoop window sizing.
+    pub fn remaining_work(&self, job: &JobDag) -> f64 {
+        job.stage_ids()
+            .map(|s| {
+                let stage = job.stage(s);
+                let done_or_running = stage.num_tasks() - self.pending_tasks[s.index()];
+                stage
+                    .tasks
+                    .iter()
+                    .skip(done_or_running)
+                    .map(|t| t.duration)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Marks one task of `stage` as dispatched, returning the index of the
+    /// task within the stage (tasks are dispatched in order).  Returns `None`
+    /// if the stage is not runnable or has no pending tasks.
+    pub fn dispatch_task(&mut self, job: &JobDag, stage: StageId) -> Option<usize> {
+        if !self.frontier.is_runnable(stage) || self.pending_tasks[stage.index()] == 0 {
+            return None;
+        }
+        let total = job.stage(stage).num_tasks();
+        let idx = total - self.pending_tasks[stage.index()];
+        self.pending_tasks[stage.index()] -= 1;
+        self.running_tasks[stage.index()] += 1;
+        Some(idx)
+    }
+
+    /// Marks one running task of `stage` as finished.  Returns `true` if this
+    /// completed the stage (all tasks finished), which callers must follow by
+    /// scheduling newly-runnable stages.
+    ///
+    /// # Panics
+    /// Panics if no task of `stage` is currently running.
+    pub fn finish_task(&mut self, job: &JobDag, stage: StageId) -> bool {
+        assert!(
+            self.running_tasks[stage.index()] > 0,
+            "finish_task called for {stage} with no running tasks"
+        );
+        self.running_tasks[stage.index()] -= 1;
+        self.finished_tasks[stage.index()] += 1;
+        let total = job.stage(stage).num_tasks();
+        if self.finished_tasks[stage.index()] == total {
+            self.frontier.complete(job, stage);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when every stage of the job has completed.
+    pub fn job_complete(&self) -> bool {
+        self.frontier.job_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::JobDagBuilder;
+    use crate::task::Task;
+
+    fn diamond() -> JobDag {
+        JobDagBuilder::new("diamond")
+            .stage("a", vec![Task::new(1.0), Task::new(1.0)])
+            .stage("b", vec![Task::new(2.0)])
+            .stage("c", vec![Task::new(2.0)])
+            .stage("d", vec![Task::new(3.0)])
+            .edge_by_name("a", "b")
+            .unwrap()
+            .edge_by_name("a", "c")
+            .unwrap()
+            .edge_by_name("b", "d")
+            .unwrap()
+            .edge_by_name("c", "d")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn frontier_initially_sources() {
+        let job = diamond();
+        let f = Frontier::new(&job);
+        assert_eq!(f.runnable(), vec![StageId(0)]);
+        assert!(!f.job_complete());
+    }
+
+    #[test]
+    fn frontier_unlocks_children() {
+        let job = diamond();
+        let mut f = Frontier::new(&job);
+        f.complete(&job, StageId(0));
+        assert_eq!(f.runnable(), vec![StageId(1), StageId(2)]);
+        f.complete(&job, StageId(1));
+        // d still blocked on c.
+        assert_eq!(f.runnable(), vec![StageId(2)]);
+        f.complete(&job, StageId(2));
+        assert_eq!(f.runnable(), vec![StageId(3)]);
+        f.complete(&job, StageId(3));
+        assert!(f.job_complete());
+        assert_eq!(f.num_completed(), 4);
+    }
+
+    #[test]
+    fn progress_dispatch_and_finish() {
+        let job = diamond();
+        let mut p = JobProgress::new(&job);
+        assert_eq!(p.dispatchable_stages(), vec![StageId(0)]);
+        assert_eq!(p.total_pending_tasks(), 5);
+
+        // Dispatch both tasks of the source stage.
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(0));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(1));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), None, "no more tasks");
+        assert_eq!(p.pending_tasks(StageId(0)), 0);
+        assert_eq!(p.running_tasks(StageId(0)), 2);
+        // Dispatching a blocked stage fails.
+        assert_eq!(p.dispatch_task(&job, StageId(3)), None);
+
+        assert!(!p.finish_task(&job, StageId(0)), "stage not done after 1 of 2");
+        assert!(p.finish_task(&job, StageId(0)), "stage done after 2 of 2");
+        assert_eq!(p.dispatchable_stages(), vec![StageId(1), StageId(2)]);
+        assert!(!p.job_complete());
+    }
+
+    #[test]
+    fn remaining_work_decreases_with_dispatch() {
+        let job = diamond();
+        let mut p = JobProgress::new(&job);
+        let w0 = p.remaining_work(&job);
+        assert!((w0 - job.total_work()).abs() < 1e-12);
+        p.dispatch_task(&job, StageId(0)).unwrap();
+        let w1 = p.remaining_work(&job);
+        assert!(w1 < w0);
+    }
+
+    #[test]
+    fn full_execution_completes_job() {
+        let job = diamond();
+        let mut p = JobProgress::new(&job);
+        // Drive to completion by repeatedly dispatching+finishing everything.
+        let mut safety = 0;
+        while !p.job_complete() {
+            safety += 1;
+            assert!(safety < 100, "progress loop did not terminate");
+            let stages = p.dispatchable_stages();
+            if stages.is_empty() {
+                panic!("no dispatchable stages but job incomplete");
+            }
+            for s in stages {
+                while p.dispatch_task(&job, s).is_some() {}
+                while p.running_tasks(s) > 0 {
+                    p.finish_task(&job, s);
+                }
+            }
+        }
+        assert_eq!(p.total_pending_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no running tasks")]
+    fn finish_without_dispatch_panics() {
+        let job = diamond();
+        let mut p = JobProgress::new(&job);
+        p.finish_task(&job, StageId(0));
+    }
+}

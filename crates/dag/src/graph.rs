@@ -1,0 +1,284 @@
+//! Adjacency structure and graph algorithms over stage precedence edges.
+//!
+//! [`Adjacency`] stores the edges of a job DAG in both directions so that
+//! schedulers can cheaply ask for parents (prerequisites) and children
+//! (dependents) of a stage.  It also provides topological ordering, cycle
+//! detection, and reachability queries used by the analysis module.
+
+use crate::error::DagError;
+use crate::ids::StageId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Directed adjacency for a fixed number of stages `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// `children[s]` lists stages that depend on `s`.
+    children: Vec<Vec<StageId>>,
+    /// `parents[s]` lists stages that `s` depends on.
+    parents: Vec<Vec<StageId>>,
+}
+
+impl Adjacency {
+    /// Creates an edge-less adjacency over `n` stages.
+    pub fn new(n: usize) -> Self {
+        Adjacency {
+            children: vec![Vec::new(); n],
+            parents: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True if there are no stages.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Adds an edge `from -> to`, validating both endpoints.
+    pub fn add_edge(&mut self, from: StageId, to: StageId) -> Result<(), DagError> {
+        let n = self.len();
+        for s in [from, to] {
+            if s.index() >= n {
+                return Err(DagError::UnknownStage { stage: s });
+            }
+        }
+        if from == to {
+            return Err(DagError::SelfLoop { stage: from });
+        }
+        if self.children[from.index()].contains(&to) {
+            return Err(DagError::DuplicateEdge { from, to });
+        }
+        self.children[from.index()].push(to);
+        self.parents[to.index()].push(from);
+        Ok(())
+    }
+
+    /// Stages that directly depend on `s`.
+    pub fn children(&self, s: StageId) -> &[StageId] {
+        &self.children[s.index()]
+    }
+
+    /// Stages that `s` directly depends on.
+    pub fn parents(&self, s: StageId) -> &[StageId] {
+        &self.parents[s.index()]
+    }
+
+    /// Stages with no parents (ready as soon as the job arrives).
+    pub fn sources(&self) -> Vec<StageId> {
+        (0..self.len() as u32)
+            .map(StageId)
+            .filter(|s| self.parents(*s).is_empty())
+            .collect()
+    }
+
+    /// Stages with no children (the job completes when these complete).
+    pub fn sinks(&self) -> Vec<StageId> {
+        (0..self.len() as u32)
+            .map(StageId)
+            .filter(|s| self.children(*s).is_empty())
+            .collect()
+    }
+
+    /// Kahn's algorithm.  Returns a topological order or an error naming a
+    /// stage that is part of (or blocked behind) a cycle.
+    pub fn topological_order(&self) -> Result<Vec<StageId>, DagError> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: VecDeque<StageId> = (0..n as u32)
+            .map(StageId)
+            .filter(|s| indeg[s.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for &c in self.children(s) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let stuck = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| StageId(i as u32))
+                .expect("some stage must have positive in-degree if order is incomplete");
+            Err(DagError::CycleDetected { stage: stuck })
+        }
+    }
+
+    /// Returns `true` if `to` is reachable from `from` by following edges.
+    pub fn reachable(&self, from: StageId, to: StageId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(s) = stack.pop() {
+            for &c in self.children(s) {
+                if c == to {
+                    return true;
+                }
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// All stages reachable from `s` (excluding `s` itself): its transitive
+    /// dependents.
+    pub fn descendants(&self, s: StageId) -> Vec<StageId> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![s];
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            for &c in self.children(u) {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    out.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All stages from which `s` is reachable (excluding `s` itself): its
+    /// transitive prerequisites.
+    pub fn ancestors(&self, s: StageId) -> Vec<StageId> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![s];
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            for &p in self.parents(u) {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    out.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 -> {1,2} -> 3
+    fn diamond() -> Adjacency {
+        let mut a = Adjacency::new(4);
+        a.add_edge(StageId(0), StageId(1)).unwrap();
+        a.add_edge(StageId(0), StageId(2)).unwrap();
+        a.add_edge(StageId(1), StageId(3)).unwrap();
+        a.add_edge(StageId(2), StageId(3)).unwrap();
+        a
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let a = diamond();
+        assert_eq!(a.sources(), vec![StageId(0)]);
+        assert_eq!(a.sinks(), vec![StageId(3)]);
+        assert_eq!(a.num_edges(), 4);
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let a = diamond();
+        assert_eq!(a.children(StageId(0)), &[StageId(1), StageId(2)]);
+        assert_eq!(a.parents(StageId(3)), &[StageId(1), StageId(2)]);
+        assert!(a.parents(StageId(0)).is_empty());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let a = diamond();
+        let order = a.topological_order().unwrap();
+        let pos = |s: StageId| order.iter().position(|&x| x == s).unwrap();
+        assert!(pos(StageId(0)) < pos(StageId(1)));
+        assert!(pos(StageId(0)) < pos(StageId(2)));
+        assert!(pos(StageId(1)) < pos(StageId(3)));
+        assert!(pos(StageId(2)) < pos(StageId(3)));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut a = Adjacency::new(3);
+        a.add_edge(StageId(0), StageId(1)).unwrap();
+        a.add_edge(StageId(1), StageId(2)).unwrap();
+        a.add_edge(StageId(2), StageId(0)).unwrap();
+        match a.topological_order() {
+            Err(DagError::CycleDetected { .. }) => {}
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut a = Adjacency::new(2);
+        assert_eq!(
+            a.add_edge(StageId(1), StageId(1)),
+            Err(DagError::SelfLoop { stage: StageId(1) })
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut a = Adjacency::new(2);
+        a.add_edge(StageId(0), StageId(1)).unwrap();
+        assert_eq!(
+            a.add_edge(StageId(0), StageId(1)),
+            Err(DagError::DuplicateEdge {
+                from: StageId(0),
+                to: StageId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_stage_rejected() {
+        let mut a = Adjacency::new(2);
+        assert_eq!(
+            a.add_edge(StageId(0), StageId(5)),
+            Err(DagError::UnknownStage { stage: StageId(5) })
+        );
+    }
+
+    #[test]
+    fn reachability_and_closure() {
+        let a = diamond();
+        assert!(a.reachable(StageId(0), StageId(3)));
+        assert!(!a.reachable(StageId(1), StageId(2)));
+        assert!(a.reachable(StageId(2), StageId(2)));
+        assert_eq!(a.descendants(StageId(0)), vec![StageId(1), StageId(2), StageId(3)]);
+        assert_eq!(a.ancestors(StageId(3)), vec![StageId(0), StageId(1), StageId(2)]);
+        assert!(a.descendants(StageId(3)).is_empty());
+        assert!(a.ancestors(StageId(0)).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a = Adjacency::new(0);
+        assert!(a.is_empty());
+        assert!(a.topological_order().unwrap().is_empty());
+    }
+}

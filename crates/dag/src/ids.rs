@@ -1,0 +1,115 @@
+//! Strongly-typed identifiers for jobs, stages and tasks.
+//!
+//! Using newtypes instead of bare `usize` prevents the classic bug of
+//! indexing a stage table with a task index (or a per-job stage index with a
+//! global one).  All identifiers are small, `Copy`, and ordered so they can
+//! be used directly as map keys or sorted for deterministic iteration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a job within an experiment (unique across the workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Identifier of a stage *within a single job* (index into `JobDag::stages`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StageId(pub u32);
+
+/// Identifier of a task *within a single stage* (index into `Stage::tasks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl JobId {
+    /// Returns the raw numeric value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StageId {
+    /// Returns the raw numeric value, usable as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// Returns the raw numeric value, usable as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+impl From<u32> for StageId {
+    fn from(v: u32) -> Self {
+        StageId(v)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = BTreeSet::new();
+        set.insert(StageId(3));
+        set.insert(StageId(1));
+        set.insert(StageId(2));
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(v, vec![StageId(1), StageId(2), StageId(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert_eq!(StageId(2).to_string(), "stage2");
+        assert_eq!(TaskId(0).to_string(), "task0");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(JobId(42).index(), 42);
+        assert_eq!(StageId(5).index(), 5);
+        assert_eq!(TaskId(9).index(), 9);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(JobId::from(1u64), JobId(1));
+        assert_eq!(StageId::from(4u32), StageId(4));
+        assert_eq!(TaskId::from(6u32), TaskId(6));
+    }
+}

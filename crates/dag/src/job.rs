@@ -1,0 +1,190 @@
+//! The job DAG: stages plus precedence edges.
+
+use crate::analysis;
+use crate::error::DagError;
+use crate::graph::Adjacency;
+use crate::ids::StageId;
+use crate::stage::Stage;
+use serde::{Deserialize, Serialize};
+
+/// A validated job DAG.
+///
+/// Invariants (enforced by [`crate::JobDagBuilder::build`] and
+/// [`JobDag::validate`]):
+/// * at least one stage,
+/// * every stage has at least one task,
+/// * stage ids are dense `0..n` and match their index in `stages`,
+/// * the precedence edges form a DAG (no cycles, no self-loops).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobDag {
+    /// Human-readable job name, e.g., `"tpch-q17-10g"`.
+    pub name: String,
+    /// Stages indexed by [`StageId`].
+    pub stages: Vec<Stage>,
+    /// Precedence edges between stages.
+    pub adjacency: Adjacency,
+}
+
+impl JobDag {
+    /// Number of stages in the job.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total number of tasks over all stages.
+    pub fn num_tasks(&self) -> usize {
+        self.stages.iter().map(Stage::num_tasks).sum()
+    }
+
+    /// Total executor-seconds of work in the job (the optimal single-executor
+    /// makespan, `OPT_1(J)` in the paper's notation).
+    pub fn total_work(&self) -> f64 {
+        self.stages.iter().map(Stage::total_work).sum()
+    }
+
+    /// Returns the stage with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range; ids handed out by this crate are
+    /// always valid for the job that produced them.
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.index()]
+    }
+
+    /// Iterates over all stage ids in increasing order.
+    pub fn stage_ids(&self) -> impl Iterator<Item = StageId> + '_ {
+        (0..self.stages.len() as u32).map(StageId)
+    }
+
+    /// Stages with no prerequisites.
+    pub fn source_stages(&self) -> Vec<StageId> {
+        self.adjacency.sources()
+    }
+
+    /// Stages with no dependents.
+    pub fn sink_stages(&self) -> Vec<StageId> {
+        self.adjacency.sinks()
+    }
+
+    /// Critical-path length of the job assuming unlimited executors (each
+    /// stage contributes its longest task).  See [`analysis::critical_path`].
+    pub fn critical_path_length(&self) -> f64 {
+        analysis::critical_path(self).length
+    }
+
+    /// Validates all structural invariants, returning the first violation.
+    pub fn validate(&self) -> Result<(), DagError> {
+        if self.stages.is_empty() {
+            return Err(DagError::EmptyJob);
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.id.index() != i {
+                // A stage id out of step with its index means the table was
+                // assembled by hand; surface it as an unknown-stage error.
+                return Err(DagError::UnknownStage { stage: s.id });
+            }
+            if s.tasks.is_empty() {
+                return Err(DagError::EmptyStage { stage: s.id });
+            }
+        }
+        if self.adjacency.len() != self.stages.len() {
+            return Err(DagError::UnknownStage {
+                stage: StageId(self.adjacency.len() as u32),
+            });
+        }
+        self.adjacency.topological_order().map(|_| ())
+    }
+
+    /// Returns a copy of the job with every task duration multiplied by
+    /// `factor` (experiment time scaling, §6.1 of the paper).
+    pub fn scaled(&self, factor: f64) -> JobDag {
+        JobDag {
+            name: self.name.clone(),
+            stages: self.stages.iter().map(|s| s.scaled(factor)).collect(),
+            adjacency: self.adjacency.clone(),
+        }
+    }
+
+    /// Returns a copy with a different name (useful when instantiating the
+    /// same template several times within a workload).
+    pub fn renamed(&self, name: impl Into<String>) -> JobDag {
+        JobDag {
+            name: name.into(),
+            stages: self.stages.clone(),
+            adjacency: self.adjacency.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::JobDagBuilder;
+    use crate::task::Task;
+
+    fn chain(n: usize, dur: f64) -> JobDag {
+        let mut b = JobDagBuilder::new("chain");
+        for i in 0..n {
+            b = b.stage(format!("s{i}"), vec![Task::new(dur)]);
+        }
+        for i in 1..n {
+            b = b
+                .edge(StageId((i - 1) as u32), StageId(i as u32))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn totals() {
+        let j = chain(5, 2.0);
+        assert_eq!(j.num_stages(), 5);
+        assert_eq!(j.num_tasks(), 5);
+        assert!((j.total_work() - 10.0).abs() < 1e-12);
+        assert!((j.critical_path_length() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let j = chain(3, 1.0);
+        assert_eq!(j.source_stages(), vec![StageId(0)]);
+        assert_eq!(j.sink_stages(), vec![StageId(2)]);
+    }
+
+    #[test]
+    fn validate_detects_empty_stage() {
+        let mut j = chain(2, 1.0);
+        j.stages[1].tasks.clear();
+        assert_eq!(
+            j.validate(),
+            Err(DagError::EmptyStage { stage: StageId(1) })
+        );
+    }
+
+    #[test]
+    fn validate_detects_mismatched_ids() {
+        let mut j = chain(2, 1.0);
+        j.stages[1].id = StageId(7);
+        assert!(matches!(
+            j.validate(),
+            Err(DagError::UnknownStage { .. })
+        ));
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let j = chain(4, 60.0).scaled(1.0 / 60.0);
+        assert_eq!(j.num_stages(), 4);
+        assert!((j.total_work() - 4.0).abs() < 1e-9);
+        j.validate().unwrap();
+    }
+
+    #[test]
+    fn renamed_changes_only_name() {
+        let j = chain(2, 1.0);
+        let r = j.renamed("other");
+        assert_eq!(r.name, "other");
+        assert_eq!(r.num_stages(), j.num_stages());
+        assert_eq!(r.adjacency, j.adjacency);
+    }
+}

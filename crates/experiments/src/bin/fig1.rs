@@ -1,0 +1,10 @@
+//! Reproduces Fig. 1: the motivating example (four policies on one DAG).
+use pcaps_experiments::{fig1, write_results_file};
+
+fn main() {
+    let rows = fig1::run();
+    let table = fig1::render(&rows);
+    println!("Fig. 1 — motivating example (18-hour window, one DAG, 3 machines)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("fig1.csv", &table.to_csv());
+}

@@ -1,0 +1,19 @@
+//! Reproduces Fig. 10: per-grid carbon reduction and ECT (prototype configuration).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::runner::{BaseScheduler, SchedulerSpec};
+use pcaps_experiments::{per_grid, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials) = if quick { (12, 24, 1) } else { (50, 100, 3) };
+    let rows = per_grid::per_grid(
+        &GridRegion::ALL,
+        &[SchedulerSpec::pcaps_moderate(), SchedulerSpec::cap_moderate(BaseScheduler::KubeDefault), SchedulerSpec::Baseline(BaseScheduler::Decima)],
+        SchedulerSpec::Baseline(BaseScheduler::KubeDefault),
+        true, jobs, execs, trials, 42,
+    );
+    let table = per_grid::render(&rows);
+    println!("Fig. 10 — per-grid carbon reduction and ECT (prototype configuration)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("fig10.csv", &table.to_csv());
+}

@@ -1,0 +1,14 @@
+//! Reproduces Fig. 11: PCAPS carbon/ECT trade-off vs γ (simulator, vs FIFO).
+use pcaps_experiments::runner::{BaseScheduler, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials) = if quick { (15, 30, 1) } else { (50, 100, 3) };
+    let cfg = sweeps::default_sweep_config(jobs, execs, 42);
+    let points = sweeps::gamma_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::Fifo), &sweeps::grids::GAMMAS, trials);
+    let table = sweeps::render("gamma", &points);
+    println!("Fig. 11 — PCAPS carbon / ECT vs gamma (simulator, DE grid, {jobs} jobs)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("fig11.csv", &table.to_csv());
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 12: CAP-FIFO carbon/ECT trade-off vs B (simulator).
+use pcaps_experiments::runner::{BaseScheduler, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials) = if quick { (15, 30, 1) } else { (50, 100, 3) };
+    let cfg = sweeps::default_sweep_config(jobs, execs, 42);
+    let bs: Vec<usize> = sweeps::grids::BS_SIMULATOR.iter().map(|b| (b * execs) / 100).map(|b| b.max(1)).collect();
+    let points = sweeps::b_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::Fifo), BaseScheduler::Fifo, &bs, trials);
+    let table = sweeps::render("B", &points);
+    println!("Fig. 12 — CAP-FIFO carbon / ECT vs B (simulator, DE grid, {jobs} jobs)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("fig12.csv", &table.to_csv());
+}

@@ -1,0 +1,23 @@
+//! Reproduces Fig. 13: PCAPS vs CAP-Decima trade-off frontier.
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::runner::ExperimentConfig;
+use pcaps_experiments::{fig13, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs) = if quick { (15, 30) } else { (50, 100) };
+    let mut cfg = ExperimentConfig::simulator(GridRegion::Germany, jobs, 42);
+    cfg.executors = execs;
+    let gammas: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+    let bs: Vec<usize> = (1..=9).map(|i| (i * 10 * execs) / 100).map(|b| b.max(1)).collect();
+    let out = fig13::run(&cfg, &gammas, &bs);
+    println!("Fig. 13 — PCAPS vs CAP-Decima carbon / ECT frontier (DE grid, {jobs} jobs)\n");
+    println!("{}", fig13::render(&out).render());
+    if let Some(p) = fig13::mean_ect_increase_for_savings(&out.pcaps, 35.0, 45.0) {
+        println!("PCAPS mean ECT increase for 35–45% savings: {p:.1}%");
+    }
+    if let Some(c) = fig13::mean_ect_increase_for_savings(&out.cap_decima, 35.0, 45.0) {
+        println!("CAP-Decima mean ECT increase for 35–45% savings: {c:.1}%");
+    }
+    let _ = write_results_file("fig13.csv", &fig13::to_csv(&out));
+}

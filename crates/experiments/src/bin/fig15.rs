@@ -1,0 +1,18 @@
+//! Reproduces Fig. 15: standalone FIFO vs Spark/K8s default executor usage.
+use pcaps_experiments::{fig15, write_results_file};
+use pcaps_metrics::Series;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs) = if quick { (20, 40) } else { (50, 100) };
+    let out = fig15::run(jobs, execs, 42, 200);
+    println!("Fig. 15 — standalone FIFO vs Spark/K8s default ({jobs} TPC-H jobs, {execs} executors)\n");
+    println!("{}", fig15::render(&out).render());
+    let mut csv = String::from("series,time_s,value\n");
+    let dump = |csv: &mut String, series: &[Series]| {
+        for s in series { csv.push_str(&s.to_csv()); csv.push('\n'); }
+    };
+    dump(&mut csv, &out.usage);
+    dump(&mut csv, &out.jobs_in_system);
+    let _ = write_results_file("fig15.csv", &csv);
+}

@@ -1,0 +1,26 @@
+//! Reproduces Fig. 16: impact of the total number of jobs (simulator).
+use pcaps_experiments::runner::{BaseScheduler, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (execs, trials, counts): (usize, usize, Vec<usize>) = if quick {
+        (24, 1, vec![6, 12, 25])
+    } else {
+        (100, 2, sweeps::grids::JOB_COUNTS_SIM.to_vec())
+    };
+    let cfg = sweeps::default_sweep_config(50, execs, 42);
+    println!("Fig. 16 — job-count sweep (simulator, DE grid), vs FIFO\n");
+    let mut csv = String::new();
+    for (label, spec) in [
+        ("PCAPS", SchedulerSpec::pcaps_moderate()),
+        ("CAP-FIFO", SchedulerSpec::cap_moderate(BaseScheduler::Fifo)),
+        ("Decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+    ] {
+        let points = sweeps::job_count_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::Fifo), spec, &counts, trials);
+        let table = sweeps::render("jobs", &points);
+        println!("{label}:\n{}", table.render());
+        csv.push_str(&format!("# {label}\n{}", table.to_csv()));
+    }
+    let _ = write_results_file("fig16.csv", &csv);
+}

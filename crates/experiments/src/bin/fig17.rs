@@ -1,0 +1,28 @@
+//! Reproduces Fig. 17: impact of the total number of jobs (prototype configuration).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::runner::{BaseScheduler, ExperimentConfig, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (execs, trials, counts): (usize, usize, Vec<usize>) = if quick {
+        (24, 1, vec![6, 12, 25])
+    } else {
+        (100, 2, sweeps::grids::JOB_COUNTS_PROTO.to_vec())
+    };
+    let mut cfg = ExperimentConfig::prototype(GridRegion::Germany, 50, 42);
+    cfg.executors = execs; cfg.per_job_cap = Some((execs / 4).max(1));
+    println!("Fig. 17 — job-count sweep (prototype, DE grid), vs Spark/K8s default\n");
+    let mut csv = String::new();
+    for (label, spec) in [
+        ("PCAPS", SchedulerSpec::pcaps_moderate()),
+        ("CAP", SchedulerSpec::cap_moderate(BaseScheduler::KubeDefault)),
+        ("Decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+    ] {
+        let points = sweeps::job_count_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::KubeDefault), spec, &counts, trials);
+        let table = sweeps::render("jobs", &points);
+        println!("{label}:\n{}", table.render());
+        csv.push_str(&format!("# {label}\n{}", table.to_csv()));
+    }
+    let _ = write_results_file("fig17.csv", &csv);
+}

@@ -1,0 +1,26 @@
+//! Reproduces Fig. 18: impact of the job submission rate (simulator).
+use pcaps_experiments::runner::{BaseScheduler, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials, ias): (usize, usize, usize, Vec<f64>) = if quick {
+        (12, 24, 1, vec![15.0, 60.0])
+    } else {
+        (50, 100, 2, sweeps::grids::INTERARRIVALS.to_vec())
+    };
+    let cfg = sweeps::default_sweep_config(jobs, execs, 42);
+    println!("Fig. 18 — inter-arrival-time sweep (simulator, DE grid), vs FIFO\n");
+    let mut csv = String::new();
+    for (label, spec) in [
+        ("PCAPS", SchedulerSpec::pcaps_moderate()),
+        ("CAP-FIFO", SchedulerSpec::cap_moderate(BaseScheduler::Fifo)),
+        ("Decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+    ] {
+        let points = sweeps::interarrival_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::Fifo), spec, &ias, trials);
+        let table = sweeps::render("interarrival_s", &points);
+        println!("{label}:\n{}", table.render());
+        csv.push_str(&format!("# {label}\n{}", table.to_csv()));
+    }
+    let _ = write_results_file("fig18.csv", &csv);
+}

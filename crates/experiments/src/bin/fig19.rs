@@ -1,0 +1,28 @@
+//! Reproduces Fig. 19: impact of the job submission rate (prototype configuration).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::runner::{BaseScheduler, ExperimentConfig, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials, ias): (usize, usize, usize, Vec<f64>) = if quick {
+        (12, 24, 1, vec![15.0, 60.0])
+    } else {
+        (50, 100, 2, sweeps::grids::INTERARRIVALS.to_vec())
+    };
+    let mut cfg = ExperimentConfig::prototype(GridRegion::Germany, jobs, 42);
+    cfg.executors = execs; cfg.per_job_cap = Some((execs / 4).max(1));
+    println!("Fig. 19 — inter-arrival-time sweep (prototype, DE grid), vs Spark/K8s default\n");
+    let mut csv = String::new();
+    for (label, spec) in [
+        ("PCAPS", SchedulerSpec::pcaps_moderate()),
+        ("CAP", SchedulerSpec::cap_moderate(BaseScheduler::KubeDefault)),
+        ("Decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+    ] {
+        let points = sweeps::interarrival_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::KubeDefault), spec, &ias, trials);
+        let table = sweeps::render("interarrival_s", &points);
+        println!("{label}:\n{}", table.render());
+        csv.push_str(&format!("# {label}\n{}", table.to_csv()));
+    }
+    let _ = write_results_file("fig19.csv", &csv);
+}

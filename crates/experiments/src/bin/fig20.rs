@@ -1,0 +1,16 @@
+//! Reproduces Fig. 20: scheduler invocation latency vs number of outstanding jobs.
+use pcaps_experiments::{fig20, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (counts, execs): (Vec<usize>, usize) = if quick {
+        (vec![1, 5, 10], 20)
+    } else {
+        (vec![1, 5, 10, 25, 50, 75, 100], 100)
+    };
+    let points = fig20::run(&counts, execs, 42);
+    println!("Fig. 20 — scheduler invocation latency (simulator, DE grid)\n");
+    println!("{}", fig20::render(&points).render());
+    println!("(See `cargo bench -p pcaps-bench` for the Criterion version.)");
+    let _ = write_results_file("fig20.csv", &fig20::render(&points).to_csv());
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 5: carbon intensity over 48 hours for the six grids.
+use pcaps_experiments::{fig5, write_results_file};
+
+fn main() {
+    let series = fig5::series(42, 24 * 10);
+    let csv = fig5::to_csv(&series);
+    println!("Fig. 5 — 48-hour carbon intensity series written for {} grids", series.len());
+    for s in &series {
+        let min = s.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let max = s.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        println!("  {:>6}: {:.0} – {:.0} gCO2eq/kWh", s.label, min, max);
+    }
+    let _ = write_results_file("fig5.csv", &csv);
+    println!("\nFull series: results/fig5.csv");
+}

@@ -1,0 +1,13 @@
+//! Reproduces Fig. 6: executor usage over time (Decima, PCAPS, CAP-FIFO).
+use pcaps_experiments::{fig6, write_results_file};
+
+fn main() {
+    let out = fig6::run(42, 200);
+    println!("Fig. 6 — executor usage over time (5 executors, 20 TPC-H jobs, DE grid)\n");
+    for s in &out.usage {
+        let avg: f64 = s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
+        println!("  {:>9}: average busy executors {:.2} over {:.0} s", s.label, avg, out.horizon);
+    }
+    let _ = write_results_file("fig6.csv", &fig6::to_csv(&out));
+    println!("\nFull series: results/fig6.csv");
+}

@@ -1,0 +1,16 @@
+//! Reproduces Fig. 7: PCAPS carbon/ECT trade-off vs γ (prototype configuration).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::runner::{BaseScheduler, ExperimentConfig, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials) = if quick { (15, 30, 1) } else { (50, 100, 3) };
+    let cfg = ExperimentConfig::prototype(GridRegion::Germany, jobs, 42);
+    let mut cfg = cfg; cfg.executors = execs; cfg.per_job_cap = Some((execs / 4).max(1));
+    let points = sweeps::gamma_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::KubeDefault), &sweeps::grids::GAMMAS, trials);
+    let table = sweeps::render("gamma", &points);
+    println!("Fig. 7 — PCAPS carbon / ECT vs gamma (prototype, DE grid, {jobs} jobs)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("fig7.csv", &table.to_csv());
+}

@@ -1,0 +1,17 @@
+//! Reproduces Fig. 8: CAP carbon/ECT trade-off vs B (prototype configuration).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::runner::{BaseScheduler, ExperimentConfig, SchedulerSpec};
+use pcaps_experiments::{sweeps, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials) = if quick { (15, 30, 1) } else { (50, 100, 3) };
+    let mut cfg = ExperimentConfig::prototype(GridRegion::Germany, jobs, 42);
+    cfg.executors = execs; cfg.per_job_cap = Some((execs / 4).max(1));
+    let bs: Vec<usize> = sweeps::grids::BS_PROTOTYPE.iter().map(|b| (b * execs) / 100).map(|b| b.max(1)).collect();
+    let points = sweeps::b_sweep(&cfg, SchedulerSpec::Baseline(BaseScheduler::KubeDefault), BaseScheduler::KubeDefault, &bs, trials);
+    let table = sweeps::render("B", &points);
+    println!("Fig. 8 — CAP carbon / ECT vs B (prototype, DE grid, {jobs} jobs)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("fig8.csv", &table.to_csv());
+}

@@ -1,0 +1,12 @@
+//! Reproduces Fig. 9: per-job JCT vs per-job carbon scatter and quadrant shares.
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::{fig9, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (jobs, execs, trials) = if quick { (10, 20, 4) } else { (50, 100, 24) };
+    let scatters = fig9::run(GridRegion::Germany, jobs, execs, trials, 42);
+    println!("Fig. 9 — per-trial average JCT vs per-job carbon (normalised to default)\n");
+    println!("{}", fig9::render(&scatters).render());
+    let _ = write_results_file("fig9.csv", &fig9::to_csv(&scatters));
+}

@@ -1,0 +1,25 @@
+//! Runs every table and figure reproduction back to back.
+//!
+//! Pass `--quick` for a reduced-size smoke run (a few minutes); the default
+//! sizes mirror the paper's configurations and take considerably longer.
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let binaries = [
+        "table1", "fig1", "fig5", "fig6", "table2", "table3", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    ];
+    for bin in binaries {
+        println!("\n=== {bin} ===");
+        let mut cmd = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e} (run `cargo build --release -p pcaps-experiments` first)"),
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Reproduces Table 1: carbon intensity trace characteristics per grid.
+use pcaps_experiments::{table1, write_results_file};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = if quick { table1::rows(24 * 90, 42) } else { table1::paper_rows(42) };
+    let table = table1::render(&rows);
+    println!("Table 1 — carbon intensity trace characteristics (paper vs generated)\n");
+    println!("{}", table.render());
+    let _ = write_results_file("table1.csv", &table.to_csv());
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 2: prototype summary (normalised to the Spark/K8s default).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::headline::{self, HeadlineParams};
+use pcaps_experiments::write_results_file;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { HeadlineParams::quick() } else { HeadlineParams::default() };
+    let rows = headline::table2(&GridRegion::ALL, params);
+    let table = headline::render(&rows);
+    println!("Table 2 — prototype configuration, averaged over six grids\n");
+    println!("{}", table.render());
+    let _ = write_results_file("table2.csv", &table.to_csv());
+}

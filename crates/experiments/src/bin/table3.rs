@@ -1,0 +1,14 @@
+//! Reproduces Table 3: simulator summary (normalised to Spark standalone FIFO).
+use pcaps_carbon::GridRegion;
+use pcaps_experiments::headline::{self, HeadlineParams};
+use pcaps_experiments::write_results_file;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { HeadlineParams::quick() } else { HeadlineParams::default() };
+    let rows = headline::table3(&GridRegion::ALL, params);
+    let table = headline::render(&rows);
+    println!("Table 3 — simulator configuration, averaged over six grids\n");
+    println!("{}", table.render());
+    let _ = write_results_file("table3.csv", &table.to_csv());
+}

@@ -1,0 +1,115 @@
+//! Fig. 20 (Appendix A.2.3): scheduler invocation latency as a function of
+//! the number of outstanding jobs.
+//!
+//! Simple decision-rule policies (FIFO, CAP-FIFO) are expected to stay in
+//! the microsecond range regardless of queue length; the Decima-like policy
+//! and PCAPS recompute per-stage scores, so their latency grows with the
+//! number of outstanding jobs, with PCAPS adding a small constant overhead
+//! over Decima.  The Criterion benchmark `scheduler_latency` measures the
+//! same quantity with statistical rigour; this module produces the summary
+//! table from inside the simulator (latencies recorded at every invocation
+//! of a real run).
+
+use crate::format::TextTable;
+use crate::runner::{run_trial, BaseScheduler, ExperimentConfig, SchedulerSpec};
+use pcaps_carbon::GridRegion;
+use pcaps_metrics::mean;
+
+/// Mean invocation latency (microseconds) for one scheduler at one queue
+/// length.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Number of jobs in the batch (upper bound on the queue length).
+    pub jobs: usize,
+    /// Mean invocation latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Largest observed queue length during the run.
+    pub max_queue: usize,
+}
+
+/// Measures invocation latency for the four schedulers of Fig. 20 across the
+/// given batch sizes.
+pub fn run(job_counts: &[usize], executors: usize, seed: u64) -> Vec<LatencyPoint> {
+    let specs = [
+        ("FIFO", SchedulerSpec::Baseline(BaseScheduler::Fifo)),
+        ("CAP-FIFO", SchedulerSpec::cap_moderate(BaseScheduler::Fifo)),
+        ("Decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+        ("PCAPS", SchedulerSpec::pcaps_moderate()),
+    ];
+    let mut out = Vec::new();
+    for &jobs in job_counts {
+        let mut cfg = ExperimentConfig::simulator(GridRegion::Germany, jobs, seed);
+        cfg.executors = executors;
+        // Submit everything at once so the queue actually holds `jobs` jobs.
+        cfg.mean_interarrival = 0.001;
+        for (label, spec) in specs {
+            let trial = run_trial(&cfg, spec);
+            let latencies: Vec<f64> = trial
+                .result
+                .invocations
+                .iter()
+                .map(|s| s.latency_seconds * 1e6)
+                .collect();
+            let max_queue = trial
+                .result
+                .invocations
+                .iter()
+                .map(|s| s.queue_length)
+                .max()
+                .unwrap_or(0);
+            out.push(LatencyPoint {
+                scheduler: label.to_string(),
+                jobs,
+                mean_latency_us: mean(&latencies),
+                max_queue,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the latency table.
+pub fn render(points: &[LatencyPoint]) -> TextTable {
+    let mut table = TextTable::new(&["Scheduler", "Jobs", "Max queue", "Mean latency (µs)"]);
+    for p in points {
+        table.row(vec![
+            p.scheduler.clone(),
+            p.jobs.to_string(),
+            p.max_queue.to_string(),
+            format!("{:.1}", p.mean_latency_us),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_small_and_grows_with_queue_for_ml_schedulers() {
+        let points = run(&[2, 8], 16, 3);
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!(p.mean_latency_us >= 0.0);
+            assert!(
+                p.mean_latency_us < 50_000.0,
+                "{} latency should stay well under 50 ms, got {:.0} µs",
+                p.scheduler,
+                p.mean_latency_us
+            );
+        }
+        let decima_small = points
+            .iter()
+            .find(|p| p.scheduler == "Decima" && p.jobs == 2)
+            .unwrap();
+        let decima_large = points
+            .iter()
+            .find(|p| p.scheduler == "Decima" && p.jobs == 8)
+            .unwrap();
+        assert!(decima_large.max_queue >= decima_small.max_queue);
+        assert!(!render(&points).is_empty());
+    }
+}

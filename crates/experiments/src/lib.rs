@@ -1,0 +1,63 @@
+//! # pcaps-experiments — reproduction harness for every table and figure
+//!
+//! Each module reproduces one table or figure of the paper's evaluation
+//! (§6 and Appendix A); the matching binaries under `src/bin/` print the
+//! rows/series to stdout and write CSV files under `results/`.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 (carbon trace characteristics) | [`table1`] | `table1` |
+//! | Fig. 1 (motivating example) | [`fig1`] | `fig1` |
+//! | Fig. 5 (carbon intensity over 48 h) | [`fig5`] | `fig5` |
+//! | Fig. 6 (executor usage: Decima / PCAPS / CAP-FIFO) | [`fig6`] | `fig6` |
+//! | Table 2 (prototype summary) | [`headline`] | `table2` |
+//! | Fig. 7 / Fig. 8 (prototype γ / B sweeps) | [`sweeps`] | `fig7`, `fig8` |
+//! | Fig. 9 (per-job carbon vs JCT quadrants) | [`fig9`] | `fig9` |
+//! | Fig. 10 / Fig. 14 (per-grid behaviour) | [`per_grid`] | `fig10`, `fig14` |
+//! | Table 3 (simulator summary) | [`headline`] | `table3` |
+//! | Fig. 11 / Fig. 12 (simulator γ / B sweeps) | [`sweeps`] | `fig11`, `fig12` |
+//! | Fig. 13 (PCAPS vs CAP-Decima frontier) | [`fig13`] | `fig13` |
+//! | Fig. 15 (FIFO vs Spark/K8s default usage) | [`fig15`] | `fig15` |
+//! | Fig. 16 / Fig. 17 (job-count sweeps) | [`sweeps`] | `fig16`, `fig17` |
+//! | Fig. 18 / Fig. 19 (inter-arrival sweeps) | [`sweeps`] | `fig18`, `fig19` |
+//! | Fig. 20 (scheduler latency) | [`fig20`] | `fig20` (+ `cargo bench`) |
+//!
+//! The `repro_all` binary runs everything back to back (pass `--quick` for a
+//! reduced-trial smoke run).
+//!
+//! All experiments are deterministic given their seeds; trials differ only in
+//! the seed and the offset into the carbon trace, mirroring the paper's
+//! methodology of starting each trial at a uniformly random time in the
+//! trace (§6.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig1;
+pub mod fig13;
+pub mod fig15;
+pub mod fig20;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod format;
+pub mod headline;
+pub mod per_grid;
+pub mod runner;
+pub mod sweeps;
+pub mod table1;
+
+pub use format::TextTable;
+pub use runner::{
+    BaseScheduler, ExperimentConfig, SchedulerSpec, TrialOutput, run_trial, run_trials,
+};
+
+/// Directory (relative to the workspace root) where CSV outputs are written.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes `contents` to `results/<name>` (best effort — experiments still
+/// print to stdout if the directory cannot be created).
+pub fn write_results_file(name: &str, contents: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(RESULTS_DIR)?;
+    std::fs::write(format!("{RESULTS_DIR}/{name}"), contents)
+}

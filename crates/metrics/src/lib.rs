@@ -1,0 +1,29 @@
+//! # pcaps-metrics — evaluation metrics for carbon-aware scheduling
+//!
+//! The paper evaluates schedulers with three metrics (§6.1):
+//!
+//! * **Carbon footprint** — reported as a percentage decrease relative to the
+//!   carbon-agnostic default baseline,
+//! * **Job completion time (JCT)** — average per-job completion time as a
+//!   fraction of the baseline's,
+//! * **End-to-end completion time (ECT)** — total time to complete the whole
+//!   batch as a fraction of the baseline's (the system-throughput metric the
+//!   carbon-aware schedulers are designed to protect).
+//!
+//! [`footprint`] computes absolute and per-job carbon footprints from
+//! simulation results, [`summary`] turns a result into an
+//! [`ExperimentSummary`] and normalises it against a baseline, and [`stats`]
+//! provides the small statistical toolbox the figures need (means, standard
+//! deviations, percentiles, polynomial fits for the trade-off curves of
+//! Fig. 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod footprint;
+pub mod stats;
+pub mod summary;
+
+pub use footprint::{job_footprints, total_footprint};
+pub use stats::{mean, percentile, polyfit, std_dev, Series};
+pub use summary::{ExperimentSummary, NormalizedSummary};

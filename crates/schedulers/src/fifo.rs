@@ -1,0 +1,192 @@
+//! FIFO baselines: Spark standalone and the Spark/Kubernetes prototype
+//! default.
+
+use pcaps_cluster::{Assignment, Scheduler, SchedulingContext};
+
+/// Spark standalone FIFO (the `FIFO` baseline of the simulator experiments).
+///
+/// The earliest-arrived job with dispatchable work receives up to one
+/// executor per pending task of each of its runnable stages before any later
+/// job is considered.  As Appendix A.1.2 notes, this over-assigns executors
+/// to the head-of-queue job, blocking later jobs from entering service —
+/// which is exactly the behaviour the paper observes (higher JCT and carbon
+/// than the capped Kubernetes default).
+#[derive(Debug, Default, Clone)]
+pub struct SparkStandaloneFifo;
+
+impl SparkStandaloneFifo {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        SparkStandaloneFifo
+    }
+}
+
+impl Scheduler for SparkStandaloneFifo {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+        let mut free = ctx.free_executors;
+        let mut out = Vec::new();
+        for job in &ctx.jobs {
+            if free == 0 {
+                break;
+            }
+            for stage in job.dispatchable_stages() {
+                if free == 0 {
+                    break;
+                }
+                // One executor per pending task, Spark standalone style.
+                let want = job.progress.pending_tasks(stage).min(free);
+                if want > 0 {
+                    out.push(Assignment::new(job.id, stage, want));
+                    free -= want;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The Spark-on-Kubernetes default behaviour of the paper's prototype
+/// (the `default` baseline of Table 2): FIFO stage ordering, but each
+/// application is capped at `per_job_cap` executors (25 in the paper, to
+/// avoid a dynamic-allocation hang).  The cap makes executor usage more
+/// efficient than standalone FIFO because later jobs are not starved
+/// (Appendix A.1.2 / Fig. 15).
+#[derive(Debug, Clone)]
+pub struct KubeDefaultFifo {
+    per_job_cap: usize,
+}
+
+impl KubeDefaultFifo {
+    /// Creates the scheduler with the paper's 25-executor cap.
+    pub fn new() -> Self {
+        KubeDefaultFifo { per_job_cap: 25 }
+    }
+
+    /// Creates the scheduler with a custom per-application executor cap.
+    pub fn with_cap(per_job_cap: usize) -> Self {
+        assert!(per_job_cap > 0, "per-job cap must be positive");
+        KubeDefaultFifo { per_job_cap }
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> usize {
+        self.per_job_cap
+    }
+}
+
+impl Default for KubeDefaultFifo {
+    fn default() -> Self {
+        KubeDefaultFifo::new()
+    }
+}
+
+impl Scheduler for KubeDefaultFifo {
+    fn name(&self) -> &str {
+        "k8s-default"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+        let mut free = ctx.free_executors;
+        let mut out = Vec::new();
+        for job in &ctx.jobs {
+            if free == 0 {
+                break;
+            }
+            let mut room = self.per_job_cap.saturating_sub(job.busy_executors);
+            if room == 0 {
+                continue;
+            }
+            for stage in job.dispatchable_stages() {
+                if free == 0 || room == 0 {
+                    break;
+                }
+                let want = job.progress.pending_tasks(stage).min(free).min(room);
+                if want > 0 {
+                    out.push(Assignment::new(job.id, stage, want));
+                    free -= want;
+                    room -= want;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcaps_carbon::CarbonTrace;
+    use pcaps_cluster::{ClusterConfig, Simulator, SubmittedJob};
+    use pcaps_dag::{JobDagBuilder, Task};
+
+    fn wide_job(name: &str, tasks: usize, dur: f64) -> pcaps_dag::JobDag {
+        JobDagBuilder::new(name)
+            .stage("only", vec![Task::new(dur); tasks])
+            .build()
+            .unwrap()
+    }
+
+    fn two_job_sim(executors: usize) -> Simulator {
+        let config = ClusterConfig::new(executors)
+            .with_move_delay(0.0)
+            .with_time_scale(1.0);
+        Simulator::new(
+            config,
+            vec![
+                SubmittedJob::at(0.0, wide_job("big", 64, 10.0)),
+                SubmittedJob::at(1.0, wide_job("small", 4, 10.0)),
+            ],
+            CarbonTrace::constant("flat", 100.0, 1000),
+        )
+    }
+
+    #[test]
+    fn standalone_fifo_starves_later_jobs() {
+        let result = two_job_sim(32).run(&mut SparkStandaloneFifo::new()).unwrap();
+        // The big job grabs all 32 executors for two waves (20 s); the small
+        // job cannot start until executors free up at t = 10.
+        let small = &result.jobs[1];
+        assert!(small.completion >= 20.0 - 1e-9);
+    }
+
+    #[test]
+    fn kube_default_caps_the_big_job() {
+        let result = two_job_sim(32).run(&mut KubeDefaultFifo::new()).unwrap();
+        // The big job may hold at most 25 executors, so the small job starts
+        // almost immediately and finishes around t = 11.
+        let small = &result.jobs[1];
+        assert!(small.completion <= 12.0 + 1e-9, "small completed at {}", small.completion);
+        assert!(result.all_jobs_complete());
+    }
+
+    #[test]
+    fn kube_default_improves_small_job_jct_vs_standalone() {
+        let standalone = two_job_sim(32).run(&mut SparkStandaloneFifo::new()).unwrap();
+        let capped = two_job_sim(32).run(&mut KubeDefaultFifo::new()).unwrap();
+        assert!(capped.jobs[1].jct() < standalone.jobs[1].jct());
+    }
+
+    #[test]
+    fn custom_cap_is_respected() {
+        let s = KubeDefaultFifo::with_cap(3);
+        assert_eq!(s.cap(), 3);
+        let result = two_job_sim(8).run(&mut KubeDefaultFifo::with_cap(3)).unwrap();
+        assert!(result.all_jobs_complete());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SparkStandaloneFifo::new().name(), "fifo");
+        assert_eq!(KubeDefaultFifo::new().name(), "k8s-default");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cap_rejected() {
+        let _ = KubeDefaultFifo::with_cap(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # carbon-aware-dag-sched
+//!
+//! Facade crate for the PCAPS/CAP reproduction: re-exports every workspace
+//! crate under one roof so examples, integration tests and downstream users
+//! can depend on a single package.
+//!
+//! * [`dag`] — job DAG model (stages, tasks, precedence, critical path),
+//! * [`carbon`] — carbon intensity traces, grid models, forecasting,
+//!   accounting,
+//! * [`workloads`] — TPC-H and Alibaba-style workload generators,
+//! * [`cluster`] — the discrete-event Spark-like cluster simulator,
+//! * [`schedulers`] — carbon-agnostic baselines (FIFO, Spark/K8s default,
+//!   Weighted Fair, Decima-like, GreenHadoop),
+//! * [`core`] — PCAPS and CAP, the paper's contributions,
+//! * [`metrics`] — JCT / ECT / carbon metrics and statistics,
+//! * [`experiments`] — the table/figure reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use carbon_aware_dag_sched::prelude::*;
+//!
+//! // A tiny workload on a 8-executor cluster in the German grid.
+//! let workload: Vec<SubmittedJob> = WorkloadBuilder::new(WorkloadKind::TpchMixed, 1)
+//!     .jobs(4)
+//!     .build()
+//!     .into_iter()
+//!     .map(|j| SubmittedJob::at(j.arrival, j.dag))
+//!     .collect();
+//! let trace = SyntheticTraceGenerator::new(GridRegion::Germany, 1).generate_days(7);
+//! let sim = Simulator::new(ClusterConfig::new(8), workload, trace.clone());
+//!
+//! // Run the carbon-agnostic Decima-like policy and PCAPS on the same jobs.
+//! let baseline = sim.run(&mut DecimaLike::new(0)).unwrap();
+//! let mut pcaps = Pcaps::new(DecimaLike::new(0), PcapsConfig::moderate());
+//! let aware = sim.run(&mut pcaps).unwrap();
+//!
+//! let accountant = CarbonAccountant::new(trace).with_time_scale(60.0);
+//! let base_summary = ExperimentSummary::of(&baseline, &accountant);
+//! let aware_summary = ExperimentSummary::of(&aware, &accountant);
+//! let relative = aware_summary.normalized_to(&base_summary);
+//! assert!(relative.ect_ratio > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pcaps_carbon as carbon;
+pub use pcaps_cluster as cluster;
+pub use pcaps_core as core;
+pub use pcaps_dag as dag;
+pub use pcaps_experiments as experiments;
+pub use pcaps_metrics as metrics;
+pub use pcaps_schedulers as schedulers;
+pub use pcaps_workloads as workloads;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use pcaps_carbon::synth::SyntheticTraceGenerator;
+    pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion};
+    pub use pcaps_cluster::{
+        Assignment, ClusterConfig, Scheduler, SchedulingContext, SimulationResult, Simulator,
+        SubmittedJob,
+    };
+    pub use pcaps_core::{Cap, CapConfig, Pcaps, PcapsConfig};
+    pub use pcaps_dag::{JobDag, JobDagBuilder, StageId, Task};
+    pub use pcaps_metrics::{ExperimentSummary, NormalizedSummary};
+    pub use pcaps_schedulers::{
+        DecimaLike, GreenHadoop, KubeDefaultFifo, SparkStandaloneFifo, WeightedFair,
+    };
+    pub use pcaps_workloads::{TpchQuery, TpchScale, WorkloadBuilder, WorkloadKind};
+}

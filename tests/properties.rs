@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: DAG construction, threshold functions, k-search quotas,
+//! carbon traces, and the simulator's conservation laws.
+
+use carbon_aware_dag_sched::prelude::*;
+use pcaps_cluster::schedulers::SimpleFifo;
+use pcaps_core::{KSearchThresholds, ThresholdFn};
+use pcaps_dag::analysis;
+use proptest::prelude::*;
+
+/// Strategy: a random layered DAG described as (stage task counts, task
+/// duration seed, edges as (from, to) index pairs with from < to).
+fn random_dag() -> impl Strategy<Value = JobDag> {
+    (2usize..12, 0u64..1000).prop_flat_map(|(n, seed)| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2);
+        (Just(n), Just(seed), edges).prop_map(|(n, seed, raw_edges)| {
+            let mut builder = JobDagBuilder::new(format!("prop-{seed}"));
+            for i in 0..n {
+                let tasks = 1 + ((seed as usize + i * 7) % 5);
+                let dur = 1.0 + ((seed as usize + i * 13) % 50) as f64;
+                builder.add_stage(format!("s{i}"), vec![Task::new(dur); tasks]);
+            }
+            let mut b = builder;
+            // Only keep forward edges (guarantees acyclicity), deduplicated.
+            let mut edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().filter(|(a, z)| a < z).collect();
+            edges.sort_unstable();
+            edges.dedup();
+            for (a, z) in edges {
+                b = match b.edge(StageId(a as u32), StageId(z as u32)) {
+                    Ok(next) => next,
+                    Err(e) => panic!("deduplicated forward edges are always valid: {e}"),
+                };
+            }
+            match b.build() {
+                Ok(dag) => dag,
+                Err(e) => panic!("forward-edge DAGs always build: {e}"),
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dag_invariants_hold(dag in random_dag()) {
+        prop_assert!(dag.validate().is_ok());
+        // Critical path is between the longest stage and the total work.
+        let cp = analysis::critical_path(&dag);
+        prop_assert!(cp.length <= dag.total_work() + 1e-9);
+        let longest_stage = dag.stages.iter().map(|s| s.critical_duration()).fold(0.0, f64::max);
+        prop_assert!(cp.length >= longest_stage - 1e-9);
+        // The critical path visits stages in a precedence-respecting order.
+        for pair in cp.stages.windows(2) {
+            prop_assert!(dag.adjacency.reachable(pair[0], pair[1]));
+        }
+        // Bottom + top levels of any stage never exceed the critical path.
+        let levels = analysis::stage_levels(&dag);
+        for s in dag.stage_ids() {
+            prop_assert!(levels.top_level[s.index()] + levels.bottom_level[s.index()] <= cp.length + 1e-6);
+        }
+        // Makespan lower bounds are monotone in the number of executors.
+        let mut last = f64::INFINITY;
+        for k in 1..=8 {
+            let bound = analysis::makespan_lower_bound(&dag, k);
+            prop_assert!(bound <= last + 1e-9);
+            last = bound;
+        }
+    }
+
+    #[test]
+    fn frontier_execution_always_terminates(dag in random_dag()) {
+        // Repeatedly dispatching and finishing every runnable stage must
+        // complete the job in at most `num_stages` rounds.
+        let mut progress = pcaps_dag::JobProgress::new(&dag);
+        let mut rounds = 0;
+        while !progress.job_complete() {
+            rounds += 1;
+            prop_assert!(rounds <= dag.num_stages(), "progress stalled");
+            let stages = progress.dispatchable_stages();
+            prop_assert!(!stages.is_empty(), "incomplete job must have runnable stages");
+            for s in stages {
+                while progress.dispatch_task(&dag, s).is_some() {}
+                while progress.running_tasks(s) > 0 {
+                    progress.finish_task(&dag, s);
+                }
+            }
+        }
+        prop_assert_eq!(progress.total_pending_tasks(), 0);
+    }
+
+    #[test]
+    fn threshold_function_properties(
+        gamma in 0.0f64..=1.0,
+        lower in 10.0f64..400.0,
+        width in 1.0f64..600.0,
+        r1 in 0.0f64..=1.0,
+        r2 in 0.0f64..=1.0,
+    ) {
+        let upper = lower + width;
+        let f = ThresholdFn::new(gamma, lower, upper);
+        // Range: Ψγ always lies inside [floor, U] ⊆ [L, U].
+        for r in [r1, r2, 0.0, 1.0] {
+            let v = f.evaluate(r);
+            prop_assert!(v >= f.floor() - 1e-9 && v <= upper + 1e-9);
+        }
+        // Monotonicity in r.
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(f.evaluate(lo) <= f.evaluate(hi) + 1e-9);
+        // Maximum importance is always admitted anywhere inside the band.
+        prop_assert!(f.admits(1.0, upper));
+        // The parallelism factor is in (0, 1] and non-increasing in carbon.
+        let c1 = lower + 0.3 * width;
+        let c2 = lower + 0.8 * width;
+        let p1 = f.parallelism_factor(c1);
+        let p2 = f.parallelism_factor(c2);
+        prop_assert!(p1 > 0.0 && p1 <= 1.0 + 1e-12);
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    #[test]
+    fn ksearch_quota_properties(
+        total in 2usize..150,
+        min_frac in 0.01f64..=1.0,
+        lower in 5.0f64..500.0,
+        width in 0.0f64..600.0,
+        c_frac in -0.2f64..1.2,
+    ) {
+        let minimum = ((total as f64 * min_frac).ceil() as usize).clamp(1, total);
+        let upper = lower + width;
+        let t = KSearchThresholds::new(total, minimum, lower, upper);
+        // Quota is always inside [B, K].
+        let c = lower + c_frac * width;
+        let q = t.quota(c.max(0.0));
+        prop_assert!(q >= minimum && q <= total);
+        // Quota is non-increasing in the carbon intensity.
+        let q_clean = t.quota(lower);
+        let q_dirty = t.quota(upper + 1.0);
+        prop_assert!(q_clean >= q_dirty);
+        prop_assert_eq!(q_dirty, minimum);
+        // Thresholds are non-increasing.
+        for w in t.thresholds.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn carbon_trace_bounds_contain_intensity(
+        values in proptest::collection::vec(10.0f64..900.0, 2..72),
+        t_hours in 0.0f64..200.0,
+        horizon_hours in 1.0f64..72.0,
+    ) {
+        let trace = CarbonTrace::hourly("prop", values);
+        let t = t_hours * 3600.0;
+        let (l, u) = trace.bounds(t, horizon_hours * 3600.0);
+        let c = trace.intensity(t);
+        prop_assert!(l <= c + 1e-9 && c <= u + 1e-9, "bounds must contain the current value");
+        prop_assert!(l >= trace.min() - 1e-9 && u <= trace.max() + 1e-9);
+    }
+
+    #[test]
+    fn simulator_conserves_work(
+        stage_count in 1usize..5,
+        tasks in 1usize..6,
+        dur in 1.0f64..50.0,
+        executors in 1usize..12,
+        njobs in 1usize..5,
+    ) {
+        let mut builder = JobDagBuilder::new("prop-job");
+        for i in 0..stage_count {
+            builder.add_stage(format!("s{i}"), vec![Task::new(dur); tasks]);
+        }
+        let mut b = builder;
+        for i in 1..stage_count {
+            b = b.edge(StageId((i - 1) as u32), StageId(i as u32)).expect("chain edge");
+        }
+        let dag = b.build().expect("valid chain job");
+        let workload: Vec<SubmittedJob> = (0..njobs)
+            .map(|i| SubmittedJob::at(i as f64 * 5.0, dag.clone()))
+            .collect();
+        let total_work: f64 = workload.iter().map(|j| j.dag.total_work()).sum();
+        let sim = Simulator::new(
+            ClusterConfig::new(executors).with_move_delay(0.0).with_time_scale(1.0),
+            workload,
+            CarbonTrace::constant("flat", 300.0, 26_304),
+        );
+        let result = sim.run(&mut SimpleFifo::new()).expect("run completes");
+        prop_assert!(result.all_jobs_complete());
+        prop_assert!((result.total_executor_seconds() - total_work).abs() < 1e-6);
+        // Makespan respects the trivial lower bounds.
+        let per_job_cp = dag.critical_path_length();
+        prop_assert!(result.makespan + 1e-9 >= per_job_cp);
+        prop_assert!(result.makespan + 1e-9 >= total_work / executors as f64);
+        // And the upper bound of running everything serially plus arrivals.
+        prop_assert!(result.makespan <= total_work + njobs as f64 * 5.0 + 1e-6);
+    }
+}
