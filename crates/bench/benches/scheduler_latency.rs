@@ -22,6 +22,8 @@ fn scheduler_latency(c: &mut Criterion) {
             let mut cfg = bench_config(jobs, 20);
             // Submit everything at once so the queue really holds `jobs` jobs.
             cfg.mean_interarrival = 0.001;
+            // This bench reports mean per-invocation latency, so sampling on.
+            cfg.record_invocations = true;
             group.bench_with_input(
                 BenchmarkId::new(label, jobs),
                 &cfg,

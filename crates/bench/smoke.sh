@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Bench smoke run: executes the two end-to-end benchmarks
+# (`simulator_throughput` and `scheduler_latency`) in quick mode and writes
+# a merged JSON snapshot of mean ns per trial per scheduler, so the perf
+# trajectory of the simulation hot path is tracked PR over PR.
+#
+# Usage:  crates/bench/smoke.sh [output.json]
+#
+# The default output is BENCH_<n>.json at the repo root, where <n> is one
+# past the highest existing snapshot number (BENCH_1.json for the first run).
+# Quick mode (PCAPS_BENCH_QUICK=1) cuts sample counts to 3 per benchmark, so
+# the whole smoke run takes well under a minute; drop the variable in the
+# commands below for tighter statistics.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+out="${1:-}"
+if [[ -z "$out" ]]; then
+    n=1
+    while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+    out="BENCH_${n}.json"
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+PCAPS_BENCH_QUICK=1 PCAPS_BENCH_JSON="$tmpdir/simulator_throughput.json" \
+    cargo bench --bench simulator_throughput
+PCAPS_BENCH_QUICK=1 PCAPS_BENCH_JSON="$tmpdir/scheduler_latency.json" \
+    cargo bench --bench scheduler_latency
+
+python3 - "$tmpdir" "$out" <<'PYEOF'
+import json
+import pathlib
+import sys
+
+tmpdir, out = pathlib.Path(sys.argv[1]), sys.argv[2]
+merged = {}
+for f in sorted(tmpdir.glob("*.json")):
+    with open(f) as fh:
+        merged[f.stem] = json.load(fh)
+with open(out, "w") as fh:
+    json.dump(merged, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out}")
+PYEOF

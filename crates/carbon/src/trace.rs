@@ -1,6 +1,7 @@
 //! Piecewise-constant carbon intensity traces.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Anything that can report a carbon intensity at a point in time and bounds
 /// over a window.  Implemented by [`CarbonTrace`] and by forecast wrappers.
@@ -20,16 +21,96 @@ pub trait CarbonSignal {
 /// past the end wrap around (the trace is treated as periodic), which lets
 /// multi-day experiments run against a trace of any length — matching the
 /// paper's methodology of running each experiment "over a full carbon trace".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct CarbonTrace {
     /// Trace start time in seconds (usually 0).
     pub start: f64,
     /// Seconds between consecutive reported values (3600 for hourly data).
     pub step: f64,
     /// Reported intensities in gCO₂eq/kWh.
+    ///
+    /// Do not mutate after construction: [`CarbonSignal::bounds`] answers
+    /// from a range-min/max index built over these values on first query,
+    /// so in-place mutation serves stale bounds silently.  Derive changed
+    /// traces through the constructors or [`CarbonTrace::window`] instead.
     pub values: Vec<f64>,
     /// Optional human-readable label (e.g., the grid code).
     pub label: String,
+    /// Lazily built sparse-table range-min/max index answering
+    /// [`CarbonSignal::bounds`] in O(1) per query.  Derived from `values`;
+    /// excluded from `Clone`/`PartialEq` (it is a cache, rebuilt on demand).
+    #[serde(skip)]
+    bounds_index: OnceLock<RangeIndex>,
+}
+
+impl Clone for CarbonTrace {
+    fn clone(&self) -> Self {
+        CarbonTrace {
+            start: self.start,
+            step: self.step,
+            values: self.values.clone(),
+            label: self.label.clone(),
+            // Deliberately not cloned: the index can be megabytes for long
+            // traces and is cheap to rebuild where it is actually queried.
+            bounds_index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CarbonTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start
+            && self.step == other.step
+            && self.values == other.values
+            && self.label == other.label
+    }
+}
+
+/// Sparse table over the trace's values (conceptually doubled to answer
+/// wrap-around windows): `levels[k][i]` holds the min/max over the `2^k`
+/// values starting at doubled index `i`.  Built in O(n log n), answers any
+/// range min/max in O(1) with two overlapping power-of-two lookups.
+#[derive(Debug)]
+struct RangeIndex {
+    levels: Vec<Vec<(f64, f64)>>,
+}
+
+impl RangeIndex {
+    fn build(values: &[f64]) -> Self {
+        let n = values.len();
+        let doubled = 2 * n;
+        let mut level0 = Vec::with_capacity(doubled);
+        for i in 0..doubled {
+            let v = values[i % n];
+            level0.push((v, v));
+        }
+        let mut levels = vec![level0];
+        let mut width = 1usize;
+        while width * 2 <= doubled {
+            let prev = levels.last().expect("at least level 0 exists");
+            let next: Vec<(f64, f64)> = (0..doubled - width * 2 + 1)
+                .map(|i| {
+                    let (lo1, hi1) = prev[i];
+                    let (lo2, hi2) = prev[i + width];
+                    (lo1.min(lo2), hi1.max(hi2))
+                })
+                .collect();
+            levels.push(next);
+            width *= 2;
+        }
+        RangeIndex { levels }
+    }
+
+    /// Min/max over `len` values starting at wrapped index `start`
+    /// (`start < n`, `len <= n`).
+    fn query(&self, start: usize, len: usize) -> (f64, f64) {
+        debug_assert!(len >= 1);
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let width = 1usize << k;
+        let (lo1, hi1) = self.levels[k][start];
+        let (lo2, hi2) = self.levels[k][start + len - width];
+        (lo1.min(lo2), hi1.max(hi2))
+    }
 }
 
 impl CarbonTrace {
@@ -53,6 +134,7 @@ impl CarbonTrace {
             step,
             values,
             label: label.into(),
+            bounds_index: OnceLock::new(),
         }
     }
 
@@ -150,14 +232,12 @@ impl CarbonSignal for CarbonTrace {
         let first = self.index_at(t);
         let steps = (horizon / self.step).ceil() as usize + 1;
         let steps = steps.min(self.values.len());
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for k in 0..steps {
-            let v = self.values[(first + k) % self.values.len()];
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
-        (lo, hi)
+        // O(1) per query from the sparse table (built once per trace on
+        // first use).  The window covers exactly the `steps` wrapped values
+        // a linear scan would visit, so results are bit-identical.
+        self.bounds_index
+            .get_or_init(|| RangeIndex::build(&self.values))
+            .query(first, steps)
     }
 }
 

@@ -1,4 +1,22 @@
 //! The discrete-event simulation engine.
+//!
+//! ## Hot-path design
+//!
+//! The engine is built so that the per-event cost of a scheduling decision is
+//! *incremental* rather than recomputed:
+//!
+//! * the active-job table (`active` + `slots`) is maintained across events —
+//!   arrival pushes, completion removes — so building a [`SchedulingContext`]
+//!   is a pair of slice borrows with **zero allocation** per invocation,
+//! * job DAGs are shared (`Arc<JobDag>`), so activating a job bumps a
+//!   reference count instead of deep-cloning every stage and task, and
+//!   workload validation happens once in [`Simulator::new`], not per run,
+//! * runnable/dispatchable stage sets and remaining-work sums are maintained
+//!   incrementally inside [`pcaps_dag::JobProgress`],
+//! * carbon bounds come from `CarbonTrace`'s O(1) range-min/max index,
+//! * per-invocation latency sampling (a syscall plus a heap push per
+//!   scheduling event) is opt-in via
+//!   [`ClusterConfig::with_invocation_sampling`].
 
 use crate::config::ClusterConfig;
 use crate::error::SimError;
@@ -7,7 +25,7 @@ use crate::executor::ExecutorPool;
 use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
 use crate::profile::{ExecutorSegment, UsageProfile};
 use crate::result::{InvocationSample, SimulationResult};
-use crate::scheduler_api::{Assignment, CarbonView, JobView, Scheduler, SchedulingContext};
+use crate::scheduler_api::{Assignment, CarbonView, Scheduler, SchedulingContext};
 use pcaps_carbon::{CarbonSignal, CarbonTrace};
 use pcaps_dag::JobId;
 use std::time::Instant;
@@ -23,21 +41,29 @@ pub struct Simulator {
     config: ClusterConfig,
     workload: Vec<SubmittedJob>,
     carbon: CarbonTrace,
+    /// First workload validation failure, if any — detected once at
+    /// construction and reported by every [`Simulator::run`] call, so runs
+    /// never re-validate the DAGs.
+    invalid: Option<SimError>,
 }
 
 impl Simulator {
     /// Creates a simulator.  The workload is sorted by arrival time; job ids
-    /// are assigned in arrival order.
+    /// are assigned in arrival order.  Every job DAG is validated here, once
+    /// — [`Simulator::run`] reports the failure without re-walking the DAGs.
     pub fn new(config: ClusterConfig, mut workload: Vec<SubmittedJob>, carbon: CarbonTrace) -> Self {
-        workload.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .expect("arrival times are finite")
+        workload.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        let invalid = workload.iter().find_map(|job| {
+            job.dag.validate().err().map(|e| SimError::InvalidJob {
+                job: job.dag.name.clone(),
+                reason: e.to_string(),
+            })
         });
         Simulator {
             config,
             workload,
             carbon,
+            invalid,
         }
     }
 
@@ -61,13 +87,8 @@ impl Simulator {
         if self.workload.is_empty() {
             return Err(SimError::EmptyWorkload);
         }
-        for job in &self.workload {
-            if let Err(e) = job.dag.validate() {
-                return Err(SimError::InvalidJob {
-                    job: job.dag.name.clone(),
-                    reason: e.to_string(),
-                });
-            }
+        if let Some(e) = &self.invalid {
+            return Err(e.clone());
         }
         let mut engine = Engine::new(&self.config, &self.workload, &self.carbon);
         engine.run(scheduler)
@@ -83,8 +104,15 @@ struct Engine<'a> {
     time: f64,
     events: EventQueue,
     executors: ExecutorPool,
-    /// `jobs[i]` is populated once job `i` arrives.
-    jobs: Vec<Option<ActiveJob>>,
+    /// Arrived, incomplete jobs in arrival (= ascending id) order.  This is
+    /// the table the scheduling context borrows; arrival pushes to the back,
+    /// completion removes in place — no per-invocation rebuild.
+    active: Vec<ActiveJob>,
+    /// `slots[id]` is the job's index in `active` (`None`: not arrived yet,
+    /// or already complete — disambiguated by `completed[id]`).
+    slots: Vec<Option<u32>>,
+    /// `completed[id]` is true once the job's last task finished.
+    completed: Vec<bool>,
     profile: UsageProfile,
     records: Vec<JobRecord>,
     invocations: Vec<InvocationSample>,
@@ -108,7 +136,9 @@ impl<'a> Engine<'a> {
             time: 0.0,
             events,
             executors: ExecutorPool::new(config.num_executors),
-            jobs: vec![None; workload.len()],
+            active: Vec::with_capacity(workload.len().min(1024)),
+            slots: vec![None; workload.len()],
+            completed: vec![false; workload.len()],
             profile: UsageProfile::new(),
             records: Vec::new(),
             invocations: Vec::new(),
@@ -136,14 +166,6 @@ impl<'a> Engine<'a> {
 
     fn incomplete_jobs(&self) -> usize {
         self.workload.len() - self.completed_jobs
-    }
-
-    fn arrived_incomplete(&self) -> usize {
-        self.jobs
-            .iter()
-            .flatten()
-            .filter(|j| !j.is_complete())
-            .count()
     }
 
     fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<SimulationResult, SimError> {
@@ -198,36 +220,62 @@ impl<'a> Engine<'a> {
         })
     }
 
+    /// Index of `job` in `active`, if it has arrived and is incomplete.
+    fn slot(&self, job: JobId) -> Option<usize> {
+        self.slots[job.index()].map(|i| i as usize)
+    }
+
+    /// Removes the completed job at `idx` from the active table, keeping
+    /// `slots` consistent.  O(active jobs) on the (rare) completion path so
+    /// every scheduling invocation stays O(active jobs) overall.
+    fn retire_active(&mut self, idx: usize) -> ActiveJob {
+        let done = self.active.remove(idx);
+        self.slots[done.id.index()] = None;
+        self.completed[done.id.index()] = true;
+        for (i, job) in self.active.iter().enumerate().skip(idx) {
+            self.slots[job.id.index()] = Some(i as u32);
+        }
+        done
+    }
+
     fn handle_event(&mut self, event: Event) {
         match event {
             Event::JobArrival { job } => {
                 let submitted = &self.workload[job.index()];
-                self.jobs[job.index()] =
-                    Some(ActiveJob::new(job, submitted.dag.clone(), submitted.arrival));
-                let in_system = self.arrived_incomplete();
-                self.profile.record_jobs_in_system(self.time, in_system);
+                debug_assert!(
+                    self.active.last().map_or(true, |last| last.id < job),
+                    "arrivals must come in ascending id order"
+                );
+                self.slots[job.index()] = Some(self.active.len() as u32);
+                self.active
+                    .push(ActiveJob::new(job, submitted.dag.clone(), submitted.arrival));
+                self.profile
+                    .record_jobs_in_system(self.time, self.active.len());
             }
             Event::TaskFinish { executor, job, stage } => {
-                self.executors.get_mut(executor).finish();
-                let active = self.jobs[job.index()]
-                    .as_mut()
-                    .expect("task finished for a job that never arrived");
+                self.executors.finish(executor);
+                let idx = self
+                    .slot(job)
+                    .expect("task finished for a job that is not active");
+                let active = &mut self.active[idx];
                 active.busy_executors = active.busy_executors.saturating_sub(1);
                 let stage_done = active.progress.finish_task(&active.dag, stage);
                 if stage_done && active.progress.job_complete() {
-                    active.completion = Some(self.time);
+                    let completion = self.time;
+                    active.completion = Some(completion);
+                    let done = self.retire_active(idx);
                     self.completed_jobs += 1;
                     self.records.push(JobRecord {
-                        id: active.id,
-                        name: active.dag.name.clone(),
-                        arrival: active.arrival,
-                        completion: self.time,
-                        executor_seconds: active.executor_seconds,
-                        total_work: active.dag.total_work(),
-                        num_stages: active.dag.num_stages(),
+                        id: done.id,
+                        name: done.dag.name.clone(),
+                        arrival: done.arrival,
+                        completion,
+                        executor_seconds: done.executor_seconds,
+                        total_work: done.dag.total_work(),
+                        num_stages: done.dag.num_stages(),
                     });
-                    let in_system = self.arrived_incomplete();
-                    self.profile.record_jobs_in_system(self.time, in_system);
+                    self.profile
+                        .record_jobs_in_system(self.time, self.active.len());
                 }
                 self.profile
                     .record_usage(self.time, self.executors.busy_count());
@@ -243,43 +291,32 @@ impl<'a> Engine<'a> {
                 return Ok(());
             }
             let carbon = self.carbon_view();
-            let assignments;
-            let queue_length;
-            {
-                let views: Vec<JobView<'_>> = self
-                    .jobs
-                    .iter()
-                    .flatten()
-                    .filter(|j| !j.is_complete())
-                    .map(|j| JobView {
-                        id: j.id,
-                        dag: &j.dag,
-                        progress: &j.progress,
-                        arrival: j.arrival,
-                        busy_executors: j.busy_executors,
-                    })
-                    .collect();
-                let ctx = SchedulingContext {
-                    time: self.time,
-                    carbon,
-                    total_executors: self.config.num_executors,
-                    free_executors: self.executors.free_count(),
-                    busy_executors: self.executors.busy_count(),
-                    per_job_cap: self.config.job_cap(),
-                    jobs: views,
-                };
-                if !ctx.has_dispatchable_work() {
-                    return Ok(());
-                }
-                queue_length = ctx.queue_length();
+            let ctx = SchedulingContext::new(
+                self.time,
+                carbon,
+                self.config.num_executors,
+                self.executors.free_count(),
+                self.executors.busy_count(),
+                self.config.job_cap(),
+                &self.active,
+                Some(&self.slots),
+            );
+            if !ctx.has_dispatchable_work() {
+                return Ok(());
+            }
+            let assignments = if self.config.sample_invocation_latency {
+                let queue_length = ctx.queue_length();
                 let started = Instant::now();
-                assignments = scheduler.schedule(&ctx);
+                let assignments = scheduler.schedule(&ctx);
                 self.invocations.push(InvocationSample {
                     time: self.time,
                     queue_length,
                     latency_seconds: started.elapsed().as_secs_f64(),
                 });
-            }
+                assignments
+            } else {
+                scheduler.schedule(&ctx)
+            };
             if assignments.is_empty() {
                 return Ok(());
             }
@@ -295,38 +332,50 @@ impl<'a> Engine<'a> {
     fn apply_assignments(&mut self, assignments: &[Assignment]) -> Result<usize, SimError> {
         let mut dispatched = 0;
         for a in assignments {
-            if a.job.index() >= self.jobs.len() {
+            if a.job.index() >= self.slots.len() {
                 return Err(SimError::InvalidAssignment {
                     reason: format!("unknown job {}", a.job),
                 });
             }
-            let Some(active) = self.jobs[a.job.index()].as_mut() else {
+            let Some(idx) = self.slot(a.job) else {
+                if self.completed[a.job.index()] {
+                    // An assignment to an already finished job is a harmless
+                    // no-op — but an out-of-range stage is still a scheduler
+                    // bug and keeps being reported (the workload shares the
+                    // retired job's DAG).
+                    if a.stage.index() >= self.workload[a.job.index()].dag.num_stages() {
+                        return Err(SimError::InvalidAssignment {
+                            reason: format!("{} has no {}", a.job, a.stage),
+                        });
+                    }
+                    continue;
+                }
                 return Err(SimError::InvalidAssignment {
                     reason: format!("{} has not arrived yet", a.job),
                 });
             };
-            if a.stage.index() >= active.dag.num_stages() {
+            if a.stage.index() >= self.active[idx].dag.num_stages() {
                 return Err(SimError::InvalidAssignment {
                     reason: format!("{} has no {}", a.job, a.stage),
                 });
             }
-            if active.is_complete() || a.executors == 0 {
+            if a.executors == 0 {
                 continue;
             }
             let cap_room = self
                 .config
                 .job_cap()
-                .saturating_sub(active.busy_executors);
+                .saturating_sub(self.active[idx].busy_executors);
             let budget = a
                 .executors
                 .min(self.executors.free_count())
                 .min(cap_room)
-                .min(active.progress.pending_tasks(a.stage));
+                .min(self.active[idx].progress.pending_tasks(a.stage));
             for _ in 0..budget {
                 let Some(exec_idx) = self.executors.pick_free_for(a.job) else {
                     break;
                 };
-                let active = self.jobs[a.job.index()].as_mut().expect("checked above");
+                let active = &mut self.active[idx];
                 let Some(task_idx) = active.progress.dispatch_task(&active.dag, a.stage) else {
                     break;
                 };
@@ -337,7 +386,7 @@ impl<'a> Engine<'a> {
                     0.0
                 };
                 let finish_time = self.time + move_delay + task.duration;
-                self.executors.get_mut(exec_idx).start(a.job, self.time);
+                self.executors.start(exec_idx, a.job, self.time);
                 active.busy_executors += 1;
                 active.executor_seconds += task.duration;
                 self.events.push(
@@ -371,7 +420,7 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use crate::schedulers::SimpleFifo;
-    use pcaps_dag::{JobDagBuilder, Task};
+    use pcaps_dag::{JobDagBuilder, StageId, Task};
 
     fn chain_job(name: &str, stages: usize, tasks: usize, dur: f64) -> pcaps_dag::JobDag {
         let mut b = JobDagBuilder::new(name);
@@ -486,6 +535,24 @@ mod tests {
     }
 
     #[test]
+    fn invalid_dag_is_detected_once_at_construction() {
+        let mut bad = chain_job("bad", 2, 1, 1.0);
+        bad.stages[1].tasks.clear();
+        let sim = Simulator::new(
+            ClusterConfig::new(1),
+            vec![SubmittedJob::at(0.0, bad)],
+            flat_trace(),
+        );
+        // Every run reports the cached validation failure.
+        for _ in 0..2 {
+            match sim.run(&mut SimpleFifo::new()) {
+                Err(SimError::InvalidJob { job, .. }) => assert_eq!(job, "bad"),
+                other => panic!("expected invalid-job error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn records_capture_executor_seconds() {
         let job = chain_job("j", 2, 3, 4.0);
         let config = ClusterConfig::new(3).with_move_delay(0.0).with_time_scale(1.0);
@@ -494,6 +561,32 @@ mod tests {
         assert!((result.jobs[0].executor_seconds - 24.0).abs() < 1e-9);
         assert_eq!(result.jobs[0].num_stages, 2);
         assert!(result.mean_invocation_latency() >= 0.0);
+    }
+
+    #[test]
+    fn invocation_sampling_is_opt_in() {
+        let job = chain_job("j", 2, 3, 4.0);
+        let run_with = |sampling: bool| {
+            let config = ClusterConfig::new(3)
+                .with_move_delay(0.0)
+                .with_time_scale(1.0)
+                .with_invocation_sampling(sampling);
+            let sim = Simulator::new(
+                config,
+                vec![SubmittedJob::at(0.0, job.clone())],
+                flat_trace(),
+            );
+            sim.run(&mut SimpleFifo::new()).unwrap()
+        };
+        let silent = run_with(false);
+        assert!(silent.invocations.is_empty(), "sampling off must record nothing");
+        assert_eq!(silent.mean_invocation_latency(), 0.0);
+        let sampled = run_with(true);
+        assert!(!sampled.invocations.is_empty(), "sampling on must record invocations");
+        assert!(sampled.invocations.iter().all(|s| s.latency_seconds >= 0.0));
+        // Sampling must not change the schedule itself.
+        assert_eq!(silent.makespan, sampled.makespan);
+        assert_eq!(silent.tasks_dispatched, sampled.tasks_dispatched);
     }
 
     #[test]
@@ -557,5 +650,39 @@ mod tests {
             sim.run(&mut BadScheduler),
             Err(SimError::InvalidAssignment { .. })
         ));
+    }
+
+    /// A scheduler that keeps assigning to job 0 / stage 0 forever; once the
+    /// job completes the engine must treat the stale assignment as a no-op
+    /// (historical behaviour), ending the run normally.
+    struct StaleAssigner;
+    impl Scheduler for StaleAssigner {
+        fn name(&self) -> &str {
+            "stale"
+        }
+        fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+            let mut out = vec![Assignment::new(JobId(0), StageId(0), 1)];
+            for job in ctx.jobs() {
+                for &stage in job.dispatchable_stages() {
+                    out.push(Assignment::new(job.id, stage, 1));
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn assignments_to_completed_jobs_are_ignored() {
+        let j0 = chain_job("a", 1, 1, 1.0);
+        let j1 = chain_job("b", 1, 2, 5.0);
+        let config = ClusterConfig::new(2).with_move_delay(0.0).with_time_scale(1.0);
+        let sim = Simulator::new(
+            config,
+            vec![SubmittedJob::at(0.0, j0), SubmittedJob::at(0.0, j1)],
+            flat_trace(),
+        );
+        let result = sim.run(&mut StaleAssigner).unwrap();
+        assert!(result.all_jobs_complete());
+        assert_eq!(result.tasks_dispatched, 3);
     }
 }

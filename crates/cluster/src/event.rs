@@ -45,11 +45,12 @@ impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap and we want the earliest
-        // event first.  NaN times are rejected at push time.
+        // event first.  `total_cmp` keeps this consistent with the arrival
+        // sort in `Simulator::new` (and total even though NaN times are
+        // rejected at push time).
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are always finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

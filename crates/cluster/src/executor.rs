@@ -52,9 +52,15 @@ impl ExecutorState {
 }
 
 /// A pool of executors with free-list maintenance.
+///
+/// The busy count is maintained incrementally by [`ExecutorPool::start`] and
+/// [`ExecutorPool::finish`], so [`ExecutorPool::busy_count`] /
+/// [`ExecutorPool::free_count`] are O(1) — they are consulted on every
+/// iteration of the engine's scheduling loop.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecutorPool {
     states: Vec<ExecutorState>,
+    busy: usize,
 }
 
 impl ExecutorPool {
@@ -62,6 +68,7 @@ impl ExecutorPool {
     pub fn new(n: usize) -> Self {
         ExecutorPool {
             states: vec![ExecutorState::idle(); n],
+            busy: 0,
         }
     }
 
@@ -75,24 +82,31 @@ impl ExecutorPool {
         self.states.is_empty()
     }
 
-    /// Number of currently busy executors.
+    /// Number of currently busy executors.  O(1).
     pub fn busy_count(&self) -> usize {
-        self.states.iter().filter(|e| e.is_busy()).count()
+        self.busy
     }
 
-    /// Number of currently idle executors.
+    /// Number of currently idle executors.  O(1).
     pub fn free_count(&self) -> usize {
-        self.len() - self.busy_count()
+        self.len() - self.busy
+    }
+
+    /// Marks executor `idx` busy for `job` starting at `time`.
+    pub fn start(&mut self, idx: usize, job: JobId, time: f64) {
+        self.states[idx].start(job, time);
+        self.busy += 1;
+    }
+
+    /// Marks executor `idx` idle after finishing a task.
+    pub fn finish(&mut self, idx: usize) {
+        self.states[idx].finish();
+        self.busy -= 1;
     }
 
     /// State of executor `idx`.
     pub fn get(&self, idx: usize) -> &ExecutorState {
         &self.states[idx]
-    }
-
-    /// Mutable state of executor `idx`.
-    pub fn get_mut(&mut self, idx: usize) -> &mut ExecutorState {
-        &mut self.states[idx]
     }
 
     /// Picks an idle executor for `job`, preferring one whose last job was
@@ -143,9 +157,12 @@ mod tests {
         let mut pool = ExecutorPool::new(3);
         assert_eq!(pool.len(), 3);
         assert_eq!(pool.free_count(), 3);
-        pool.get_mut(1).start(JobId(0), 0.0);
+        pool.start(1, JobId(0), 0.0);
         assert_eq!(pool.busy_count(), 1);
         assert_eq!(pool.free_count(), 2);
+        pool.finish(1);
+        assert_eq!(pool.busy_count(), 0);
+        assert_eq!(pool.free_count(), 3);
         assert!(!pool.is_empty());
     }
 
@@ -153,8 +170,8 @@ mod tests {
     fn pick_prefers_warm_executor() {
         let mut pool = ExecutorPool::new(3);
         // Executor 2 previously ran job 7.
-        pool.get_mut(2).start(JobId(7), 0.0);
-        pool.get_mut(2).finish();
+        pool.start(2, JobId(7), 0.0);
+        pool.finish(2);
         assert_eq!(pool.pick_free_for(JobId(7)), Some(2));
         // For a different job any free executor (the first) is fine.
         assert_eq!(pool.pick_free_for(JobId(1)), Some(0));
@@ -163,8 +180,8 @@ mod tests {
     #[test]
     fn pick_none_when_all_busy() {
         let mut pool = ExecutorPool::new(2);
-        pool.get_mut(0).start(JobId(0), 0.0);
-        pool.get_mut(1).start(JobId(1), 0.0);
+        pool.start(0, JobId(0), 0.0);
+        pool.start(1, JobId(1), 0.0);
         assert_eq!(pool.pick_free_for(JobId(0)), None);
     }
 

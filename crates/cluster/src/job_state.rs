@@ -2,25 +2,31 @@
 
 use pcaps_dag::{JobDag, JobId, JobProgress};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A job together with its arrival time — one element of the workload handed
 /// to the simulator.
+///
+/// The DAG is held behind an [`Arc`] so that activating a job (and running
+/// the same workload repeatedly under different schedulers) shares the
+/// stage/task tables instead of deep-cloning them per run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SubmittedJob {
     /// Arrival time (schedule seconds).
     pub arrival: f64,
-    /// The job DAG.
-    pub dag: JobDag,
+    /// The job DAG (shared, immutable).
+    pub dag: Arc<JobDag>,
 }
 
 impl SubmittedJob {
-    /// Submits `dag` at time `arrival`.
-    pub fn at(arrival: f64, dag: JobDag) -> Self {
+    /// Submits `dag` at time `arrival`.  Accepts an owned [`JobDag`] or an
+    /// already shared `Arc<JobDag>`.
+    pub fn at(arrival: f64, dag: impl Into<Arc<JobDag>>) -> Self {
         assert!(
             arrival.is_finite() && arrival >= 0.0,
             "arrival time must be finite and non-negative"
         );
-        SubmittedJob { arrival, dag }
+        SubmittedJob { arrival, dag: dag.into() }
     }
 }
 
@@ -29,8 +35,8 @@ impl SubmittedJob {
 pub struct ActiveJob {
     /// The job's id (its index in the workload).
     pub id: JobId,
-    /// The static DAG.
-    pub dag: JobDag,
+    /// The static DAG (shared with the submitted workload).
+    pub dag: Arc<JobDag>,
     /// Task-level progress.
     pub progress: JobProgress,
     /// Arrival time.
@@ -45,8 +51,9 @@ pub struct ActiveJob {
 }
 
 impl ActiveJob {
-    /// Creates runtime state for a job arriving at `arrival`.
-    pub fn new(id: JobId, dag: JobDag, arrival: f64) -> Self {
+    /// Creates runtime state for a job arriving at `arrival`.  Cloning the
+    /// `Arc` is a reference-count bump, not a deep copy of the DAG.
+    pub fn new(id: JobId, dag: Arc<JobDag>, arrival: f64) -> Self {
         let progress = JobProgress::new(&dag);
         ActiveJob {
             id,
@@ -119,7 +126,7 @@ mod tests {
 
     #[test]
     fn active_job_lifecycle() {
-        let mut a = ActiveJob::new(JobId(0), dag(), 3.0);
+        let mut a = ActiveJob::new(JobId(0), Arc::new(dag()), 3.0);
         assert!(!a.is_complete());
         a.completion = Some(10.0);
         assert!(a.is_complete());

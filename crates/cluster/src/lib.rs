@@ -17,8 +17,39 @@
 //! until the next event), which is how carbon-aware deferral is expressed.
 //!
 //! The engine records an executor-usage profile, per-job records and
-//! scheduler-invocation latencies, from which the metrics crate derives the
-//! carbon footprint (ex post facto, §5.2), JCT, and ECT.
+//! (optionally) scheduler-invocation latencies, from which the metrics crate
+//! derives the carbon footprint (ex post facto, §5.2), JCT, and ECT.
+//!
+//! ## Incremental-engine architecture
+//!
+//! The scheduling hot path is *incremental*: nothing linear in total jobs,
+//! stages, or forecast steps is recomputed per event.  Future schedulers and
+//! engine changes must preserve these invariants:
+//!
+//! * **Active-job index.** The engine maintains the arrived-incomplete job
+//!   table (`active`, ordered by arrival, plus the id → slot map) across
+//!   events; arrivals push, completions remove.  A [`SchedulingContext`] is
+//!   a borrow of that table — building one allocates nothing, and
+//!   [`SchedulingContext::jobs`] materialises [`JobView`]s on the fly.
+//!   Schedulers must not assume views outlive the invocation.
+//! * **Shared DAGs.** Workloads hold `Arc<JobDag>`; activating a job bumps a
+//!   reference count (no deep clone), and [`Simulator::new`] validates every
+//!   DAG exactly once.  DAGs are immutable once submitted — caches hang off
+//!   them (bottleneck scores on `JobDag`, the range-min/max bounds index on
+//!   `CarbonTrace`), so mutating a submitted DAG in place is a contract
+//!   violation.
+//! * **Incremental frontier sets.** `JobProgress` keeps the runnable and
+//!   dispatchable stage sets sorted and up to date in O(children) per
+//!   completion; `dispatchable_stages()` returns a borrowed slice and
+//!   `remaining_work` answers in O(stages) from the DAG's cached duration
+//!   suffix sums.  Any new mutation of task state must go through
+//!   `dispatch_task`/`finish_task` so those sets stay coherent.
+//! * **O(1) carbon bounds.** The engine's per-event `CarbonView` is served
+//!   by `CarbonTrace`'s sparse-table index; linear walks over the forecast
+//!   horizon belong in trace construction, never in the event loop.
+//! * **Opt-in instrumentation.** Wall-clock invocation sampling costs a
+//!   syscall plus a heap push per event and is disabled unless
+//!   [`ClusterConfig::with_invocation_sampling`] turns it on.
 //!
 //! ## Example
 //!

@@ -11,7 +11,19 @@
 //! return one stage per invocation (as Decima and PCAPS do) or fill the whole
 //! cluster in a single call (as FIFO does); both styles compose with the
 //! engine identically.
+//!
+//! ## Hot-path contract
+//!
+//! Building a context is allocation-free: the engine hands the scheduler a
+//! borrow of its incrementally maintained active-job table, and
+//! [`SchedulingContext::jobs`] materialises lightweight [`JobView`]s on the
+//! fly (a `JobView` is two references and three scalars — `Copy`, cheap to
+//! produce per iteration).  `JobView::dispatchable_stages` likewise borrows
+//! the incrementally maintained set from [`pcaps_dag::JobProgress`] instead
+//! of allocating a fresh `Vec` per call.  Schedulers that need to allocate
+//! (to sort or score stages) do so on their own policy-owned buffers.
 
+use crate::job_state::ActiveJob;
 use pcaps_dag::{JobDag, JobId, JobProgress, StageId};
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +50,9 @@ impl CarbonView {
     }
 }
 
-/// Read-only view of one active (incomplete) job.
-#[derive(Debug)]
+/// Read-only view of one active (incomplete) job.  Materialised on demand by
+/// [`SchedulingContext::jobs`]; copying it is free.
+#[derive(Debug, Clone, Copy)]
 pub struct JobView<'a> {
     /// The job's id.
     pub id: JobId,
@@ -53,14 +66,27 @@ pub struct JobView<'a> {
     pub busy_executors: usize,
 }
 
-impl JobView<'_> {
+impl<'a> JobView<'a> {
+    /// Builds the view over an active job's state.
+    pub fn of(job: &'a ActiveJob) -> Self {
+        JobView {
+            id: job.id,
+            dag: &job.dag,
+            progress: &job.progress,
+            arrival: job.arrival,
+            busy_executors: job.busy_executors,
+        }
+    }
+
     /// Stages of this job that are runnable and still have undispatched
     /// tasks (the job's contribution to the set `A_t` of Definition 4.1).
-    pub fn dispatchable_stages(&self) -> Vec<StageId> {
+    /// Borrows the incrementally maintained set — O(1), no allocation.
+    pub fn dispatchable_stages(&self) -> &'a [StageId] {
         self.progress.dispatchable_stages()
     }
 
-    /// Remaining undispatched work in executor-seconds.
+    /// Remaining undispatched work in executor-seconds (O(num_stages),
+    /// answered from cached per-stage duration suffix sums).
     pub fn remaining_work(&self) -> f64 {
         self.progress.remaining_work(self.dag)
     }
@@ -82,35 +108,92 @@ pub struct SchedulingContext<'a> {
     /// Per-job executor cap enforced by the engine.
     pub per_job_cap: usize,
     /// Active jobs, ordered by arrival time (FIFO order).
-    pub jobs: Vec<JobView<'a>>,
+    active: &'a [ActiveJob],
+    /// `slots[id] = index into `active``, for O(1) lookup by job id.  `None`
+    /// for contexts assembled outside the engine (lookup falls back to a
+    /// linear scan).
+    slots: Option<&'a [Option<u32>]>,
 }
 
 impl<'a> SchedulingContext<'a> {
+    /// Builds a context over a slice of active jobs (ordered by arrival).
+    ///
+    /// `slots`, if provided, must map every active job's id to its index in
+    /// `active`; the engine maintains this table incrementally.  Pass `None`
+    /// when assembling a context by hand (tests, custom harnesses).
+    pub fn new(
+        time: f64,
+        carbon: CarbonView,
+        total_executors: usize,
+        free_executors: usize,
+        busy_executors: usize,
+        per_job_cap: usize,
+        active: &'a [ActiveJob],
+        slots: Option<&'a [Option<u32>]>,
+    ) -> Self {
+        SchedulingContext {
+            time,
+            carbon,
+            total_executors,
+            free_executors,
+            busy_executors,
+            per_job_cap,
+            active,
+            slots,
+        }
+    }
+
+    /// Iterates over the active jobs in arrival (FIFO) order.  Views are
+    /// materialised per iteration; no allocation happens.
+    pub fn jobs(&self) -> impl ExactSizeIterator<Item = JobView<'a>> + '_ {
+        self.active.iter().map(JobView::of)
+    }
+
+    /// The `i`-th active job in arrival order.
+    ///
+    /// # Panics
+    /// Panics if `i >= queue_length()`.
+    pub fn job_at(&self, i: usize) -> JobView<'a> {
+        JobView::of(&self.active[i])
+    }
+
     /// All `(job, stage)` pairs that could be dispatched right now.
     pub fn dispatchable(&self) -> Vec<(JobId, StageId)> {
-        self.jobs
-            .iter()
-            .flat_map(|j| j.dispatchable_stages().into_iter().map(move |s| (j.id, s)))
+        self.jobs()
+            .flat_map(|j| {
+                j.dispatchable_stages()
+                    .iter()
+                    .map(move |&s| (j.id, s))
+            })
             .collect()
     }
 
     /// True if at least one stage has undispatched tasks whose precedence
-    /// constraints are satisfied.
+    /// constraints are satisfied.  O(active jobs): each job answers from its
+    /// incrementally maintained dispatchable set.
     pub fn has_dispatchable_work(&self) -> bool {
-        self.jobs
-            .iter()
-            .any(|j| !j.dispatchable_stages().is_empty())
+        self.active.iter().any(|j| j.progress.has_dispatchable_work())
     }
 
-    /// Looks up the view for a job id.
-    pub fn job(&self, id: JobId) -> Option<&JobView<'a>> {
-        self.jobs.iter().find(|j| j.id == id)
+    /// Looks up the view for a job id.  O(1) for engine-built contexts.
+    pub fn job(&self, id: JobId) -> Option<JobView<'a>> {
+        match self.slots {
+            Some(slots) => {
+                let slot = *slots.get(id.index())?;
+                slot.map(|i| JobView::of(&self.active[i as usize]))
+            }
+            None => self
+                .active
+                .iter()
+                .find(|j| j.id == id)
+                .map(JobView::of),
+        }
     }
 
     /// Number of active (incomplete) jobs — the "queue length" reported by
     /// the latency experiments (Fig. 20).
     pub fn queue_length(&self) -> usize {
-        self.jobs.len()
+        self.active.len()
     }
 }
 
@@ -153,6 +236,7 @@ pub trait Scheduler {
 mod tests {
     use super::*;
     use pcaps_dag::{JobDagBuilder, Task};
+    use std::sync::Arc;
 
     fn make_dag() -> JobDag {
         JobDagBuilder::new("j")
@@ -166,29 +250,52 @@ mod tests {
 
     #[test]
     fn context_dispatchable_lists_ready_stages() {
-        let dag = make_dag();
-        let progress = JobProgress::new(&dag);
-        let ctx = SchedulingContext {
-            time: 0.0,
-            carbon: CarbonView::flat(300.0),
-            total_executors: 4,
-            free_executors: 4,
-            busy_executors: 0,
-            per_job_cap: 4,
-            jobs: vec![JobView {
-                id: JobId(0),
-                dag: &dag,
-                progress: &progress,
-                arrival: 0.0,
-                busy_executors: 0,
-            }],
-        };
+        let dag = Arc::new(make_dag());
+        let active = vec![ActiveJob::new(JobId(0), dag, 0.0)];
+        let ctx = SchedulingContext::new(
+            0.0,
+            CarbonView::flat(300.0),
+            4,
+            4,
+            0,
+            4,
+            &active,
+            None,
+        );
         assert!(ctx.has_dispatchable_work());
         assert_eq!(ctx.dispatchable(), vec![(JobId(0), StageId(0))]);
         assert_eq!(ctx.queue_length(), 1);
+        assert_eq!(ctx.jobs().len(), 1);
+        assert_eq!(ctx.job_at(0).id, JobId(0));
         assert!(ctx.job(JobId(0)).is_some());
         assert!(ctx.job(JobId(9)).is_none());
         assert!((ctx.job(JobId(0)).unwrap().remaining_work() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_table_lookup_matches_linear_scan() {
+        let dag = Arc::new(make_dag());
+        // Jobs 1 and 3 are active; 0 completed, 2 not arrived.
+        let active = vec![
+            ActiveJob::new(JobId(1), dag.clone(), 1.0),
+            ActiveJob::new(JobId(3), dag, 3.0),
+        ];
+        let slots = vec![None, Some(0u32), None, Some(1u32)];
+        let ctx = SchedulingContext::new(
+            5.0,
+            CarbonView::flat(100.0),
+            4,
+            4,
+            0,
+            4,
+            &active,
+            Some(&slots),
+        );
+        assert_eq!(ctx.job(JobId(1)).unwrap().arrival, 1.0);
+        assert_eq!(ctx.job(JobId(3)).unwrap().arrival, 3.0);
+        assert!(ctx.job(JobId(0)).is_none());
+        assert!(ctx.job(JobId(2)).is_none());
+        assert!(ctx.job(JobId(40)).is_none());
     }
 
     #[test]

@@ -30,12 +30,12 @@ impl Scheduler for SimpleFifo {
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
         let mut free = ctx.free_executors;
         let mut out = Vec::new();
-        // ctx.jobs is ordered by arrival, so iterating in order is FIFO.
-        for job in &ctx.jobs {
+        // ctx.jobs() is ordered by arrival, so iterating in order is FIFO.
+        for job in ctx.jobs() {
             if free == 0 {
                 break;
             }
-            for stage in job.dispatchable_stages() {
+            for &stage in job.dispatchable_stages() {
                 if free == 0 {
                     break;
                 }
@@ -70,12 +70,12 @@ impl Scheduler for RoundRobin {
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
-        if ctx.jobs.is_empty() || ctx.free_executors == 0 {
+        if ctx.queue_length() == 0 || ctx.free_executors == 0 {
             return Vec::new();
         }
-        let n = ctx.jobs.len();
+        let n = ctx.queue_length();
         for offset in 0..n {
-            let job = &ctx.jobs[(self.cursor + offset) % n];
+            let job = ctx.job_at((self.cursor + offset) % n);
             if let Some(stage) = job.dispatchable_stages().first().copied() {
                 self.cursor = (self.cursor + offset + 1) % n;
                 return vec![Assignment::new(job.id, stage, 1)];

@@ -105,11 +105,7 @@ impl JobDagBuilder {
         }
         // Cycle check.
         adjacency.topological_order()?;
-        let job = JobDag {
-            name: self.name,
-            stages: self.stages,
-            adjacency,
-        };
+        let job = JobDag::from_parts(self.name, self.stages, adjacency);
         debug_assert!(job.validate().is_ok());
         Ok(job)
     }

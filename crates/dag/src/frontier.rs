@@ -7,55 +7,101 @@
 //! runnable stage have not been dispatched yet, how many are in flight, and
 //! when a stage (and eventually the job) completes.  The cluster simulator
 //! keeps one [`JobProgress`] per active job.
+//!
+//! ## Incremental maintenance
+//!
+//! Both the runnable and the dispatchable stage sets are maintained
+//! *incrementally*: [`Frontier::complete`] updates the runnable set in
+//! O(children · log width) and [`JobProgress::dispatch_task`] /
+//! [`JobProgress::finish_task`] keep the dispatchable set in sync, so
+//! [`Frontier::runnable`] and [`JobProgress::dispatchable_stages`] are O(1)
+//! slice borrows instead of O(num_stages) rescans with fresh allocations.
+//! This is the per-event cost model the simulator's scheduling hot path is
+//! built around (see `pcaps-cluster`'s crate docs); schedulers must treat
+//! the returned slices as snapshots that are invalidated by any mutating
+//! call.  Both sets are kept sorted by ascending [`StageId`], matching the
+//! order the previous full-rescan implementation produced.
 
 use crate::ids::StageId;
 use crate::job::JobDag;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+
+/// Inserts `stage` into a sorted stage list (no-op if already present).
+fn sorted_insert(list: &mut Vec<StageId>, stage: StageId) {
+    if let Err(pos) = list.binary_search(&stage) {
+        list.insert(pos, stage);
+    }
+}
+
+/// Removes `stage` from a sorted stage list (no-op if absent).
+fn sorted_remove(list: &mut Vec<StageId>, stage: StageId) {
+    if let Ok(pos) = list.binary_search(&stage) {
+        list.remove(pos);
+    }
+}
 
 /// Structural frontier: tracks completed stages and exposes the set of
 /// runnable stages (all parents complete, not itself complete).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Frontier {
     num_stages: usize,
-    completed: BTreeSet<StageId>,
+    /// `completed[s]` is true once stage `s` completed.
+    completed: Vec<bool>,
+    num_completed: usize,
     /// Number of incomplete parents per stage.
     missing_parents: Vec<usize>,
+    /// Incrementally maintained runnable set, ascending by stage id.
+    runnable: Vec<StageId>,
 }
 
 impl Frontier {
     /// Creates a frontier for the given job with nothing completed.
     pub fn new(job: &JobDag) -> Self {
-        let missing_parents = job
+        let missing_parents: Vec<usize> = job
             .stage_ids()
             .map(|s| job.adjacency.parents(s).len())
             .collect();
+        // Stage ids are visited in ascending order, so the runnable list is
+        // born sorted.
+        let runnable = job
+            .stage_ids()
+            .filter(|s| missing_parents[s.index()] == 0)
+            .collect();
         Frontier {
             num_stages: job.num_stages(),
-            completed: BTreeSet::new(),
+            completed: vec![false; job.num_stages()],
+            num_completed: 0,
             missing_parents,
+            runnable,
         }
     }
 
-    /// Marks `stage` complete.  Calling this twice for the same stage is a
-    /// logic error and panics in debug builds; in release it is a no-op.
+    /// Marks `stage` complete, updating the runnable set in O(children).
+    /// Calling this twice for the same stage is a logic error and panics in
+    /// debug builds; in release it is a no-op.
     pub fn complete(&mut self, job: &JobDag, stage: StageId) {
         debug_assert!(
-            !self.completed.contains(&stage),
+            !self.completed[stage.index()],
             "{stage} completed twice"
         );
-        if !self.completed.insert(stage) {
+        if self.completed[stage.index()] {
             return;
         }
+        self.completed[stage.index()] = true;
+        self.num_completed += 1;
+        sorted_remove(&mut self.runnable, stage);
         for &c in job.adjacency.children(stage) {
             debug_assert!(self.missing_parents[c.index()] > 0);
             self.missing_parents[c.index()] = self.missing_parents[c.index()].saturating_sub(1);
+            if self.missing_parents[c.index()] == 0 && !self.completed[c.index()] {
+                sorted_insert(&mut self.runnable, c);
+            }
         }
     }
 
     /// True if `stage` has been completed.
     pub fn is_complete(&self, stage: StageId) -> bool {
-        self.completed.contains(&stage)
+        self.completed[stage.index()]
     }
 
     /// True if every parent of `stage` is complete and `stage` itself is not.
@@ -63,22 +109,20 @@ impl Frontier {
         !self.is_complete(stage) && self.missing_parents[stage.index()] == 0
     }
 
-    /// All runnable stages in increasing id order.
-    pub fn runnable(&self) -> Vec<StageId> {
-        (0..self.num_stages as u32)
-            .map(StageId)
-            .filter(|&s| self.is_runnable(s))
-            .collect()
+    /// All runnable stages in increasing id order.  O(1): the set is
+    /// maintained incrementally by [`Frontier::complete`].
+    pub fn runnable(&self) -> &[StageId] {
+        &self.runnable
     }
 
     /// Number of completed stages.
     pub fn num_completed(&self) -> usize {
-        self.completed.len()
+        self.num_completed
     }
 
     /// True when every stage of the job has completed.
     pub fn job_complete(&self) -> bool {
-        self.completed.len() == self.num_stages
+        self.num_completed == self.num_stages
     }
 }
 
@@ -92,16 +136,31 @@ pub struct JobProgress {
     running_tasks: Vec<usize>,
     /// Tasks of each stage already finished (count).
     finished_tasks: Vec<usize>,
+    /// Incrementally maintained set of stages that are runnable *and* still
+    /// have undispatched tasks, ascending by stage id.
+    dispatchable: Vec<StageId>,
 }
 
 impl JobProgress {
     /// Creates progress state for a fresh job.
     pub fn new(job: &JobDag) -> Self {
+        let frontier = Frontier::new(job);
+        let pending_tasks: Vec<usize> = job.stages.iter().map(|s| s.num_tasks()).collect();
+        // Every stage holds at least one task in a validated job, so the
+        // initial dispatchable set is exactly the runnable set; the filter
+        // only matters for hand-assembled jobs with empty stages.
+        let dispatchable = frontier
+            .runnable()
+            .iter()
+            .copied()
+            .filter(|s| pending_tasks[s.index()] > 0)
+            .collect();
         JobProgress {
-            frontier: Frontier::new(job),
-            pending_tasks: job.stages.iter().map(|s| s.num_tasks()).collect(),
+            frontier,
+            pending_tasks,
             running_tasks: vec![0; job.num_stages()],
             finished_tasks: vec![0; job.num_stages()],
+            dispatchable,
         }
     }
 
@@ -112,12 +171,15 @@ impl JobProgress {
 
     /// Stages that are runnable *and* still have undispatched tasks.
     /// This is the set `A_t` of Definition 4.1 restricted to this job.
-    pub fn dispatchable_stages(&self) -> Vec<StageId> {
-        self.frontier
-            .runnable()
-            .into_iter()
-            .filter(|s| self.pending_tasks[s.index()] > 0)
-            .collect()
+    /// O(1): the set is maintained incrementally by
+    /// [`JobProgress::dispatch_task`] and [`JobProgress::finish_task`].
+    pub fn dispatchable_stages(&self) -> &[StageId] {
+        &self.dispatchable
+    }
+
+    /// True if at least one stage is runnable with undispatched tasks.
+    pub fn has_dispatchable_work(&self) -> bool {
+        !self.dispatchable.is_empty()
     }
 
     /// Number of undispatched tasks of `stage`.
@@ -142,17 +204,19 @@ impl JobProgress {
 
     /// Remaining work (executor-seconds) of undispatched tasks, an input to
     /// Decima-style scoring and GreenHadoop window sizing.
+    ///
+    /// O(num_stages): answered from the DAG's cached per-stage duration
+    /// suffix sums ([`JobDag::duration_suffix_sums`]) instead of walking
+    /// every task.  Bit-identical to a direct task-by-task recomputation.
     pub fn remaining_work(&self, job: &JobDag) -> f64 {
-        job.stage_ids()
+        let (offsets, sums) = job.duration_suffix_sums();
+        debug_assert_eq!(job.num_stages() + 1, offsets.len());
+        (0..self.pending_tasks.len())
             .map(|s| {
-                let stage = job.stage(s);
-                let done_or_running = stage.num_tasks() - self.pending_tasks[s.index()];
-                stage
-                    .tasks
-                    .iter()
-                    .skip(done_or_running)
-                    .map(|t| t.duration)
-                    .sum::<f64>()
+                let offset = offsets[s] as usize;
+                let tasks = (offsets[s + 1] as usize - offset) - 1;
+                let done_or_running = tasks - self.pending_tasks[s];
+                sums[offset + done_or_running]
             })
             .sum()
     }
@@ -168,6 +232,9 @@ impl JobProgress {
         let idx = total - self.pending_tasks[stage.index()];
         self.pending_tasks[stage.index()] -= 1;
         self.running_tasks[stage.index()] += 1;
+        if self.pending_tasks[stage.index()] == 0 {
+            sorted_remove(&mut self.dispatchable, stage);
+        }
         Some(idx)
     }
 
@@ -187,6 +254,13 @@ impl JobProgress {
         let total = job.stage(stage).num_tasks();
         if self.finished_tasks[stage.index()] == total {
             self.frontier.complete(job, stage);
+            // O(children): any child that just became runnable joins the
+            // dispatchable set if it still has undispatched tasks.
+            for &c in job.adjacency.children(stage) {
+                if self.frontier.is_runnable(c) && self.pending_tasks[c.index()] > 0 {
+                    sorted_insert(&mut self.dispatchable, c);
+                }
+            }
             true
         } else {
             false
@@ -245,6 +319,29 @@ mod tests {
         f.complete(&job, StageId(3));
         assert!(f.job_complete());
         assert_eq!(f.num_completed(), 4);
+        assert!(f.runnable().is_empty());
+    }
+
+    #[test]
+    fn runnable_set_stays_sorted() {
+        // A fan-out where completing the root unlocks several children at
+        // once; insertion order of the children differs from id order.
+        let job = JobDagBuilder::new("fan")
+            .stage("root", vec![Task::new(1.0)])
+            .stage("c1", vec![Task::new(1.0)])
+            .stage("c2", vec![Task::new(1.0)])
+            .stage("c3", vec![Task::new(1.0)])
+            .edge_by_name("root", "c3")
+            .unwrap()
+            .edge_by_name("root", "c1")
+            .unwrap()
+            .edge_by_name("root", "c2")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut f = Frontier::new(&job);
+        f.complete(&job, StageId(0));
+        assert_eq!(f.runnable(), vec![StageId(1), StageId(2), StageId(3)]);
     }
 
     #[test]
@@ -252,6 +349,7 @@ mod tests {
         let job = diamond();
         let mut p = JobProgress::new(&job);
         assert_eq!(p.dispatchable_stages(), vec![StageId(0)]);
+        assert!(p.has_dispatchable_work());
         assert_eq!(p.total_pending_tasks(), 5);
 
         // Dispatch both tasks of the source stage.
@@ -260,6 +358,9 @@ mod tests {
         assert_eq!(p.dispatch_task(&job, StageId(0)), None, "no more tasks");
         assert_eq!(p.pending_tasks(StageId(0)), 0);
         assert_eq!(p.running_tasks(StageId(0)), 2);
+        // A fully dispatched stage leaves the dispatchable set immediately.
+        assert!(p.dispatchable_stages().is_empty());
+        assert!(!p.has_dispatchable_work());
         // Dispatching a blocked stage fails.
         assert_eq!(p.dispatch_task(&job, StageId(3)), None);
 
@@ -281,6 +382,38 @@ mod tests {
     }
 
     #[test]
+    fn remaining_work_matches_direct_sum_bitwise() {
+        let job = JobDagBuilder::new("jitter")
+            .stage(
+                "a",
+                vec![Task::new(0.1), Task::new(0.7), Task::new(1.3), Task::new(2.9)],
+            )
+            .stage("b", vec![Task::new(0.2), Task::new(5.5)])
+            .edge_by_name("a", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut p = JobProgress::new(&job);
+        loop {
+            let direct: f64 = job
+                .stage_ids()
+                .map(|s| {
+                    let stage = job.stage(s);
+                    let done = stage.num_tasks() - p.pending_tasks(s);
+                    stage.tasks.iter().skip(done).map(|t| t.duration).sum::<f64>()
+                })
+                .sum();
+            assert_eq!(p.remaining_work(&job).to_bits(), direct.to_bits());
+            let Some(&s) = p.dispatchable_stages().first() else { break };
+            p.dispatch_task(&job, s).unwrap();
+            while p.running_tasks(s) > 0 {
+                p.finish_task(&job, s);
+            }
+        }
+        assert_eq!(p.remaining_work(&job), 0.0);
+    }
+
+    #[test]
     fn full_execution_completes_job() {
         let job = diamond();
         let mut p = JobProgress::new(&job);
@@ -289,7 +422,7 @@ mod tests {
         while !p.job_complete() {
             safety += 1;
             assert!(safety < 100, "progress loop did not terminate");
-            let stages = p.dispatchable_stages();
+            let stages: Vec<StageId> = p.dispatchable_stages().to_vec();
             if stages.is_empty() {
                 panic!("no dispatchable stages but job incomplete");
             }
@@ -301,6 +434,7 @@ mod tests {
             }
         }
         assert_eq!(p.total_pending_tasks(), 0);
+        assert!(p.dispatchable_stages().is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::graph::Adjacency;
 use crate::ids::StageId;
 use crate::stage::Stage;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A validated job DAG.
 ///
@@ -15,17 +16,81 @@ use serde::{Deserialize, Serialize};
 /// * every stage has at least one task,
 /// * stage ids are dense `0..n` and match their index in `stages`,
 /// * the precedence edges form a DAG (no cycles, no self-loops).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// **Treat a built DAG as immutable.**  Derived quantities
+/// ([`JobDag::bottleneck_scores`], [`JobDag::duration_suffix_sums`]) are
+/// cached on first use; mutating `stages`/`adjacency` in place afterwards
+/// serves stale answers silently.  To change a job, build a new one (as
+/// [`JobDag::scaled`] / [`JobDag::renamed`] do) — the fields stay public
+/// for reading and for tests that deliberately construct invalid states
+/// for [`JobDag::validate`].
+#[derive(Debug, Serialize, Deserialize)]
 pub struct JobDag {
     /// Human-readable job name, e.g., `"tpch-q17-10g"`.
     pub name: String,
-    /// Stages indexed by [`StageId`].
+    /// Stages indexed by [`StageId`].  Do not mutate after construction —
+    /// see the type-level note on cached derived quantities.
     pub stages: Vec<Stage>,
-    /// Precedence edges between stages.
+    /// Precedence edges between stages.  Do not mutate after construction —
+    /// see the type-level note on cached derived quantities.
     pub adjacency: Adjacency,
+    /// Lazily computed per-stage bottleneck scores
+    /// ([`analysis::bottleneck_scores`]) — a pure function of the static
+    /// DAG, queried by Decima-style schedulers at every scheduling event.
+    /// Excluded from `Clone`/`PartialEq`; mutating `stages`/`adjacency`
+    /// through the public fields after the cache is populated leaves it
+    /// stale (construct a new DAG instead, as `scaled`/`renamed` do).
+    #[serde(skip)]
+    bottleneck_cache: OnceLock<Box<[f64]>>,
+    /// Lazily computed per-stage duration suffix sums backing
+    /// [`JobDag::duration_suffix_sums`].  Same caching contract as
+    /// `bottleneck_cache`.
+    #[serde(skip)]
+    work_suffix_cache: OnceLock<WorkSuffix>,
+}
+
+/// Flattened per-stage duration suffix sums:
+/// `offsets[s]..offsets[s + 1]` indexes stage `s`'s slice of `sums` (one
+/// entry per task plus a trailing empty-suffix sum).
+#[derive(Debug)]
+struct WorkSuffix {
+    offsets: Vec<u32>,
+    sums: Vec<f64>,
+}
+
+impl Clone for JobDag {
+    fn clone(&self) -> Self {
+        JobDag {
+            name: self.name.clone(),
+            stages: self.stages.clone(),
+            adjacency: self.adjacency.clone(),
+            bottleneck_cache: OnceLock::new(),
+            work_suffix_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for JobDag {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.stages == other.stages
+            && self.adjacency == other.adjacency
+    }
 }
 
 impl JobDag {
+    /// Assembles a DAG from its parts (used by the builder; invariants are
+    /// the caller's responsibility).
+    pub(crate) fn from_parts(name: String, stages: Vec<Stage>, adjacency: Adjacency) -> Self {
+        JobDag {
+            name,
+            stages,
+            adjacency,
+            bottleneck_cache: OnceLock::new(),
+            work_suffix_cache: OnceLock::new(),
+        }
+    }
+
     /// Number of stages in the job.
     pub fn num_stages(&self) -> usize {
         self.stages.len()
@@ -72,6 +137,40 @@ impl JobDag {
         analysis::critical_path(self).length
     }
 
+    /// Per-stage bottleneck scores ([`analysis::bottleneck_scores`]),
+    /// computed once per DAG and cached.  Decima-style scorers consult this
+    /// at every scheduling event; with shared (`Arc`) DAGs the graph
+    /// analysis runs once per job for the lifetime of the workload instead
+    /// of once per scheduling event.
+    pub fn bottleneck_scores(&self) -> &[f64] {
+        self.bottleneck_cache
+            .get_or_init(|| analysis::bottleneck_scores(self).into_boxed_slice())
+    }
+
+    /// Per-stage duration suffix sums, computed once per DAG and cached:
+    /// `sums[offsets[s] + k]` is the total duration of stage `s`'s tasks
+    /// `k..`, accumulated left to right exactly as a direct
+    /// `tasks[k..].iter().sum()` would round, so remaining-work queries
+    /// answered from the cache are bit-identical to recomputation.  The
+    /// build is quadratic in the largest stage's task count (to preserve
+    /// that rounding), but runs once per DAG — off the simulation's
+    /// per-event path, amortized across arrivals, runs, and `Arc` sharers.
+    pub fn duration_suffix_sums(&self) -> (&[u32], &[f64]) {
+        let cached = self.work_suffix_cache.get_or_init(|| {
+            let mut offsets = Vec::with_capacity(self.stages.len() + 1);
+            let mut sums = Vec::with_capacity(self.num_tasks() + self.stages.len());
+            offsets.push(0u32);
+            for stage in &self.stages {
+                for k in 0..=stage.tasks.len() {
+                    sums.push(stage.tasks[k..].iter().map(|t| t.duration).sum::<f64>());
+                }
+                offsets.push(sums.len() as u32);
+            }
+            WorkSuffix { offsets, sums }
+        });
+        (&cached.offsets, &cached.sums)
+    }
+
     /// Validates all structural invariants, returning the first violation.
     pub fn validate(&self) -> Result<(), DagError> {
         if self.stages.is_empty() {
@@ -102,6 +201,8 @@ impl JobDag {
             name: self.name.clone(),
             stages: self.stages.iter().map(|s| s.scaled(factor)).collect(),
             adjacency: self.adjacency.clone(),
+            bottleneck_cache: OnceLock::new(),
+            work_suffix_cache: OnceLock::new(),
         }
     }
 
@@ -112,6 +213,8 @@ impl JobDag {
             name: name.into(),
             stages: self.stages.clone(),
             adjacency: self.adjacency.clone(),
+            bottleneck_cache: OnceLock::new(),
+            work_suffix_cache: OnceLock::new(),
         }
     }
 }

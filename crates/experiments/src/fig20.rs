@@ -44,6 +44,9 @@ pub fn run(job_counts: &[usize], executors: usize, seed: u64) -> Vec<LatencyPoin
         cfg.executors = executors;
         // Submit everything at once so the queue actually holds `jobs` jobs.
         cfg.mean_interarrival = 0.001;
+        // Latency is the quantity under measurement here; sampling is off by
+        // default everywhere else.
+        cfg.record_invocations = true;
         for (label, spec) in specs {
             let trial = run_trial(&cfg, spec);
             let latencies: Vec<f64> = trial

@@ -36,6 +36,11 @@ pub struct ExperimentConfig {
     /// Offset (hours) into the trace at which the trial starts — the paper
     /// starts each trial at a uniformly random time in the trace.
     pub trace_offset_hours: usize,
+    /// Whether the simulator records per-invocation scheduler latency
+    /// samples (`ClusterConfig::sample_invocation_latency`).  Off by default
+    /// so throughput-focused experiments pay no sampling overhead; the
+    /// latency experiment (Fig. 20) switches it on.
+    pub record_invocations: bool,
 }
 
 impl ExperimentConfig {
@@ -52,6 +57,7 @@ impl ExperimentConfig {
             seed,
             trace_days: 28,
             trace_offset_hours: 0,
+            record_invocations: false,
         }
     }
 
@@ -82,6 +88,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables per-invocation scheduler latency sampling for the trial.
+    pub fn with_invocation_sampling(mut self, enabled: bool) -> Self {
+        self.record_invocations = enabled;
+        self
+    }
+
     /// Builds the carbon trace for this configuration (already windowed to
     /// the configured offset).
     pub fn trace(&self) -> CarbonTrace {
@@ -101,7 +113,8 @@ impl ExperimentConfig {
             .collect();
         let config = ClusterConfig::new(self.executors)
             .with_per_job_cap(self.per_job_cap)
-            .with_time_scale(60.0);
+            .with_time_scale(60.0)
+            .with_invocation_sampling(self.record_invocations);
         Simulator::new(config, workload, self.trace())
     }
 
@@ -292,14 +305,13 @@ pub fn run_trials(
         })
         .collect();
     let mut outputs: Vec<Option<TrialOutput>> = (0..trials).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (cfg, slot) in configs.iter().zip(outputs.iter_mut()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_trial(cfg, spec));
             });
         }
-    })
-    .expect("trial threads do not panic");
+    });
     outputs
         .into_iter()
         .map(|o| o.expect("every trial slot is filled"))

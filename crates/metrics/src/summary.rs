@@ -19,6 +19,11 @@ pub struct ExperimentSummary {
     /// Number of jobs completed.
     pub jobs: usize,
     /// Mean scheduler invocation latency (seconds of wall-clock time).
+    ///
+    /// Latency sampling is opt-in
+    /// (`pcaps_cluster::ClusterConfig::with_invocation_sampling`); runs
+    /// without it — the default, so throughput runs pay no sampling cost —
+    /// report `0.0` here.  The Fig. 20 latency experiment enables it.
     pub mean_invocation_latency: f64,
 }
 

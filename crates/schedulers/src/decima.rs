@@ -20,8 +20,7 @@
 //! this substitution.
 
 use crate::probabilistic::{softmax, ProbabilisticScheduler, StageProbability};
-use pcaps_cluster::{Assignment, JobView, Scheduler, SchedulingContext};
-use pcaps_dag::analysis;
+use pcaps_cluster::{Assignment, Scheduler, SchedulingContext};
 use pcaps_dag::{JobId, StageId};
 use rand::Rng;
 use rand::SeedableRng;
@@ -82,13 +81,12 @@ impl DecimaLike {
     fn scores(&self, ctx: &SchedulingContext<'_>) -> Vec<(JobId, StageId, f64)> {
         // Normalising constant: the largest remaining work among active jobs.
         let max_remaining = ctx
-            .jobs
-            .iter()
-            .map(JobView::remaining_work)
+            .jobs()
+            .map(|j| j.remaining_work())
             .fold(0.0_f64, f64::max)
             .max(1e-9);
         let mut out = Vec::new();
-        for job in &ctx.jobs {
+        for job in ctx.jobs() {
             let dispatchable = job.dispatchable_stages();
             if dispatchable.is_empty() {
                 continue;
@@ -96,12 +94,14 @@ impl DecimaLike {
             let remaining = job.remaining_work();
             // Feature 1: jobs with little remaining work score high.
             let short_job_feature = 1.0 - (remaining / max_remaining);
-            // Per-stage features from the DAG structure.
-            let bottleneck = analysis::bottleneck_scores(job.dag);
+            // Per-stage features from the DAG structure — cached on the
+            // (shared) DAG, so the graph analysis runs once per job instead
+            // of once per scheduling event.
+            let bottleneck = job.dag.bottleneck_scores();
             let total_stages = job.dag.num_stages() as f64;
             let completed = job.progress.frontier().num_completed() as f64;
             let completion_feature = completed / total_stages;
-            for stage in dispatchable {
+            for &stage in dispatchable {
                 let score = self.weights.short_job * short_job_feature
                     + self.weights.bottleneck * bottleneck[stage.index()]
                     + self.weights.completion * completion_feature;
@@ -153,8 +153,7 @@ impl DecimaLike {
     /// stage's pending tasks and never less than one.
     fn limit_for(&self, ctx: &SchedulingContext<'_>, job: JobId, stage: StageId) -> usize {
         let jobs_with_work = ctx
-            .jobs
-            .iter()
+            .jobs()
             .filter(|j| !j.dispatchable_stages().is_empty())
             .count()
             .max(1);

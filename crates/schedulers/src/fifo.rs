@@ -29,11 +29,11 @@ impl Scheduler for SparkStandaloneFifo {
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
         let mut free = ctx.free_executors;
         let mut out = Vec::new();
-        for job in &ctx.jobs {
+        for job in ctx.jobs() {
             if free == 0 {
                 break;
             }
-            for stage in job.dispatchable_stages() {
+            for &stage in job.dispatchable_stages() {
                 if free == 0 {
                     break;
                 }
@@ -92,7 +92,7 @@ impl Scheduler for KubeDefaultFifo {
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
         let mut free = ctx.free_executors;
         let mut out = Vec::new();
-        for job in &ctx.jobs {
+        for job in ctx.jobs() {
             if free == 0 {
                 break;
             }
@@ -100,7 +100,7 @@ impl Scheduler for KubeDefaultFifo {
             if room == 0 {
                 continue;
             }
-            for stage in job.dispatchable_stages() {
+            for &stage in job.dispatchable_stages() {
                 if free == 0 || room == 0 {
                     break;
                 }

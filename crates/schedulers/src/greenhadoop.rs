@@ -75,7 +75,7 @@ impl GreenHadoop {
     /// Computes the executor limit for the current decision.
     fn executor_limit(&self, ctx: &SchedulingContext<'_>) -> usize {
         let k = ctx.total_executors as f64;
-        let outstanding: f64 = ctx.jobs.iter().map(|j| j.remaining_work()).sum();
+        let outstanding: f64 = ctx.jobs().map(|j| j.remaining_work()).sum();
         if outstanding <= 0.0 {
             return ctx.total_executors;
         }
@@ -132,11 +132,11 @@ impl Scheduler for GreenHadoop {
         let mut free = ctx.free_executors;
         let mut out = Vec::new();
         // FIFO dispatch within the limit.
-        for job in &ctx.jobs {
+        for job in ctx.jobs() {
             if allowance == 0 || free == 0 {
                 break;
             }
-            for stage in job.dispatchable_stages() {
+            for &stage in job.dispatchable_stages() {
                 if allowance == 0 || free == 0 {
                     break;
                 }

@@ -46,8 +46,7 @@ impl Scheduler for WeightedFair {
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
         let with_work: Vec<_> = ctx
-            .jobs
-            .iter()
+            .jobs()
             .filter(|j| !j.dispatchable_stages().is_empty())
             .collect();
         if with_work.is_empty() || ctx.free_executors == 0 {
@@ -68,7 +67,7 @@ impl Scheduler for WeightedFair {
             }
             let share = ((ctx.total_executors as f64) * weight / total_weight).ceil() as usize;
             let mut allowance = share.saturating_sub(job.busy_executors).min(free);
-            for stage in job.dispatchable_stages() {
+            for &stage in job.dispatchable_stages() {
                 if allowance == 0 || free == 0 {
                     break;
                 }
@@ -87,7 +86,7 @@ impl Scheduler for WeightedFair {
                 if free == 0 {
                     break;
                 }
-                for stage in job.dispatchable_stages() {
+                for &stage in job.dispatchable_stages() {
                     if free == 0 {
                         break;
                     }

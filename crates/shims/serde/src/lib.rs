@@ -1,0 +1,41 @@
+//! Minimal local stand-in for the real `serde` crate.
+//!
+//! The build environment has no access to crates.io, and the workspace only
+//! uses serde *nominally* — `#[derive(Serialize, Deserialize)]` on data
+//! types, with no actual serialization calls anywhere.  This shim provides
+//! the two marker traits and re-exports inert derive macros so those derives
+//! compile.  If real serialization is ever needed, replace this shim with
+//! the genuine crate (the API surface used by the workspace is a strict
+//! subset of serde's).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (), bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64,
+    String
+);
+
+impl<T> Serialize for Option<T> {}
+impl<'de, T> Deserialize<'de> for Option<T> {}
+impl<T> Serialize for Vec<T> {}
+impl<'de, T> Deserialize<'de> for Vec<T> {}

@@ -1,0 +1,22 @@
+//! Inert derive macros for the local `serde` shim.
+//!
+//! The derives parse nothing and emit nothing: the workspace never calls
+//! serialization functions, it only annotates types.  Emitting an empty
+//! token stream keeps every `#[derive(Serialize, Deserialize)]` compiling
+//! without pulling in syn/quote (unavailable offline).  The `serde`
+//! helper-attribute namespace is registered so `#[serde(...)]` field
+//! attributes remain legal.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

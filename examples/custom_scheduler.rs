@@ -20,19 +20,14 @@ impl Scheduler for LargestJobFirst {
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
         let mut jobs: Vec<_> = ctx
-            .jobs
-            .iter()
+            .jobs()
             .filter(|j| !j.dispatchable_stages().is_empty())
             .collect();
-        jobs.sort_by(|a, b| {
-            b.remaining_work()
-                .partial_cmp(&a.remaining_work())
-                .expect("work is finite")
-        });
+        jobs.sort_by(|a, b| b.remaining_work().total_cmp(&a.remaining_work()));
         let mut free = ctx.free_executors;
         let mut out = Vec::new();
         for job in jobs {
-            for stage in job.dispatchable_stages() {
+            for &stage in job.dispatchable_stages() {
                 if free == 0 {
                     return out;
                 }
