@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Bench smoke run: executes the two end-to-end benchmarks
-# (`simulator_throughput` and `scheduler_latency`) in quick mode and writes
-# a merged JSON snapshot of mean ns per trial per scheduler, so the perf
-# trajectory of the simulation hot path is tracked PR over PR.
+# Bench smoke run: verifies the workspace (tier-1 build + tests), then
+# executes the two end-to-end benchmarks (`simulator_throughput` and
+# `scheduler_latency`) in quick mode and writes a merged JSON snapshot of
+# mean ns per trial per scheduler, so the perf trajectory of the simulation
+# hot path is tracked PR over PR.
 #
 # Usage:  crates/bench/smoke.sh [output.json]
 #
@@ -20,6 +21,11 @@ if [[ -z "$out" ]]; then
     while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
     out="BENCH_${n}.json"
 fi
+
+# Never bench a broken tree: the tier-1 verify gate (ROADMAP.md) runs first
+# so every BENCH_<n>.json snapshot corresponds to a green build.
+cargo build --release
+cargo test -q
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

@@ -4,6 +4,7 @@
 //! sequence number so the simulation is fully deterministic regardless of
 //! floating-point equality of timestamps.
 
+use crate::scheduler_api::WakeupToken;
 use pcaps_dag::{JobId, StageId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -24,6 +25,12 @@ pub enum Event {
         job: JobId,
         /// Stage whose task finished.
         stage: StageId,
+    },
+    /// A scheduler-requested wakeup (timer or carbon-threshold crossing)
+    /// fires; the token is echoed back to the policy.
+    Wakeup {
+        /// Token identifying the deferral request that scheduled this event.
+        token: WakeupToken,
     },
 }
 
@@ -145,6 +152,19 @@ mod tests {
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, Event::JobArrival { job: JobId(0) });
+    }
+
+    #[test]
+    fn wakeup_events_carry_their_token() {
+        let mut q = EventQueue::new();
+        q.push(4.0, Event::Wakeup { token: WakeupToken(7) });
+        match q.pop().unwrap() {
+            (t, Event::Wakeup { token }) => {
+                assert_eq!(t, 4.0);
+                assert_eq!(token, WakeupToken(7));
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
     }
 
     #[test]

@@ -10,21 +10,25 @@
 //! The simulator is event driven.  Jobs arrive over time; each job is a
 //! [`pcaps_dag::JobDag`] of stages; each stage consists of tasks that run on
 //! executors.  A *scheduling event* occurs whenever a job arrives, a task
-//! finishes (freeing an executor), or the carbon intensity changes — exactly
-//! the event set of Algorithm 1.  At each scheduling event the engine asks a
-//! [`Scheduler`] which stage(s) to dispatch onto the free executors; the
-//! scheduler may also decline to dispatch anything (idling the executors
-//! until the next event), which is how carbon-aware deferral is expressed.
+//! finishes (freeing an executor), the carbon intensity changes — exactly
+//! the event set of Algorithm 1 — or a scheduler-requested wakeup fires.
+//! At each scheduling event the engine invokes the [`Scheduler`] with a
+//! typed [`SchedEvent`] and a [`DecisionSink`]; the policy writes
+//! [`Assignment`]s into the sink, or writes nothing to idle the free
+//! executors, or asks to be woken later ([`DecisionSink::defer_until`] /
+//! [`DecisionSink::defer_below`]) — which is how carbon-aware deferral is
+//! expressed as a first-class scheduled event instead of a passive wait.
 //!
 //! The engine records an executor-usage profile, per-job records and
 //! (optionally) scheduler-invocation latencies, from which the metrics crate
 //! derives the carbon footprint (ex post facto, §5.2), JCT, and ECT.
 //!
-//! ## Incremental-engine architecture
+//! ## Incremental-engine architecture (v2 scheduler API)
 //!
-//! The scheduling hot path is *incremental*: nothing linear in total jobs,
-//! stages, or forecast steps is recomputed per event.  Future schedulers and
-//! engine changes must preserve these invariants:
+//! The scheduling hot path is *incremental and allocation-free in the
+//! steady state*: nothing linear in total jobs, stages, or forecast steps
+//! is recomputed per event, and no heap allocation happens per decision.
+//! Future schedulers and engine changes must preserve these invariants:
 //!
 //! * **Active-job index.** The engine maintains the arrived-incomplete job
 //!   table (`active`, ordered by arrival, plus the id → slot map) across
@@ -32,6 +36,19 @@
 //!   a borrow of that table — building one allocates nothing, and
 //!   [`SchedulingContext::jobs`] materialises [`JobView`]s on the fly.
 //!   Schedulers must not assume views outlive the invocation.
+//! * **Push-based decisions.** The engine owns one [`DecisionSink`] per run
+//!   and clears (never drops) its buffers between invocations; native v2
+//!   policies push assignments into it, so the last per-event allocation of
+//!   the v1 API (the returned `Vec<Assignment>`) is gone.  Only the
+//!   deprecated [`LegacyScheduler`] adapter still pays it.  Policies that
+//!   need scratch buffers (sorting, scoring) must own and reuse them.
+//! * **Typed events, engine-managed timers.** Policies learn *why* they run
+//!   from [`SchedEvent`] instead of rescanning the context, and resume from
+//!   deferral through engine-scheduled wakeups: `defer_until` enqueues a
+//!   timer event at an exact instant (piercing the carbon-step granularity)
+//!   and `defer_below` resolves the threshold crossing against the trace's
+//!   range-min index in O(log trace) — never by linear forecast walks in
+//!   the event loop.
 //! * **Shared DAGs.** Workloads hold `Arc<JobDag>`; activating a job bumps a
 //!   reference count (no deep clone), and [`Simulator::new`] validates every
 //!   DAG exactly once.  DAGs are immutable once submitted — caches hang off
@@ -91,4 +108,9 @@ pub use error::SimError;
 pub use job_state::{JobRecord, SubmittedJob};
 pub use profile::{ExecutorSegment, UsageProfile};
 pub use result::SimulationResult;
-pub use scheduler_api::{Assignment, CarbonView, JobView, Scheduler, SchedulingContext};
+pub use scheduler_api::{
+    Assignment, CarbonView, DecisionSink, DeferRequest, JobView, SchedEvent, Scheduler,
+    SchedulingContext, WakeupToken,
+};
+#[allow(deprecated)]
+pub use scheduler_api::LegacyScheduler;

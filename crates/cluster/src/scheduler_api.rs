@@ -1,27 +1,61 @@
-//! The interface between the simulation engine and scheduling policies.
+//! The interface between the simulation engine and scheduling policies
+//! (API v2).
 //!
-//! At every *scheduling event* (job arrival, task completion, carbon
-//! intensity change) the engine builds a [`SchedulingContext`] describing the
-//! cluster and asks the [`Scheduler`] for [`Assignment`]s.  Returning an
-//! empty vector means "idle the free executors until the next event" — this
-//! is how carbon-aware policies defer work (Algorithm 1, line 10).
+//! At every *scheduling event* the engine builds a [`SchedulingContext`]
+//! describing the cluster and invokes [`Scheduler::on_event`] with a typed
+//! [`SchedEvent`] saying *why* the policy is being consulted (a job arrived,
+//! tasks completed, the carbon intensity changed, a requested wakeup fired,
+//! or the engine is re-invoking after applying assignments) and an
+//! engine-owned [`DecisionSink`] to write decisions into.  Writing nothing
+//! means "idle the free executors until the next event" — this is how
+//! carbon-aware policies defer work (Algorithm 1, line 10).
 //!
-//! The engine keeps re-invoking the scheduler while it keeps returning
-//! applicable assignments and free executors remain, so a policy may either
-//! return one stage per invocation (as Decima and PCAPS do) or fill the whole
-//! cluster in a single call (as FIFO does); both styles compose with the
-//! engine identically.
+//! Beyond [`Assignment`]s, the sink accepts two *control verbs* that turn
+//! passive deferral into scheduled resumption:
+//!
+//! * [`DecisionSink::defer_until`] — ask the engine to enqueue a
+//!   [`SchedEvent::Wakeup`] at an exact future time.  Timer wakeups pierce
+//!   the carbon-step granularity: a policy can resume at 13:41:07, not just
+//!   at the next hourly carbon boundary.
+//! * [`DecisionSink::defer_below`] — ask to be woken the first time the
+//!   carbon intensity drops to or below a threshold.  The engine resolves
+//!   the crossing against the carbon trace (O(log trace) via its range-min
+//!   index) and enqueues the wakeup at that instant, so a deferring policy
+//!   is not re-invoked to rescan the world at every intermediate event.
+//!
+//! Both verbs return a [`WakeupToken`] that is echoed back in the matching
+//! [`SchedEvent::Wakeup`].  Wakeups are *advisory*: they are delivered only
+//! if there are free executors and dispatchable work at the fire time (when
+//! there is nothing to decide the engine does not consult policies at all),
+//! and wrapper schedulers (CAP) may re-issue an inner policy's verbs under
+//! fresh tokens, so a policy must treat an unrecognised token as a generic
+//! "conditions may have changed" nudge rather than an error.
+//!
+//! The engine keeps re-invoking the scheduler (with [`SchedEvent::Kick`])
+//! while it keeps producing applicable assignments and free executors
+//! remain, so a policy may either emit one stage per invocation (as Decima
+//! and PCAPS do) or fill the whole cluster in a single call (as FIFO does);
+//! both styles compose with the engine identically.
 //!
 //! ## Hot-path contract
 //!
-//! Building a context is allocation-free: the engine hands the scheduler a
-//! borrow of its incrementally maintained active-job table, and
-//! [`SchedulingContext::jobs`] materialises lightweight [`JobView`]s on the
-//! fly (a `JobView` is two references and three scalars — `Copy`, cheap to
-//! produce per iteration).  `JobView::dispatchable_stages` likewise borrows
-//! the incrementally maintained set from [`pcaps_dag::JobProgress`] instead
-//! of allocating a fresh `Vec` per call.  Schedulers that need to allocate
-//! (to sort or score stages) do so on their own policy-owned buffers.
+//! The steady state of a scheduling invocation is **allocation-free**:
+//!
+//! * building a context is a pair of slice borrows of the engine's
+//!   incrementally maintained active-job table; [`SchedulingContext::jobs`]
+//!   materialises lightweight [`JobView`]s on the fly (a `JobView` is two
+//!   references and three scalars — `Copy`, cheap to produce per iteration),
+//!   and [`JobView::dispatchable_stages`] borrows the incrementally
+//!   maintained set from [`pcaps_dag::JobProgress`],
+//! * the [`DecisionSink`] is owned by the engine and *reused* across
+//!   invocations: its buffers are cleared, not dropped, so once their
+//!   capacity has warmed up a decision costs zero allocations,
+//! * [`SchedEvent`] is a `Copy` view assembled from borrows.
+//!
+//! Schedulers that need scratch space (to sort or score stages) keep
+//! policy-owned buffers.  The deprecated v1 path ([`LegacyScheduler`], which
+//! returns a fresh `Vec<Assignment>` per invocation) still works through a
+//! blanket adapter, at the cost of that one allocation per event.
 
 use crate::job_state::ActiveJob;
 use pcaps_dag::{JobDag, JobId, JobProgress, StageId};
@@ -39,14 +73,29 @@ pub struct CarbonView {
 }
 
 impl CarbonView {
+    /// A carbon view with explicit forecast bounds.
+    ///
+    /// This is the one constructor every hand-assembled view should go
+    /// through: it checks (in debug builds) the invariant the bounds
+    /// definition promises — the current intensity lies inside the forecast
+    /// band, `lower <= intensity <= upper`.
+    pub fn new(intensity: f64, lower_bound: f64, upper_bound: f64) -> Self {
+        debug_assert!(
+            lower_bound <= intensity && intensity <= upper_bound,
+            "carbon view bounds must contain the intensity: \
+             L={lower_bound}, c={intensity}, U={upper_bound}"
+        );
+        CarbonView {
+            intensity,
+            lower_bound,
+            upper_bound,
+        }
+    }
+
     /// A carbon view for a grid with no variability (L = U = c); useful in
     /// tests and for carbon-agnostic runs.
     pub fn flat(intensity: f64) -> Self {
-        CarbonView {
-            intensity,
-            lower_bound: intensity,
-            upper_bound: intensity,
-        }
+        CarbonView::new(intensity, intensity, intensity)
     }
 }
 
@@ -157,15 +206,24 @@ impl<'a> SchedulingContext<'a> {
         JobView::of(&self.active[i])
     }
 
-    /// All `(job, stage)` pairs that could be dispatched right now.
+    /// All `(job, stage)` pairs that could be dispatched right now, as an
+    /// allocation-free iterator in arrival order.
+    pub fn dispatchable_iter(&self) -> impl Iterator<Item = (JobId, StageId)> + '_ {
+        self.jobs().flat_map(|j| {
+            j.dispatchable_stages()
+                .iter()
+                .map(move |&s| (j.id, s))
+        })
+    }
+
+    /// All `(job, stage)` pairs that could be dispatched right now,
+    /// collected into a fresh vector.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates a Vec per call; use the allocation-free `dispatchable_iter` instead"
+    )]
     pub fn dispatchable(&self) -> Vec<(JobId, StageId)> {
-        self.jobs()
-            .flat_map(|j| {
-                j.dispatchable_stages()
-                    .iter()
-                    .map(move |&s| (j.id, s))
-            })
-            .collect()
+        self.dispatchable_iter().collect()
     }
 
     /// True if at least one stage has undispatched tasks whose precedence
@@ -219,17 +277,234 @@ impl Assignment {
     }
 }
 
-/// A scheduling policy.
+/// Identifies a wakeup requested through [`DecisionSink::defer_until`] or
+/// [`DecisionSink::defer_below`]; echoed back in [`SchedEvent::Wakeup`].
+///
+/// Tokens are unique within one simulation run.  They identify *which*
+/// request fired; policies holding several outstanding wakeups can tell
+/// them apart, and policies holding none should treat any token as a
+/// generic nudge (wrappers may re-issue inner verbs under fresh tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WakeupToken(pub u64);
+
+/// Why the scheduler is being invoked: a typed view of the triggering
+/// event.
+///
+/// Stateful policies use this to update incrementally instead of rescanning
+/// the whole context on every call; stateless policies simply ignore it.
+///
+/// **The event stream is not a complete log.**  The engine consults a
+/// policy only when there is something to decide — at least one free
+/// executor and at least one dispatchable stage — so events that occur
+/// while the cluster is saturated or drained (e.g. a job arriving while
+/// every executor is busy) are never delivered.  Treat events as incremental
+/// hints for state you could also recover from the context, not as the sole
+/// source of truth: reconcile against [`SchedulingContext`] when exactness
+/// matters.
+#[derive(Debug, Clone, Copy)]
+pub enum SchedEvent<'a> {
+    /// A new job entered the system; `job` is its view in the current
+    /// context.
+    JobArrived {
+        /// The newly arrived job.
+        job: JobView<'a>,
+    },
+    /// `n` task(s) of `stage` of `job` finished, freeing executor(s).  The
+    /// job may have completed (and left the active table) as a result.
+    TasksCompleted {
+        /// Job whose task(s) finished.
+        job: JobId,
+        /// Stage whose task(s) finished.
+        stage: StageId,
+        /// How many tasks finished in this event.
+        n: usize,
+    },
+    /// The carbon intensity stepped from `prev` to `now` (the values may be
+    /// equal if adjacent trace steps repeat).
+    CarbonChanged {
+        /// Intensity in effect before this carbon step.
+        prev: f64,
+        /// Intensity in effect from now on.
+        now: f64,
+    },
+    /// A wakeup requested via [`DecisionSink::defer_until`] or
+    /// [`DecisionSink::defer_below`] fired.
+    Wakeup {
+        /// The token the verb returned when the wakeup was requested.
+        token: WakeupToken,
+    },
+    /// The engine is re-invoking the policy at the same instant after
+    /// applying its previous assignments, because free executors remain.
+    Kick,
+}
+
+/// A control verb recorded in a [`DecisionSink`], to be resolved by the
+/// engine into a real timer/threshold event on the event queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeferRequest {
+    /// Wake the policy at an exact schedule time.
+    Until {
+        /// Absolute schedule time (seconds) at which to fire.
+        time: f64,
+        /// Token echoed back in the wakeup event.
+        token: WakeupToken,
+    },
+    /// Wake the policy the first time the carbon intensity is at or below
+    /// `intensity`.
+    Below {
+        /// Intensity threshold (gCO₂eq/kWh).
+        intensity: f64,
+        /// Token echoed back in the wakeup event.
+        token: WakeupToken,
+    },
+}
+
+/// The engine-owned, reused buffer a scheduler writes its decisions into.
+///
+/// One sink lives for a whole simulation run; the engine clears it before
+/// every invocation (keeping capacity and the token counter), so pushing
+/// decisions allocates nothing in the steady state.  Wrapper schedulers that
+/// need to inspect an inner policy's decisions before forwarding them own a
+/// private sink of their own (see `Cap` in `pcaps-core`).
+#[derive(Debug, Clone, Default)]
+pub struct DecisionSink {
+    assignments: Vec<Assignment>,
+    deferrals: Vec<DeferRequest>,
+    next_token: u64,
+}
+
+impl DecisionSink {
+    /// Creates an empty sink.  The engine creates one per run; tests and
+    /// wrapper schedulers create their own.
+    pub fn new() -> Self {
+        DecisionSink::default()
+    }
+
+    /// Records an assignment.
+    pub fn assign(&mut self, assignment: Assignment) {
+        self.assignments.push(assignment);
+    }
+
+    /// Convenience for `assign(Assignment::new(job, stage, executors))`.
+    pub fn dispatch(&mut self, job: JobId, stage: StageId, executors: usize) {
+        self.assign(Assignment::new(job, stage, executors));
+    }
+
+    /// Asks the engine to fire a [`SchedEvent::Wakeup`] at the absolute
+    /// schedule time `time`.  Requests at or before the current instant are
+    /// dropped by the engine (the policy is being invoked *now*).
+    ///
+    /// # Panics
+    /// Panics if `time` is not finite.
+    pub fn defer_until(&mut self, time: f64) -> WakeupToken {
+        assert!(time.is_finite(), "wakeup time must be finite, got {time}");
+        let token = self.issue_token();
+        self.deferrals.push(DeferRequest::Until { time, token });
+        token
+    }
+
+    /// Asks the engine to fire a [`SchedEvent::Wakeup`] at the first future
+    /// carbon step whose intensity is at or below `intensity`.  If the trace
+    /// never goes that low, no wakeup is scheduled (the regular carbon-step
+    /// events still occur).
+    ///
+    /// # Panics
+    /// Panics if `intensity` is not finite.
+    pub fn defer_below(&mut self, intensity: f64) -> WakeupToken {
+        assert!(
+            intensity.is_finite(),
+            "intensity threshold must be finite, got {intensity}"
+        );
+        let token = self.issue_token();
+        self.deferrals.push(DeferRequest::Below { intensity, token });
+        token
+    }
+
+    /// The assignments recorded since the last [`DecisionSink::clear`].
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// The control verbs recorded since the last [`DecisionSink::clear`].
+    pub fn deferrals(&self) -> &[DeferRequest] {
+        &self.deferrals
+    }
+
+    /// True if neither assignments nor deferrals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty() && self.deferrals.is_empty()
+    }
+
+    /// Clears the recorded decisions while keeping buffer capacity and the
+    /// token counter — called by the engine before every invocation.
+    pub fn clear(&mut self) {
+        self.assignments.clear();
+        self.deferrals.clear();
+    }
+
+    fn issue_token(&mut self) -> WakeupToken {
+        let token = WakeupToken(self.next_token);
+        self.next_token += 1;
+        token
+    }
+}
+
+/// A scheduling policy (API v2).
 ///
 /// Implementations must be deterministic given their own internal RNG state;
-/// the engine itself introduces no randomness.
+/// the engine itself introduces no randomness.  Recording no decision idles
+/// the free executors until the next scheduling event.
 pub trait Scheduler {
+    /// Human-readable policy name used in result tables.
+    fn name(&self) -> &str;
+
+    /// Called at every scheduling event with the triggering event, the
+    /// cluster context, and the sink to write decisions into.
+    fn on_event(
+        &mut self,
+        event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    );
+}
+
+/// The v1 scheduling interface: return a fresh `Vec<Assignment>` per
+/// invocation.
+///
+/// Any `LegacyScheduler` automatically implements [`Scheduler`] through a
+/// blanket adapter, so out-of-tree v1 policies keep working after switching
+/// their `impl Scheduler for …` line to `impl LegacyScheduler for …`.  The
+/// adapter discards the typed event and copies the returned vector into the
+/// sink — one heap allocation per event that native v2 policies do not pay.
+#[deprecated(
+    since = "0.2.0",
+    note = "v1 scheduling API; implement `Scheduler::on_event` with a `DecisionSink` instead"
+)]
+pub trait LegacyScheduler {
     /// Human-readable policy name used in result tables.
     fn name(&self) -> &str;
 
     /// Called at every scheduling event.  Returning an empty vector idles
     /// the free executors until the next event.
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment>;
+}
+
+#[allow(deprecated)]
+impl<T: LegacyScheduler + ?Sized> Scheduler for T {
+    fn name(&self) -> &str {
+        LegacyScheduler::name(self)
+    }
+
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
+        for assignment in self.schedule(ctx) {
+            out.assign(assignment);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -263,13 +538,32 @@ mod tests {
             None,
         );
         assert!(ctx.has_dispatchable_work());
-        assert_eq!(ctx.dispatchable(), vec![(JobId(0), StageId(0))]);
+        let pairs: Vec<_> = ctx.dispatchable_iter().collect();
+        assert_eq!(pairs, vec![(JobId(0), StageId(0))]);
         assert_eq!(ctx.queue_length(), 1);
         assert_eq!(ctx.jobs().len(), 1);
         assert_eq!(ctx.job_at(0).id, JobId(0));
         assert!(ctx.job(JobId(0)).is_some());
         assert!(ctx.job(JobId(9)).is_none());
         assert!((ctx.job(JobId(0)).unwrap().remaining_work() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_dispatchable_matches_iterator() {
+        let dag = Arc::new(make_dag());
+        let active = vec![ActiveJob::new(JobId(0), dag, 0.0)];
+        let ctx = SchedulingContext::new(
+            0.0,
+            CarbonView::flat(300.0),
+            4,
+            4,
+            0,
+            4,
+            &active,
+            None,
+        );
+        assert_eq!(ctx.dispatchable(), ctx.dispatchable_iter().collect::<Vec<_>>());
     }
 
     #[test]
@@ -306,10 +600,106 @@ mod tests {
     }
 
     #[test]
+    fn carbon_view_constructor_keeps_bounds() {
+        let c = CarbonView::new(200.0, 100.0, 300.0);
+        assert_eq!(c.intensity, 200.0);
+        assert_eq!(c.lower_bound, 100.0);
+        assert_eq!(c.upper_bound, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must contain")]
+    #[cfg(debug_assertions)]
+    fn carbon_view_rejects_inverted_bounds() {
+        let _ = CarbonView::new(50.0, 100.0, 300.0);
+    }
+
+    #[test]
     fn assignment_constructor() {
         let a = Assignment::new(JobId(1), StageId(2), 3);
         assert_eq!(a.job, JobId(1));
         assert_eq!(a.stage, StageId(2));
         assert_eq!(a.executors, 3);
+    }
+
+    #[test]
+    fn sink_records_and_clears() {
+        let mut sink = DecisionSink::new();
+        assert!(sink.is_empty());
+        sink.dispatch(JobId(0), StageId(1), 2);
+        sink.assign(Assignment::new(JobId(1), StageId(0), 1));
+        let t0 = sink.defer_until(10.0);
+        let t1 = sink.defer_below(250.0);
+        assert_ne!(t0, t1, "tokens must be unique");
+        assert_eq!(sink.assignments().len(), 2);
+        assert_eq!(
+            sink.deferrals(),
+            &[
+                DeferRequest::Until { time: 10.0, token: t0 },
+                DeferRequest::Below { intensity: 250.0, token: t1 },
+            ]
+        );
+        assert!(!sink.is_empty());
+        sink.clear();
+        assert!(sink.is_empty());
+        // Tokens keep counting after a clear — they are run-scoped.
+        let t2 = sink.defer_until(20.0);
+        assert!(t2.0 > t1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sink_rejects_nan_wakeup_time() {
+        let mut sink = DecisionSink::new();
+        let _ = sink.defer_until(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sink_rejects_nan_threshold() {
+        let mut sink = DecisionSink::new();
+        let _ = sink.defer_below(f64::INFINITY);
+    }
+
+    /// A v1 policy implemented against the deprecated trait: the blanket
+    /// adapter must surface its assignments through the sink unchanged.
+    #[test]
+    fn legacy_adapter_copies_assignments_into_sink() {
+        #[allow(deprecated)]
+        struct OldSchool;
+        #[allow(deprecated)]
+        impl LegacyScheduler for OldSchool {
+            fn name(&self) -> &str {
+                "old-school"
+            }
+            fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+                ctx.dispatchable_iter()
+                    .map(|(job, stage)| Assignment::new(job, stage, 1))
+                    .collect()
+            }
+        }
+
+        let dag = Arc::new(make_dag());
+        let active = vec![ActiveJob::new(JobId(0), dag, 0.0)];
+        let ctx = SchedulingContext::new(
+            0.0,
+            CarbonView::flat(300.0),
+            4,
+            4,
+            0,
+            4,
+            &active,
+            None,
+        );
+        let mut sink = DecisionSink::new();
+        let mut old = OldSchool;
+        let scheduler: &mut dyn Scheduler = &mut old;
+        assert_eq!(scheduler.name(), "old-school");
+        scheduler.on_event(SchedEvent::Kick, &ctx, &mut sink);
+        assert_eq!(
+            sink.assignments(),
+            &[Assignment::new(JobId(0), StageId(0), 1)]
+        );
+        assert!(sink.deferrals().is_empty());
     }
 }

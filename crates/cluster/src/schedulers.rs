@@ -6,7 +6,7 @@
 //! policies the engine's own tests and doctests need, so the simulator crate
 //! stays self-contained.
 
-use crate::scheduler_api::{Assignment, Scheduler, SchedulingContext};
+use crate::scheduler_api::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
 
 /// First-in-first-out stage scheduler with unbounded per-stage parallelism:
 /// the earliest-arrived job with dispatchable work gets as many executors as
@@ -27,9 +27,13 @@ impl Scheduler for SimpleFifo {
         "simple-fifo"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         let mut free = ctx.free_executors;
-        let mut out = Vec::new();
         // ctx.jobs() is ordered by arrival, so iterating in order is FIFO.
         for job in ctx.jobs() {
             if free == 0 {
@@ -41,12 +45,11 @@ impl Scheduler for SimpleFifo {
                 }
                 let want = job.progress.pending_tasks(stage).min(free);
                 if want > 0 {
-                    out.push(Assignment::new(job.id, stage, want));
+                    out.dispatch(job.id, stage, want);
                     free -= want;
                 }
             }
         }
-        out
     }
 }
 
@@ -69,19 +72,24 @@ impl Scheduler for RoundRobin {
         "round-robin"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         if ctx.queue_length() == 0 || ctx.free_executors == 0 {
-            return Vec::new();
+            return;
         }
         let n = ctx.queue_length();
         for offset in 0..n {
             let job = ctx.job_at((self.cursor + offset) % n);
             if let Some(stage) = job.dispatchable_stages().first().copied() {
                 self.cursor = (self.cursor + offset + 1) % n;
-                return vec![Assignment::new(job.id, stage, 1)];
+                out.dispatch(job.id, stage, 1);
+                return;
             }
         }
-        Vec::new()
     }
 }
 

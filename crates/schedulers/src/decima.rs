@@ -20,7 +20,7 @@
 //! this substitution.
 
 use crate::probabilistic::{softmax, ProbabilisticScheduler, StageProbability};
-use pcaps_cluster::{Assignment, Scheduler, SchedulingContext};
+use pcaps_cluster::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
 use pcaps_dag::{JobId, StageId};
 use rand::Rng;
 use rand::SeedableRng;
@@ -185,14 +185,16 @@ impl Scheduler for DecimaLike {
         "decima"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         let dist = self.build_distribution(ctx);
-        match self.sample(&dist) {
-            Some(choice) => {
-                let limit = self.limit_for(ctx, choice.job, choice.stage);
-                vec![Assignment::new(choice.job, choice.stage, limit)]
-            }
-            None => Vec::new(),
+        if let Some(choice) = self.sample(&dist) {
+            let limit = self.limit_for(ctx, choice.job, choice.stage);
+            out.dispatch(choice.job, choice.stage, limit);
         }
     }
 }
@@ -231,11 +233,16 @@ mod tests {
             fn name(&self) -> &str {
                 "probe"
             }
-            fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+            fn on_event(
+                &mut self,
+                event: SchedEvent<'_>,
+                ctx: &SchedulingContext<'_>,
+                out: &mut DecisionSink,
+            ) {
                 let dist = self.inner.distribution(ctx);
                 assert!(is_valid_distribution(&dist), "invalid distribution: {dist:?}");
                 self.checked += 1;
-                Scheduler::schedule(&mut self.inner, ctx)
+                Scheduler::on_event(&mut self.inner, event, ctx, out)
             }
         }
         let mut probe = Probe { inner: DecimaLike::new(1), checked: 0 };
@@ -312,12 +319,17 @@ mod tests {
             fn name(&self) -> &str {
                 "capture"
             }
-            fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+            fn on_event(
+                &mut self,
+                event: SchedEvent<'_>,
+                ctx: &SchedulingContext<'_>,
+                out: &mut DecisionSink,
+            ) {
                 let dist = self.inner.distribution(ctx);
                 if dist.len() == 2 && self.snapshot.is_none() {
                     self.snapshot = Some(dist.clone());
                 }
-                Scheduler::schedule(&mut self.inner, ctx)
+                Scheduler::on_event(&mut self.inner, event, ctx, out)
             }
         }
         let mut cap = Capture { inner: DecimaLike::new(5), snapshot: None };

@@ -1,7 +1,7 @@
 //! FIFO baselines: Spark standalone and the Spark/Kubernetes prototype
 //! default.
 
-use pcaps_cluster::{Assignment, Scheduler, SchedulingContext};
+use pcaps_cluster::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
 
 /// Spark standalone FIFO (the `FIFO` baseline of the simulator experiments).
 ///
@@ -26,9 +26,13 @@ impl Scheduler for SparkStandaloneFifo {
         "fifo"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         let mut free = ctx.free_executors;
-        let mut out = Vec::new();
         for job in ctx.jobs() {
             if free == 0 {
                 break;
@@ -40,12 +44,11 @@ impl Scheduler for SparkStandaloneFifo {
                 // One executor per pending task, Spark standalone style.
                 let want = job.progress.pending_tasks(stage).min(free);
                 if want > 0 {
-                    out.push(Assignment::new(job.id, stage, want));
+                    out.dispatch(job.id, stage, want);
                     free -= want;
                 }
             }
         }
-        out
     }
 }
 
@@ -89,9 +92,13 @@ impl Scheduler for KubeDefaultFifo {
         "k8s-default"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         let mut free = ctx.free_executors;
-        let mut out = Vec::new();
         for job in ctx.jobs() {
             if free == 0 {
                 break;
@@ -106,13 +113,12 @@ impl Scheduler for KubeDefaultFifo {
                 }
                 let want = job.progress.pending_tasks(stage).min(free).min(room);
                 if want > 0 {
-                    out.push(Assignment::new(job.id, stage, want));
+                    out.dispatch(job.id, stage, want);
                     free -= want;
                     room -= want;
                 }
             }
         }
-        out
     }
 }
 

@@ -25,7 +25,7 @@
 //! generation-mix breakdown.
 
 use pcaps_carbon::{CarbonSignal, CarbonTrace};
-use pcaps_cluster::{Assignment, Scheduler, SchedulingContext};
+use pcaps_cluster::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
 
 /// The GreenHadoop-style carbon-aware FIFO scheduler.
 #[derive(Debug, Clone)]
@@ -122,15 +122,19 @@ impl Scheduler for GreenHadoop {
         "greenhadoop"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         let limit = self.executor_limit(ctx);
         if ctx.busy_executors >= limit {
             // Already at (or above) the derived executor limit: defer.
-            return Vec::new();
+            return;
         }
         let mut allowance = limit - ctx.busy_executors;
         let mut free = ctx.free_executors;
-        let mut out = Vec::new();
         // FIFO dispatch within the limit.
         for job in ctx.jobs() {
             if allowance == 0 || free == 0 {
@@ -146,13 +150,12 @@ impl Scheduler for GreenHadoop {
                     .min(allowance)
                     .min(free);
                 if want > 0 {
-                    out.push(Assignment::new(job.id, stage, want));
+                    out.dispatch(job.id, stage, want);
                     allowance -= want;
                     free -= want;
                 }
             }
         }
-        out
     }
 }
 

@@ -7,7 +7,7 @@
 //! jobs, which is the effect the paper's hand-tuned weights achieve — and
 //! hands each job its share of the cluster.
 
-use pcaps_cluster::{Assignment, Scheduler, SchedulingContext};
+use pcaps_cluster::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
 
 /// Weighted fair executor sharing across active jobs.
 #[derive(Debug, Clone)]
@@ -44,13 +44,18 @@ impl Scheduler for WeightedFair {
         "weighted-fair"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        _event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
         let with_work: Vec<_> = ctx
             .jobs()
             .filter(|j| !j.dispatchable_stages().is_empty())
             .collect();
         if with_work.is_empty() || ctx.free_executors == 0 {
-            return Vec::new();
+            return;
         }
         let weights: Vec<f64> = with_work
             .iter()
@@ -59,7 +64,6 @@ impl Scheduler for WeightedFair {
         let total_weight: f64 = weights.iter().sum();
 
         let mut free = ctx.free_executors;
-        let mut out = Vec::new();
         // Pass 1: hand each job executors up to its weighted share.
         for (job, weight) in with_work.iter().zip(&weights) {
             if free == 0 {
@@ -73,14 +77,15 @@ impl Scheduler for WeightedFair {
                 }
                 let want = job.progress.pending_tasks(stage).min(allowance).min(free);
                 if want > 0 {
-                    out.push(Assignment::new(job.id, stage, want));
+                    out.dispatch(job.id, stage, want);
                     allowance -= want;
                     free -= want;
                 }
             }
         }
         // Pass 2 (work conservation): any executors still free go to whatever
-        // pending work exists, in job order.
+        // pending work exists, in job order.  Pass 1's decisions are read
+        // back from the sink, so no policy-side buffer is needed.
         if free > 0 {
             for job in &with_work {
                 if free == 0 {
@@ -91,6 +96,7 @@ impl Scheduler for WeightedFair {
                         break;
                     }
                     let already: usize = out
+                        .assignments()
                         .iter()
                         .filter(|a| a.job == job.id && a.stage == stage)
                         .map(|a| a.executors)
@@ -101,13 +107,12 @@ impl Scheduler for WeightedFair {
                         .saturating_sub(already)
                         .min(free);
                     if want > 0 {
-                        out.push(Assignment::new(job.id, stage, want));
+                        out.dispatch(job.id, stage, want);
                         free -= want;
                     }
                 }
             }
         }
-        out
     }
 }
 

@@ -1,44 +1,96 @@
-//! Bring your own scheduler: implement the `Scheduler` trait for a custom
-//! policy and make it carbon-aware with CAP — no changes to the policy
+//! Bring your own scheduler: implement the v2 `Scheduler` trait for a
+//! custom policy.  The policy below shows the two halves of the API:
+//!
+//! * `on_event` + `DecisionSink` — decisions are pushed into an
+//!   engine-owned sink instead of returned in a fresh `Vec`, so the hot
+//!   path stays allocation-free,
+//! * `defer_below` — instead of idling and being re-consulted at every
+//!   event while carbon is dirty, the policy asks the engine to wake it
+//!   the moment the intensity drops to its ceiling.
+//!
+//! The same policy is then wrapped with CAP — no changes to the policy
 //! itself, exactly the "wrapper for any carbon-agnostic scheduler" use case
 //! of §4.2.
 //!
 //! Run with: `cargo run --release --example custom_scheduler`
 
 use carbon_aware_dag_sched::prelude::*;
-use pcaps_cluster::SchedulingContext;
+use pcaps_cluster::{DecisionSink, SchedEvent, SchedulingContext};
 
-/// A toy "largest remaining work first" policy: always feeds the job with
-/// the most work left (the opposite of shortest-job-first — not a good idea
-/// for JCT, but it is somebody's in-house policy and CAP must not care).
-struct LargestJobFirst;
+/// A toy carbon-ceiling policy: dispatch the job with the most remaining
+/// work first ("largest job first" — somebody's in-house policy), but only
+/// while the carbon intensity is at or below a fixed ceiling.  Above the
+/// ceiling it defers and uses `defer_below` to resume exactly at the next
+/// clean-enough carbon step.
+struct ThriftyLargestJobFirst {
+    /// Maximum carbon intensity (gCO₂eq/kWh) at which new work starts.
+    ceiling: f64,
+    /// Whether a threshold wakeup is already outstanding (one is enough).
+    wakeup_pending: bool,
+    /// How many engine wakeups the policy received back.
+    wakeups_received: usize,
+}
 
-impl Scheduler for LargestJobFirst {
+impl ThriftyLargestJobFirst {
+    fn new(ceiling: f64) -> Self {
+        ThriftyLargestJobFirst { ceiling, wakeup_pending: false, wakeups_received: 0 }
+    }
+}
+
+impl Scheduler for ThriftyLargestJobFirst {
     fn name(&self) -> &str {
-        "largest-job-first"
+        "thrifty-largest-job-first"
     }
 
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+    fn on_event(
+        &mut self,
+        event: SchedEvent<'_>,
+        ctx: &SchedulingContext<'_>,
+        out: &mut DecisionSink,
+    ) {
+        if let SchedEvent::Wakeup { .. } = event {
+            self.wakeup_pending = false;
+            self.wakeups_received += 1;
+        }
+        // Wakeups are advisory (see the scheduler_api docs): one can be
+        // swallowed if it fires while the cluster is saturated.  Re-arm as
+        // soon as a clean intensity is observed through any event, so a
+        // lost wakeup never disarms deferral for the rest of the run.
+        if self.wakeup_pending && ctx.carbon.intensity <= self.ceiling {
+            self.wakeup_pending = false;
+        }
+        // Dirty grid: defer, and (once per spell) ask to be woken at the
+        // first carbon step at or below the ceiling.  Writing nothing idles
+        // the free executors; the wakeup resumes the policy at the crossing
+        // without rescanning on every intermediate event.  Progress needs
+        // the ceiling strictly above the trace minimum — then a qualifying
+        // step always exists and the engine always schedules the wakeup.
+        if ctx.carbon.intensity > self.ceiling {
+            if !self.wakeup_pending {
+                out.defer_below(self.ceiling);
+                self.wakeup_pending = true;
+            }
+            return;
+        }
+        // Clean grid: largest remaining work first.
         let mut jobs: Vec<_> = ctx
             .jobs()
             .filter(|j| !j.dispatchable_stages().is_empty())
             .collect();
         jobs.sort_by(|a, b| b.remaining_work().total_cmp(&a.remaining_work()));
         let mut free = ctx.free_executors;
-        let mut out = Vec::new();
         for job in jobs {
             for &stage in job.dispatchable_stages() {
                 if free == 0 {
-                    return out;
+                    return;
                 }
                 let want = job.progress.pending_tasks(stage).min(free);
                 if want > 0 {
-                    out.push(Assignment::new(job.id, stage, want));
+                    out.dispatch(job.id, stage, want);
                     free -= want;
                 }
             }
         }
-        out
     }
 }
 
@@ -50,21 +102,38 @@ fn main() {
         .into_iter()
         .map(|j| SubmittedJob::at(j.arrival, j.dag))
         .collect();
+    // A fairly strict ceiling (25% into the trace's range) so the short
+    // demo workload actually hits dirty periods and defers.
+    let ceiling = trace.min() + 0.25 * (trace.max() - trace.min());
     let sim = Simulator::new(ClusterConfig::new(16), workload, trace.clone());
     let accountant = CarbonAccountant::new(trace).with_time_scale(60.0);
 
     // Plain custom policy.
-    let plain = sim.run(&mut LargestJobFirst).expect("plain run");
+    let mut plain_policy = ThriftyLargestJobFirst::new(ceiling);
+    let plain = sim.run(&mut plain_policy).expect("plain run");
     let plain_summary = ExperimentSummary::of(&plain, &accountant);
 
-    // The same policy wrapped with CAP — one line of integration.
-    let mut capped = Cap::new(LargestJobFirst, CapConfig::with_minimum_quota(4));
+    // The same policy wrapped with CAP — one line of integration; CAP
+    // forwards the typed events and the defer_below verbs transparently.
+    let mut capped = Cap::new(
+        ThriftyLargestJobFirst::new(ceiling),
+        CapConfig::with_minimum_quota(4),
+    );
     let capped_run = sim.run(&mut capped).expect("capped run");
     let capped_summary = ExperimentSummary::of(&capped_run, &accountant);
 
     let rel = capped_summary.normalized_to(&plain_summary);
-    println!("custom policy:            {:.1} kg CO2eq, ECT {:.0} s", plain_summary.carbon_grams / 1000.0, plain_summary.ect);
-    println!("custom policy + CAP(B=4): {:.1} kg CO2eq, ECT {:.0} s", capped_summary.carbon_grams / 1000.0, capped_summary.ect);
+    println!(
+        "custom policy:            {:.1} kg CO2eq, ECT {:.0} s ({} threshold wakeups)",
+        plain_summary.carbon_grams / 1000.0,
+        plain_summary.ect,
+        plain_policy.wakeups_received
+    );
+    println!(
+        "custom policy + CAP(B=4): {:.1} kg CO2eq, ECT {:.0} s",
+        capped_summary.carbon_grams / 1000.0,
+        capped_summary.ect
+    );
     println!(
         "carbon reduction {:.1}% for an ECT ratio of {:.3}; CAP applied a minimum quota of {} executors",
         rel.carbon_reduction_pct,

@@ -58,9 +58,11 @@ pub mod prelude {
     pub use pcaps_carbon::synth::SyntheticTraceGenerator;
     pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion};
     pub use pcaps_cluster::{
-        Assignment, ClusterConfig, Scheduler, SchedulingContext, SimulationResult, Simulator,
-        SubmittedJob,
+        Assignment, ClusterConfig, DecisionSink, SchedEvent, Scheduler, SchedulingContext,
+        SimulationResult, Simulator, SubmittedJob, WakeupToken,
     };
+    #[allow(deprecated)]
+    pub use pcaps_cluster::LegacyScheduler;
     pub use pcaps_core::{Cap, CapConfig, Pcaps, PcapsConfig};
     pub use pcaps_dag::{JobDag, JobDagBuilder, StageId, Task};
     pub use pcaps_metrics::{ExperimentSummary, NormalizedSummary};

@@ -1,8 +1,14 @@
 //! Reproducibility: the entire pipeline (workload generation, carbon trace
 //! synthesis, simulation, scheduling, accounting) is deterministic given its
-//! seeds, and different seeds genuinely change the outcome.
+//! seeds, and different seeds genuinely change the outcome — and the v2
+//! scheduler API (typed events + decision sink) reproduces the v1 seed's
+//! `run_trial` results bit for bit, both for the natively ported policies
+//! and for policies routed through the deprecated `LegacyScheduler` adapter.
 
 use carbon_aware_dag_sched::prelude::*;
+use pcaps_experiments::runner::{
+    run_trial, BaseScheduler, ExperimentConfig, SchedulerSpec,
+};
 
 fn run_pipeline(seed: u64) -> (f64, f64, f64) {
     let trace = SyntheticTraceGenerator::new(GridRegion::Caiso, seed).generate_days(14);
@@ -35,6 +41,139 @@ fn different_seeds_differ() {
         a != b,
         "different seeds should produce different workloads/trials"
     );
+}
+
+/// FNV-1a over the schedule-defining outputs of a run: makespan, dispatch
+/// count, and every per-job record (id, arrival, completion, executor
+/// seconds), all at full bit precision.
+fn fingerprint(result: &SimulationResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(result.makespan.to_bits());
+    mix(result.tasks_dispatched as u64);
+    mix(result.jobs_submitted as u64);
+    for job in &result.jobs {
+        mix(job.id.0);
+        mix(job.arrival.to_bits());
+        mix(job.completion.to_bits());
+        mix(job.executor_seconds.to_bits());
+    }
+    h
+}
+
+/// The seven scheduler specs of the experiment harness with the
+/// fingerprints their `run_trial` results had under the v1 (Vec-returning)
+/// scheduler API, captured immediately before the v2 port on the reference
+/// configuration below.  The v2 engine must reproduce them bit for bit as
+/// long as no policy uses the new deferral verbs.
+const V1_FINGERPRINTS: [(&str, SchedulerSpec, u64); 7] = [
+    ("fifo", SchedulerSpec::Baseline(BaseScheduler::Fifo), 0x7602c05a61b15e6a),
+    ("k8s_default", SchedulerSpec::Baseline(BaseScheduler::KubeDefault), 0x7602c05a61b15e6a),
+    ("weighted_fair", SchedulerSpec::Baseline(BaseScheduler::WeightedFair), 0x1ae3e51b79e65499),
+    ("decima", SchedulerSpec::Baseline(BaseScheduler::Decima), 0x241dc10e49cebef9),
+    ("greenhadoop", SchedulerSpec::GreenHadoop { theta: 0.5 }, 0xc5507bffa42a002c),
+    ("cap_fifo", SchedulerSpec::Cap { base: BaseScheduler::Fifo, b: 5 }, 0xd1e582d363597e56),
+    ("pcaps", SchedulerSpec::Pcaps { gamma: 0.5 }, 0x4263e65825f2a107),
+];
+
+/// The reference configuration the v1 fingerprints were captured on.
+fn reference_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::simulator(GridRegion::Germany, 8, 1);
+    cfg.executors = 20;
+    cfg.trace_days = 7;
+    cfg
+}
+
+#[test]
+fn v2_run_trial_fingerprints_match_the_v1_seed() {
+    for (name, spec, expected) in V1_FINGERPRINTS {
+        let out = run_trial(&reference_config(), spec);
+        assert_eq!(
+            fingerprint(&out.result),
+            expected,
+            "{name}: v2 port changed the schedule relative to the v1 seed"
+        );
+    }
+}
+
+/// Routes a native v2 policy through the deprecated v1 surface: `schedule`
+/// collects the policy's sink output into a `Vec`, which the blanket
+/// `LegacyScheduler → Scheduler` adapter then copies back into the engine's
+/// sink.  If the adapter loses or reorders anything, the fingerprints below
+/// diverge.
+struct ViaLegacy<S> {
+    inner: S,
+    scratch: DecisionSink,
+}
+
+impl<S: Scheduler> ViaLegacy<S> {
+    fn new(inner: S) -> Self {
+        ViaLegacy { inner, scratch: DecisionSink::new() }
+    }
+}
+
+#[allow(deprecated)]
+impl<S: Scheduler> LegacyScheduler for ViaLegacy<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
+        self.scratch.clear();
+        // The v1 surface has no typed event; every built-in policy ignores
+        // it (deferral verbs are not exercised on this path).
+        self.inner.on_event(SchedEvent::Kick, ctx, &mut self.scratch);
+        self.scratch.assignments().to_vec()
+    }
+}
+
+#[test]
+fn legacy_adapted_policies_match_the_v1_seed() {
+    // Reconstruct each spec's scheduler exactly as `run_trial` does (same
+    // seed derivation), but run it through the LegacyScheduler adapter.
+    let cfg = reference_config();
+    let seed = cfg.seed ^ 0x5EED;
+    for (name, spec, expected) in V1_FINGERPRINTS {
+        let sim = cfg.simulator_instance();
+        let mut scheduler: Box<dyn Scheduler> = match spec {
+            SchedulerSpec::Baseline(BaseScheduler::Fifo) => {
+                Box::new(ViaLegacy::new(SparkStandaloneFifo::new()))
+            }
+            SchedulerSpec::Baseline(BaseScheduler::KubeDefault) => {
+                Box::new(ViaLegacy::new(KubeDefaultFifo::new()))
+            }
+            SchedulerSpec::Baseline(BaseScheduler::WeightedFair) => {
+                Box::new(ViaLegacy::new(WeightedFair::new()))
+            }
+            SchedulerSpec::Baseline(BaseScheduler::Decima) => {
+                Box::new(ViaLegacy::new(DecimaLike::new(seed)))
+            }
+            SchedulerSpec::GreenHadoop { theta } => Box::new(ViaLegacy::new(
+                GreenHadoop::with_theta(sim.carbon().clone(), 60.0, theta),
+            )),
+            SchedulerSpec::Cap { b, .. } => Box::new(ViaLegacy::new(Cap::new(
+                SparkStandaloneFifo::new(),
+                CapConfig::with_minimum_quota(b),
+            ))),
+            SchedulerSpec::Pcaps { gamma } => Box::new(ViaLegacy::new(Pcaps::new(
+                DecimaLike::new(seed),
+                PcapsConfig::with_gamma(gamma).with_seed(seed),
+            ))),
+        };
+        let result = sim.run(scheduler.as_mut()).unwrap();
+        assert_eq!(
+            fingerprint(&result),
+            expected,
+            "{name}: the LegacyScheduler adapter changed the schedule"
+        );
+    }
 }
 
 #[test]
