@@ -4,7 +4,8 @@
 //! parameter sweeps (Figs. 7–19).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcaps_bench::{bench_config, runner};
+use pcaps_bench::{bench_config, fed_bench_config, runner};
+use pcaps_experiments::multi_region::{run_federated_trial, RouterSpec};
 use runner::{run_trial, BaseScheduler, SchedulerSpec};
 
 fn simulator_throughput(c: &mut Criterion) {
@@ -24,6 +25,26 @@ fn simulator_throughput(c: &mut Criterion) {
             b.iter(|| criterion::black_box(run_trial(&cfg, spec).result.makespan))
         });
     }
+    // Federated trial: the same 10-job stream routed across three grids
+    // (carbon+queue-aware) with a PCAPS instance per member — tracks the
+    // event-loop overhead of the federation layer relative to the
+    // single-cluster specs above (10 jobs, ~20 executors total).
+    let fed_cfg = fed_bench_config(10, 7);
+    group.bench_function(
+        BenchmarkId::new("10_jobs_20_exec", "fed3_cqa_pcaps"),
+        |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    run_federated_trial(
+                        &fed_cfg,
+                        RouterSpec::CarbonQueueAware,
+                        SchedulerSpec::pcaps_moderate(),
+                    )
+                    .makespan,
+                )
+            })
+        },
+    );
     group.finish();
 }
 

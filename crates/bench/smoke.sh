@@ -23,8 +23,15 @@ if [[ -z "$out" ]]; then
 fi
 
 # Never bench a broken tree: the tier-1 verify gate (ROADMAP.md) runs first
-# so every BENCH_<n>.json snapshot corresponds to a green build.
-cargo build --release
+# so every BENCH_<n>.json snapshot corresponds to a green build.  The whole
+# smoke run denies rustc warnings in workspace crates (exported RUSTFLAGS
+# covers the release build of every target — libs, bins, examples, tests,
+# benches — plus the test and bench compiles, and keeps cargo's fingerprints
+# consistent across the steps) so refactor leftovers (dead code, unused
+# imports) cannot linger; the shims under crates/shims/ carry crate-level
+# allows (they are deliberate API subsets) and are thereby exempt.
+export RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings"
+cargo build --release --all-targets
 cargo test -q
 
 tmpdir=$(mktemp -d)

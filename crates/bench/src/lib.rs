@@ -34,6 +34,24 @@ pub fn bench_config(jobs: usize, executors: usize) -> runner::ExperimentConfig {
     cfg
 }
 
+/// Builds the standard federated benchmark workload: `jobs` mixed TPC-H
+/// queries routed across three grids (CAISO / DE / ZA — high, medium and
+/// near-zero carbon variability) with `executors_per_member` executors each.
+pub fn fed_bench_config(
+    jobs: usize,
+    executors_per_member: usize,
+) -> pcaps_experiments::multi_region::FederationExperimentConfig {
+    use pcaps_carbon::GridRegion;
+    let mut cfg = pcaps_experiments::multi_region::FederationExperimentConfig::standard(
+        vec![GridRegion::Caiso, GridRegion::Germany, GridRegion::SouthAfrica],
+        jobs,
+        42,
+    );
+    cfg.executors_per_member = executors_per_member;
+    cfg.trace_days = 7;
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +61,17 @@ mod tests {
         let cfg = bench_config(3, 8);
         let out = runner::run_trial(&cfg, runner::SchedulerSpec::pcaps_moderate());
         assert!(out.result.all_jobs_complete());
+    }
+
+    #[test]
+    fn fed_bench_config_is_runnable() {
+        let cfg = fed_bench_config(3, 8);
+        let out = pcaps_experiments::multi_region::run_federated_trial(
+            &cfg,
+            pcaps_experiments::multi_region::RouterSpec::CarbonQueueAware,
+            runner::SchedulerSpec::pcaps_moderate(),
+        );
+        assert_eq!(out.members.len(), 3);
+        assert!(out.makespan > 0.0);
     }
 }

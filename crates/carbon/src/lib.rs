@@ -16,6 +16,8 @@
 //!   see DESIGN.md §1),
 //! * [`forecast`] — the 48-hour lookahead used to derive the bounds `L` and
 //!   `U` that threshold-based algorithms rely on,
+//! * [`multi`] — aligned multi-region trace sets for federated (multi-grid)
+//!   simulations,
 //! * [`accounting`] — ex-post carbon footprint accounting over executor
 //!   usage profiles, exactly as the paper's simulator does (§5.2).
 //!
@@ -37,6 +39,7 @@
 pub mod accounting;
 pub mod forecast;
 pub mod io;
+pub mod multi;
 pub mod regions;
 pub mod stats;
 pub mod synth;
@@ -45,6 +48,7 @@ pub mod trace;
 pub use accounting::{CarbonAccountant, UsageSample};
 pub use forecast::BoundsForecaster;
 pub use io::{load_csv, parse_csv, CsvOptions, TraceIoError};
+pub use multi::TraceSet;
 pub use regions::{GridRegion, GridStats};
 pub use stats::TraceStats;
 pub use trace::{CarbonSignal, CarbonTrace};

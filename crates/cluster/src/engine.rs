@@ -1,35 +1,49 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine (federated).
+//!
+//! One [`Engine`] drives every member cluster of a [`Federation`] from a
+//! single shared event queue, so multi-region runs are exactly as
+//! deterministic as single-cluster runs.  The single-cluster [`Simulator`]
+//! is a thin wrapper over a one-member federation.
 //!
 //! ## Hot-path design
 //!
 //! The engine is built so that the per-event cost of a scheduling decision is
-//! *incremental* rather than recomputed:
+//! *incremental* rather than recomputed, per member:
 //!
-//! * the active-job table (`active` + `slots`) is maintained across events —
-//!   arrival pushes, completion removes — so building a [`SchedulingContext`]
-//!   is a pair of slice borrows with **zero allocation** per invocation,
-//! * decisions flow through one run-scoped [`DecisionSink`] whose buffers
-//!   are cleared (not reallocated) per invocation, so a native v2 scheduler
+//! * each member's active-job table (`active` + `slots`) is maintained
+//!   across events — arrival pushes, completion removes — so building a
+//!   [`SchedulingContext`] is a pair of slice borrows with **zero
+//!   allocation** per invocation,
+//! * each member owns one run-scoped [`DecisionSink`] whose buffers are
+//!   cleared (not reallocated) per invocation, so a native v2 scheduler
 //!   invocation allocates nothing in the steady state,
 //! * job DAGs are shared (`Arc<JobDag>`), so activating a job bumps a
 //!   reference count instead of deep-cloning every stage and task, and
-//!   workload validation happens once in [`Simulator::new`], not per run,
+//!   workload validation happens once in [`Federation::new`], not per run,
 //! * runnable/dispatchable stage sets and remaining-work sums are maintained
 //!   incrementally inside [`pcaps_dag::JobProgress`],
-//! * carbon bounds come from `CarbonTrace`'s O(1) range-min/max index, and
-//!   `defer_below` threshold crossings resolve in O(log trace) against the
-//!   same index,
+//! * carbon bounds come from each member trace's O(1) range-min/max index,
+//!   and `defer_below` threshold crossings resolve in O(log trace) against
+//!   the requesting member's own index,
+//! * routing decisions see per-member queue depth and outstanding work that
+//!   are maintained incrementally (O(1) per arrival/dispatch), and the
+//!   [`MemberView`] buffer handed to the router is reused across arrivals,
 //! * per-invocation latency sampling (a syscall plus a heap push per
 //!   scheduling event) is opt-in via
 //!   [`ClusterConfig::with_invocation_sampling`].
+//!
+//! [`Federation`]: crate::federation::Federation
+//! [`Federation::new`]: crate::federation::Federation::new
 
 use crate::config::ClusterConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
 use crate::executor::ExecutorPool;
+use crate::federation::{Federation, Member};
 use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
 use crate::profile::{ExecutorSegment, UsageProfile};
-use crate::result::{InvocationSample, SimulationResult};
+use crate::result::{FederationResult, InvocationSample, MemberResult, SimulationResult};
+use crate::routing::{MemberView, Router, RoutingContext, StaticRouter};
 use crate::scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, SchedEvent, Scheduler, SchedulingContext,
     WakeupToken,
@@ -38,99 +52,183 @@ use pcaps_carbon::{CarbonSignal, CarbonTrace};
 use pcaps_dag::{JobId, StageId};
 use std::time::Instant;
 
-/// A configured simulation, ready to be run against a scheduling policy.
+/// A configured single-cluster simulation, ready to be run against a
+/// scheduling policy.
 ///
-/// The same `Simulator` can be run multiple times with different schedulers —
-/// every run starts from a pristine copy of the workload, so results are
-/// directly comparable (this is how the experiment harness produces the
-/// "normalised with respect to baseline" numbers of Tables 2 and 3).
+/// Since the federation refactor this is a thin wrapper over a one-member
+/// [`Federation`] driven by a [`StaticRouter`]; its results are bit-identical
+/// to the pre-federation single-cluster engine.  The same `Simulator` can be
+/// run multiple times with different schedulers — every run starts from a
+/// pristine copy of the workload, so results are directly comparable (this
+/// is how the experiment harness produces the "normalised with respect to
+/// baseline" numbers of Tables 2 and 3).
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    config: ClusterConfig,
-    workload: Vec<SubmittedJob>,
-    carbon: CarbonTrace,
-    /// First workload validation failure, if any — detected once at
-    /// construction and reported by every [`Simulator::run`] call, so runs
-    /// never re-validate the DAGs.
-    invalid: Option<SimError>,
+    federation: Federation,
 }
 
 impl Simulator {
     /// Creates a simulator.  The workload is sorted by arrival time; job ids
     /// are assigned in arrival order.  Every job DAG is validated here, once
     /// — [`Simulator::run`] reports the failure without re-walking the DAGs.
-    pub fn new(config: ClusterConfig, mut workload: Vec<SubmittedJob>, carbon: CarbonTrace) -> Self {
-        workload.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
-        let invalid = workload.iter().find_map(|job| {
-            job.dag.validate().err().map(|e| SimError::InvalidJob {
-                job: job.dag.name.clone(),
-                reason: e.to_string(),
-            })
-        });
+    pub fn new(config: ClusterConfig, workload: Vec<SubmittedJob>, carbon: CarbonTrace) -> Self {
+        let label = carbon.label.clone();
         Simulator {
-            config,
-            workload,
-            carbon,
-            invalid,
+            federation: Federation::new(vec![Member::new(label, config, carbon)], workload),
         }
     }
 
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
-        &self.config
+        &self.federation.members()[0].config
     }
 
     /// The workload (sorted by arrival).
     pub fn workload(&self) -> &[SubmittedJob] {
-        &self.workload
+        self.federation.workload()
     }
 
     /// The carbon trace the run is accounted against.
     pub fn carbon(&self) -> &CarbonTrace {
-        &self.carbon
+        &self.federation.members()[0].carbon
+    }
+
+    /// The underlying one-member federation.
+    pub fn federation(&self) -> &Federation {
+        &self.federation
     }
 
     /// Runs the simulation to completion with the given scheduler.
     pub fn run(&self, scheduler: &mut dyn Scheduler) -> Result<SimulationResult, SimError> {
-        if self.workload.is_empty() {
-            return Err(SimError::EmptyWorkload);
-        }
-        if let Some(e) = &self.invalid {
-            return Err(e.clone());
-        }
-        let mut engine = Engine::new(&self.config, &self.workload, &self.carbon);
-        engine.run(scheduler)
+        let mut router = StaticRouter::new(0);
+        let mut schedulers: [&mut dyn Scheduler; 1] = [scheduler];
+        let result = self.federation.run(&mut router, &mut schedulers)?;
+        Ok(result.into_single())
     }
 }
 
-/// Mutable state of one run.
-struct Engine<'a> {
+/// Mutable state of one member cluster during a run.
+struct MemberState<'a> {
+    label: &'a str,
     config: &'a ClusterConfig,
-    workload: &'a [SubmittedJob],
     carbon: &'a CarbonTrace,
 
-    time: f64,
-    events: EventQueue,
     executors: ExecutorPool,
-    /// Arrived, incomplete jobs in arrival (= ascending id) order.  This is
-    /// the table the scheduling context borrows; arrival pushes to the back,
-    /// completion removes in place — no per-invocation rebuild.
+    /// Arrived, incomplete jobs routed to this member, in arrival
+    /// (= ascending id) order.  This is the table the scheduling context
+    /// borrows; arrival pushes to the back, completion removes in place — no
+    /// per-invocation rebuild.
     active: Vec<ActiveJob>,
-    /// `slots[id]` is the job's index in `active` (`None`: not arrived yet,
-    /// or already complete — disambiguated by `completed[id]`).
+    /// `slots[id]` is the job's index in `active` (`None`: not arrived, not
+    /// routed here, or already complete — the engine's global `completed`
+    /// table disambiguates).
     slots: Vec<Option<u32>>,
-    /// `completed[id]` is true once the job's last task finished.
-    completed: Vec<bool>,
     profile: UsageProfile,
     records: Vec<JobRecord>,
     invocations: Vec<InvocationSample>,
     tasks_dispatched: usize,
-    completed_jobs: usize,
-    /// Next carbon-intensity change, in schedule time.
+    /// Jobs routed to this member so far.
+    routed_jobs: usize,
+    /// Executor-seconds of routed-but-undispatched task work (incremental:
+    /// routing adds a job's total work, each dispatch subtracts the task's
+    /// duration).  Exposed to routers as [`MemberView::outstanding_work`].
+    outstanding_work: f64,
+    /// The member's carbon step expressed in schedule time.
+    carbon_step_schedule: f64,
+    /// Next carbon-intensity change of this member, in schedule time.
     next_carbon_change: f64,
-    /// Intensity in effect as of the last carbon step (the `prev` of the
-    /// next [`SchedEvent::CarbonChanged`]).
+    /// Intensity in effect as of the member's last carbon step (the `prev`
+    /// of its next [`SchedEvent::CarbonChanged`]).
     current_intensity: f64,
+    /// The member's run-scoped decision sink (cleared, never reallocated,
+    /// per invocation; token counter is member-scoped).
+    sink: DecisionSink,
+}
+
+impl<'a> MemberState<'a> {
+    fn new(member: &'a Member, total_jobs: usize) -> Self {
+        let carbon_step_schedule = member.carbon.step / member.config.time_scale;
+        MemberState {
+            label: &member.label,
+            config: &member.config,
+            carbon: &member.carbon,
+            executors: ExecutorPool::new(member.config.num_executors),
+            active: Vec::with_capacity(total_jobs.min(1024)),
+            slots: vec![None; total_jobs],
+            profile: UsageProfile::new(),
+            records: Vec::new(),
+            invocations: Vec::new(),
+            tasks_dispatched: 0,
+            routed_jobs: 0,
+            outstanding_work: 0.0,
+            carbon_step_schedule,
+            next_carbon_change: carbon_step_schedule,
+            current_intensity: member.carbon.intensity(0.0),
+            sink: DecisionSink::new(),
+        }
+    }
+
+    /// Converts a schedule time to this member's carbon-trace time.
+    fn carbon_time(&self, t: f64) -> f64 {
+        t * self.config.time_scale
+    }
+
+    fn carbon_view(&self, time: f64) -> CarbonView {
+        let ct = self.carbon_time(time);
+        let intensity = self.carbon.intensity(ct);
+        let (lower_bound, upper_bound) = self.carbon.bounds(ct, self.config.forecast_horizon);
+        CarbonView::new(intensity, lower_bound, upper_bound)
+    }
+
+    /// The router's snapshot of this member.
+    fn view(&self, member: usize, time: f64) -> MemberView {
+        MemberView {
+            member,
+            carbon: self.carbon_view(time),
+            queue_depth: self.active.len(),
+            outstanding_work: self.outstanding_work,
+            total_executors: self.config.num_executors,
+            free_executors: self.executors.free_count(),
+        }
+    }
+
+    /// Index of `job` in `active`, if it is active on this member.
+    fn slot(&self, job: JobId) -> Option<usize> {
+        self.slots[job.index()].map(|i| i as usize)
+    }
+
+    /// Removes the completed job at `idx` from the active table, keeping
+    /// `slots` consistent.  O(active jobs) on the (rare) completion path so
+    /// every scheduling invocation stays O(active jobs) overall.
+    fn retire_active(&mut self, idx: usize) -> ActiveJob {
+        let done = self.active.remove(idx);
+        self.slots[done.id.index()] = None;
+        for (i, job) in self.active.iter().enumerate().skip(idx) {
+            self.slots[job.id.index()] = Some(i as u32);
+        }
+        done
+    }
+}
+
+/// Mutable state of one federated run.
+pub(crate) struct Engine<'a> {
+    workload: &'a [SubmittedJob],
+    members: Vec<MemberState<'a>>,
+
+    time: f64,
+    events: EventQueue,
+    /// `routed[id]` is the member the job was placed on (`None` before its
+    /// arrival was processed).
+    routed: Vec<Option<u32>>,
+    /// `completed[id]` is true once the job's last task finished (global —
+    /// a job completes on exactly one member).
+    completed: Vec<bool>,
+    completed_jobs: usize,
+    /// The binding time limit: the smallest `max_sim_time` of any member.
+    max_sim_time: f64,
+    /// Reused buffer for the per-arrival [`RoutingContext`] — cleared and
+    /// refilled per routing decision, never reallocated in the steady state.
+    view_buf: Vec<MemberView>,
 }
 
 /// Engine-internal, borrow-free description of the event that triggers a
@@ -146,53 +244,49 @@ enum EventSeed {
 }
 
 impl<'a> Engine<'a> {
-    fn new(config: &'a ClusterConfig, workload: &'a [SubmittedJob], carbon: &'a CarbonTrace) -> Self {
+    pub(crate) fn new(members: &'a [Member], workload: &'a [SubmittedJob]) -> Self {
         let mut events = EventQueue::new();
         for (i, job) in workload.iter().enumerate() {
             events.push(job.arrival, Event::JobArrival { job: JobId(i as u64) });
         }
-        let carbon_step_schedule = carbon.step / config.time_scale;
+        let member_states: Vec<MemberState<'a>> = members
+            .iter()
+            .map(|m| MemberState::new(m, workload.len()))
+            .collect();
+        let max_sim_time = member_states
+            .iter()
+            .map(|m| m.config.max_sim_time)
+            .fold(f64::INFINITY, f64::min);
+        let view_buf = Vec::with_capacity(member_states.len());
         Engine {
-            config,
             workload,
-            carbon,
+            members: member_states,
             time: 0.0,
             events,
-            executors: ExecutorPool::new(config.num_executors),
-            active: Vec::with_capacity(workload.len().min(1024)),
-            slots: vec![None; workload.len()],
+            routed: vec![None; workload.len()],
             completed: vec![false; workload.len()],
-            profile: UsageProfile::new(),
-            records: Vec::new(),
-            invocations: Vec::new(),
-            tasks_dispatched: 0,
             completed_jobs: 0,
-            next_carbon_change: carbon_step_schedule,
-            current_intensity: carbon.intensity(0.0),
+            max_sim_time,
+            view_buf,
         }
-    }
-
-    /// Converts a schedule time to carbon-trace time.
-    fn carbon_time(&self, t: f64) -> f64 {
-        t * self.config.time_scale
-    }
-
-    fn carbon_view(&self) -> CarbonView {
-        let ct = self.carbon_time(self.time);
-        let intensity = self.carbon.intensity(ct);
-        let (lower_bound, upper_bound) = self.carbon.bounds(ct, self.config.forecast_horizon);
-        CarbonView::new(intensity, lower_bound, upper_bound)
     }
 
     fn incomplete_jobs(&self) -> usize {
         self.workload.len() - self.completed_jobs
     }
 
-    fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<SimulationResult, SimError> {
-        let carbon_step_schedule = self.carbon.step / self.config.time_scale;
-        // One sink for the whole run: cleared per invocation, so its buffers
-        // stop allocating once their capacity has warmed up.
-        let mut sink = DecisionSink::new();
+    fn time_limit_error(&self) -> SimError {
+        SimError::TimeLimitExceeded {
+            limit: self.max_sim_time,
+            incomplete_jobs: self.incomplete_jobs(),
+        }
+    }
+
+    pub(crate) fn run(
+        &mut self,
+        router: &mut dyn Router,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<FederationResult, SimError> {
         loop {
             // Completion is the sole termination condition: pending arrivals
             // or task finishes imply incomplete jobs, and stray wakeups for
@@ -200,104 +294,143 @@ impl<'a> Engine<'a> {
             if self.incomplete_jobs() == 0 {
                 break;
             }
-            let heap_time = self.events.peek_time();
-            let wake_on_carbon = match heap_time {
-                Some(ht) => self.next_carbon_change < ht,
+            // The earliest member carbon step (ties broken by member index,
+            // so multi-member runs stay deterministic).
+            let mut carbon_member = 0usize;
+            let mut carbon_time = self.members[0].next_carbon_change;
+            for (i, m) in self.members.iter().enumerate().skip(1) {
+                if m.next_carbon_change < carbon_time {
+                    carbon_member = i;
+                    carbon_time = m.next_carbon_change;
+                }
+            }
+            let wake_on_carbon = match self.events.peek_time() {
+                Some(ht) => carbon_time < ht,
                 None => true,
             };
             if wake_on_carbon {
-                self.time = self.next_carbon_change;
-                self.next_carbon_change += carbon_step_schedule;
-                if self.time > self.config.max_sim_time {
-                    return Err(SimError::TimeLimitExceeded {
-                        limit: self.config.max_sim_time,
-                        incomplete_jobs: self.incomplete_jobs(),
-                    });
+                self.time = carbon_time;
+                let member = &mut self.members[carbon_member];
+                member.next_carbon_change += member.carbon_step_schedule;
+                if self.time > self.max_sim_time {
+                    return Err(self.time_limit_error());
                 }
-                let prev = self.current_intensity;
-                let now = self.carbon.intensity(self.carbon_time(self.time));
-                self.current_intensity = now;
-                self.schedule_loop(scheduler, &mut sink, EventSeed::CarbonChanged { prev, now })?;
+                let member = &mut self.members[carbon_member];
+                let prev = member.current_intensity;
+                let now = member.carbon.intensity(member.carbon_time(self.time));
+                member.current_intensity = now;
+                self.schedule_loop(
+                    carbon_member,
+                    &mut *schedulers[carbon_member],
+                    EventSeed::CarbonChanged { prev, now },
+                )?;
             } else {
                 let (t, event) = self.events.pop().expect("peeked time implies non-empty");
                 self.time = t;
-                if self.time > self.config.max_sim_time {
-                    return Err(SimError::TimeLimitExceeded {
-                        limit: self.config.max_sim_time,
-                        incomplete_jobs: self.incomplete_jobs(),
-                    });
+                if self.time > self.max_sim_time {
+                    return Err(self.time_limit_error());
                 }
-                let seed = self.handle_event(event);
-                self.schedule_loop(scheduler, &mut sink, seed)?;
+                let (target, seed) = self.handle_event(event, router)?;
+                self.schedule_loop(target, &mut *schedulers[target], seed)?;
             }
         }
 
-        let makespan = self
-            .records
+        let mut members_out = Vec::with_capacity(self.members.len());
+        for (i, m) in self.members.iter_mut().enumerate() {
+            let makespan = m.records.iter().map(|r| r.completion).fold(0.0_f64, f64::max);
+            m.records.sort_by_key(|r| r.id);
+            members_out.push(MemberResult {
+                member: i,
+                label: m.label.to_string(),
+                result: SimulationResult {
+                    scheduler: schedulers[i].name().to_string(),
+                    jobs: std::mem::take(&mut m.records),
+                    profile: std::mem::take(&mut m.profile),
+                    makespan,
+                    invocations: std::mem::take(&mut m.invocations),
+                    tasks_dispatched: m.tasks_dispatched,
+                    jobs_submitted: m.routed_jobs,
+                },
+            });
+        }
+        let makespan = members_out
             .iter()
-            .map(|r| r.completion)
+            .map(|m| m.result.makespan)
             .fold(0.0_f64, f64::max);
-        self.records.sort_by_key(|r| r.id);
-        Ok(SimulationResult {
-            scheduler: scheduler.name().to_string(),
-            jobs: std::mem::take(&mut self.records),
-            profile: std::mem::take(&mut self.profile),
+        Ok(FederationResult {
+            router: router.name().to_string(),
+            members: members_out,
             makespan,
-            invocations: std::mem::take(&mut self.invocations),
-            tasks_dispatched: self.tasks_dispatched,
-            jobs_submitted: self.workload.len(),
         })
     }
 
-    /// Index of `job` in `active`, if it has arrived and is incomplete.
-    fn slot(&self, job: JobId) -> Option<usize> {
-        self.slots[job.index()].map(|i| i as usize)
-    }
-
-    /// Removes the completed job at `idx` from the active table, keeping
-    /// `slots` consistent.  O(active jobs) on the (rare) completion path so
-    /// every scheduling invocation stays O(active jobs) overall.
-    fn retire_active(&mut self, idx: usize) -> ActiveJob {
-        let done = self.active.remove(idx);
-        self.slots[done.id.index()] = None;
-        self.completed[done.id.index()] = true;
-        for (i, job) in self.active.iter().enumerate().skip(idx) {
-            self.slots[job.id.index()] = Some(i as u32);
+    /// Consults the router for the arriving job, validating the returned
+    /// member index.  The view buffer is reused across arrivals.
+    fn route(&mut self, router: &mut dyn Router, job: JobId) -> Result<usize, SimError> {
+        let mut views = std::mem::take(&mut self.view_buf);
+        views.clear();
+        for (i, m) in self.members.iter().enumerate() {
+            views.push(m.view(i, self.time));
         }
-        done
+        let ctx = RoutingContext::new(self.time, &views);
+        let target = router.route(job, &self.workload[job.index()], &ctx);
+        self.view_buf = views;
+        if target >= self.members.len() {
+            return Err(SimError::InvalidRoute {
+                job: job.to_string(),
+                member: target,
+                members: self.members.len(),
+            });
+        }
+        Ok(target)
     }
 
-    /// Applies an event's state changes and returns the seed of the typed
-    /// [`SchedEvent`] the subsequent scheduling pass is invoked with.
-    fn handle_event(&mut self, event: Event) -> EventSeed {
+    /// Applies an event's state changes and returns the member to consult
+    /// plus the seed of the typed [`SchedEvent`] the scheduling pass is
+    /// invoked with.
+    fn handle_event(
+        &mut self,
+        event: Event,
+        router: &mut dyn Router,
+    ) -> Result<(usize, EventSeed), SimError> {
         match event {
             Event::JobArrival { job } => {
+                let target = self.route(router, job)?;
                 let submitted = &self.workload[job.index()];
+                self.routed[job.index()] = Some(target as u32);
+                let member = &mut self.members[target];
                 debug_assert!(
-                    self.active.last().map_or(true, |last| last.id < job),
+                    member.active.last().map_or(true, |last| last.id < job),
                     "arrivals must come in ascending id order"
                 );
-                self.slots[job.index()] = Some(self.active.len() as u32);
-                self.active
+                member.slots[job.index()] = Some(member.active.len() as u32);
+                member
+                    .active
                     .push(ActiveJob::new(job, submitted.dag.clone(), submitted.arrival));
-                self.profile
-                    .record_jobs_in_system(self.time, self.active.len());
-                EventSeed::JobArrived(job)
+                member.routed_jobs += 1;
+                member.outstanding_work += submitted.dag.total_work();
+                member
+                    .profile
+                    .record_jobs_in_system(self.time, member.active.len());
+                Ok((target, EventSeed::JobArrived(job)))
             }
-            Event::TaskFinish { executor, job, stage } => {
-                self.executors.finish(executor);
-                let idx = self
+            Event::TaskFinish { member: target, executor, job, stage } => {
+                let time = self.time;
+                let member = &mut self.members[target];
+                member.executors.finish(executor);
+                let idx = member
                     .slot(job)
-                    .expect("task finished for a job that is not active");
-                let active = &mut self.active[idx];
+                    .expect("task finished for a job that is not active on its member");
+                let active = &mut member.active[idx];
                 active.busy_executors = active.busy_executors.saturating_sub(1);
                 let stage_done = active.progress.finish_task(&active.dag, stage);
                 if stage_done && active.progress.job_complete() {
-                    let completion = self.time;
+                    let completion = time;
                     active.completion = Some(completion);
-                    let done = self.retire_active(idx);
+                    let done = member.retire_active(idx);
+                    self.completed[done.id.index()] = true;
                     self.completed_jobs += 1;
-                    self.records.push(JobRecord {
+                    member.records.push(JobRecord {
                         id: done.id,
                         name: done.dag.name.clone(),
                         arrival: done.arrival,
@@ -306,41 +439,60 @@ impl<'a> Engine<'a> {
                         total_work: done.dag.total_work(),
                         num_stages: done.dag.num_stages(),
                     });
-                    self.profile
-                        .record_jobs_in_system(self.time, self.active.len());
+                    member
+                        .profile
+                        .record_jobs_in_system(time, member.active.len());
                 }
-                self.profile
-                    .record_usage(self.time, self.executors.busy_count());
-                EventSeed::TasksCompleted { job, stage, n: 1 }
+                member
+                    .profile
+                    .record_usage(time, member.executors.busy_count());
+                Ok((target, EventSeed::TasksCompleted { job, stage, n: 1 }))
             }
-            Event::Wakeup { token } => EventSeed::Wakeup(token),
+            Event::Wakeup { member, token } => Ok((member, EventSeed::Wakeup(token))),
         }
     }
 
-    /// Repeatedly invokes the scheduler until it defers, produces nothing
-    /// applicable, or the cluster is saturated.  The first invocation
+    /// Repeatedly invokes one member's scheduler until it defers, produces
+    /// nothing applicable, or the member is saturated.  The first invocation
     /// carries the typed triggering event; re-invocations at the same
     /// instant carry [`SchedEvent::Kick`].
     fn schedule_loop(
         &mut self,
+        target: usize,
+        scheduler: &mut dyn Scheduler,
+        seed: EventSeed,
+    ) -> Result<(), SimError> {
+        // The member's sink is moved out for the duration of the loop so the
+        // scheduler can write into it while the member (whose active table
+        // the context borrows) stays immutably borrowed.
+        let mut sink = std::mem::take(&mut self.members[target].sink);
+        let result = self.schedule_loop_with(target, scheduler, &mut sink, seed);
+        self.members[target].sink = sink;
+        result
+    }
+
+    fn schedule_loop_with(
+        &mut self,
+        target: usize,
         scheduler: &mut dyn Scheduler,
         sink: &mut DecisionSink,
         mut seed: EventSeed,
     ) -> Result<(), SimError> {
         loop {
-            if self.executors.free_count() == 0 {
+            let member = &self.members[target];
+            if member.executors.free_count() == 0 {
                 return Ok(());
             }
-            let carbon = self.carbon_view();
+            let carbon = member.carbon_view(self.time);
             let ctx = SchedulingContext::new(
                 self.time,
                 carbon,
-                self.config.num_executors,
-                self.executors.free_count(),
-                self.executors.busy_count(),
-                self.config.job_cap(),
-                &self.active,
-                Some(&self.slots),
+                member.config.num_executors,
+                member.executors.free_count(),
+                member.executors.busy_count(),
+                member.config.job_cap(),
+                &member.active,
+                Some(&member.slots),
             );
             if !ctx.has_dispatchable_work() {
                 return Ok(());
@@ -360,23 +512,24 @@ impl<'a> Engine<'a> {
                 EventSeed::Kick => SchedEvent::Kick,
             };
             sink.clear();
-            if self.config.sample_invocation_latency {
+            if member.config.sample_invocation_latency {
                 let queue_length = ctx.queue_length();
                 let started = Instant::now();
                 scheduler.on_event(event, &ctx, sink);
-                self.invocations.push(InvocationSample {
+                let latency_seconds = started.elapsed().as_secs_f64();
+                self.members[target].invocations.push(InvocationSample {
                     time: self.time,
                     queue_length,
-                    latency_seconds: started.elapsed().as_secs_f64(),
+                    latency_seconds,
                 });
             } else {
                 scheduler.on_event(event, &ctx, sink);
             }
-            self.apply_deferrals(sink.deferrals());
+            self.apply_deferrals(target, sink.deferrals());
             if sink.assignments().is_empty() {
                 return Ok(());
             }
-            let dispatched = self.apply_assignments(sink.assignments())?;
+            let dispatched = self.apply_assignments(target, sink.assignments())?;
             if dispatched == 0 {
                 return Ok(());
             }
@@ -384,27 +537,29 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Resolves the sink's control verbs into real events on the queue:
-    /// `defer_until` becomes a timer wakeup at the requested instant (which
-    /// may pierce the carbon-step granularity), `defer_below` becomes a
-    /// wakeup at the first future carbon step at or below the threshold
-    /// (resolved in O(log trace) against the trace's range-min index).
-    fn apply_deferrals(&mut self, deferrals: &[DeferRequest]) {
+    /// Resolves one member's control verbs into real events on the shared
+    /// queue: `defer_until` becomes a timer wakeup at the requested instant
+    /// (which may pierce the carbon-step granularity), `defer_below` becomes
+    /// a wakeup at the first future step of *that member's* carbon trace at
+    /// or below the threshold (resolved in O(log trace) against the trace's
+    /// range-min index).
+    fn apply_deferrals(&mut self, target: usize, deferrals: &[DeferRequest]) {
+        let member = &self.members[target];
         for request in deferrals {
             match *request {
                 DeferRequest::Until { time, token } => {
                     // Requests at or before the current instant are dropped:
                     // the policy is being invoked right now.
                     if time > self.time {
-                        self.events.push(time, Event::Wakeup { token });
+                        self.events.push(time, Event::Wakeup { member: target, token });
                     }
                 }
                 DeferRequest::Below { intensity, token } => {
                     // Search strictly future steps — if the current step
                     // already qualified the policy would not be deferring.
-                    let from = self.carbon.next_change(self.carbon_time(self.time));
-                    if let Some(ct) = self.carbon.next_time_at_or_below(from, intensity) {
-                        let time = ct / self.config.time_scale;
+                    let from = member.carbon.next_change(member.carbon_time(self.time));
+                    if let Some(ct) = member.carbon.next_time_at_or_below(from, intensity) {
+                        let time = ct / member.config.time_scale;
                         // Same future-time guard as the Until arm: when the
                         // carbon→schedule conversion is inexact in f64, a
                         // wakeup popped just below a step boundary can
@@ -413,7 +568,7 @@ impl<'a> Engine<'a> {
                         // Dropping it is safe — the next regular carbon-step
                         // event re-invokes the policy anyway.
                         if time > self.time {
-                            self.events.push(time, Event::Wakeup { token });
+                            self.events.push(time, Event::Wakeup { member: target, token });
                         }
                     }
                 }
@@ -421,17 +576,22 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Applies assignments, returning the number of tasks actually
-    /// dispatched.
-    fn apply_assignments(&mut self, assignments: &[Assignment]) -> Result<usize, SimError> {
+    /// Applies one member's assignments, returning the number of tasks
+    /// actually dispatched.
+    fn apply_assignments(
+        &mut self,
+        target: usize,
+        assignments: &[Assignment],
+    ) -> Result<usize, SimError> {
+        let member = &mut self.members[target];
         let mut dispatched = 0;
         for a in assignments {
-            if a.job.index() >= self.slots.len() {
+            if a.job.index() >= member.slots.len() {
                 return Err(SimError::InvalidAssignment {
                     reason: format!("unknown job {}", a.job),
                 });
             }
-            let Some(idx) = self.slot(a.job) else {
+            let Some(idx) = member.slot(a.job) else {
                 if self.completed[a.job.index()] {
                     // An assignment to an already finished job is a harmless
                     // no-op — but an out-of-range stage is still a scheduler
@@ -444,11 +604,22 @@ impl<'a> Engine<'a> {
                     }
                     continue;
                 }
+                // Not completed and not active here: either routed to a
+                // different member (a scheduler may only dispatch its own
+                // member's jobs) or not arrived at all.
+                if let Some(other) = self.routed[a.job.index()] {
+                    return Err(SimError::InvalidAssignment {
+                        reason: format!(
+                            "{} is routed to member {}, not this member",
+                            a.job, other
+                        ),
+                    });
+                }
                 return Err(SimError::InvalidAssignment {
                     reason: format!("{} has not arrived yet", a.job),
                 });
             };
-            if a.stage.index() >= self.active[idx].dag.num_stages() {
+            if a.stage.index() >= member.active[idx].dag.num_stages() {
                 return Err(SimError::InvalidAssignment {
                     reason: format!("{} has no {}", a.job, a.stage),
                 });
@@ -456,42 +627,44 @@ impl<'a> Engine<'a> {
             if a.executors == 0 {
                 continue;
             }
-            let cap_room = self
+            let cap_room = member
                 .config
                 .job_cap()
-                .saturating_sub(self.active[idx].busy_executors);
+                .saturating_sub(member.active[idx].busy_executors);
             let budget = a
                 .executors
-                .min(self.executors.free_count())
+                .min(member.executors.free_count())
                 .min(cap_room)
-                .min(self.active[idx].progress.pending_tasks(a.stage));
+                .min(member.active[idx].progress.pending_tasks(a.stage));
             for _ in 0..budget {
-                let Some(exec_idx) = self.executors.pick_free_for(a.job) else {
+                let Some(exec_idx) = member.executors.pick_free_for(a.job) else {
                     break;
                 };
-                let active = &mut self.active[idx];
+                let active = &mut member.active[idx];
                 let Some(task_idx) = active.progress.dispatch_task(&active.dag, a.stage) else {
                     break;
                 };
                 let task = active.dag.stage(a.stage).tasks[task_idx];
-                let move_delay = if self.executors.get(exec_idx).needs_move_delay(a.job) {
-                    self.config.executor_move_delay
+                let move_delay = if member.executors.get(exec_idx).needs_move_delay(a.job) {
+                    member.config.executor_move_delay
                 } else {
                     0.0
                 };
                 let finish_time = self.time + move_delay + task.duration;
-                self.executors.start(exec_idx, a.job, self.time);
+                member.executors.start(exec_idx, a.job, self.time);
                 active.busy_executors += 1;
                 active.executor_seconds += task.duration;
+                member.outstanding_work -= task.duration;
                 self.events.push(
                     finish_time,
                     Event::TaskFinish {
+                        member: target,
                         executor: exec_idx,
                         job: a.job,
                         stage: a.stage,
                     },
                 );
-                self.profile.record_segment(ExecutorSegment {
+                member.profile.record_segment(ExecutorSegment {
                     executor: exec_idx,
                     job: a.job,
                     stage: a.stage,
@@ -499,12 +672,13 @@ impl<'a> Engine<'a> {
                     end: finish_time,
                 });
                 dispatched += 1;
-                self.tasks_dispatched += 1;
+                member.tasks_dispatched += 1;
             }
         }
         if dispatched > 0 {
-            self.profile
-                .record_usage(self.time, self.executors.busy_count());
+            member
+                .profile
+                .record_usage(self.time, member.executors.busy_count());
         }
         Ok(dispatched)
     }
@@ -792,6 +966,51 @@ mod tests {
         assert_eq!(result.tasks_dispatched, 3);
     }
 
+    /// A scheduler dispatching a job that was routed to *another* member
+    /// must get a descriptive error, not silently steal the job.  (Driven
+    /// through the engine internals: a member's scheduler is only consulted
+    /// when its own member has dispatchable work, so a full run cannot reach
+    /// this path without a second, unrelated job.)
+    #[test]
+    fn cross_member_assignment_is_an_error() {
+        use crate::federation::{Federation, Member};
+        use crate::routing::{Router, RoutingContext};
+
+        struct ToOne;
+        impl Router for ToOne {
+            fn name(&self) -> &str {
+                "to-one"
+            }
+            fn route(&mut self, _: JobId, _: &SubmittedJob, _: &RoutingContext<'_>) -> usize {
+                1
+            }
+        }
+        let config = ClusterConfig::new(1).with_move_delay(0.0).with_time_scale(1.0);
+        let fed = Federation::new(
+            vec![
+                Member::new("A", config.clone(), flat_trace()),
+                Member::new("B", config, flat_trace()),
+            ],
+            vec![SubmittedJob::at(0.0, chain_job("j", 1, 2, 5.0))],
+        );
+        let mut engine = Engine::new(fed.members(), fed.workload());
+        let mut router = ToOne;
+        let (target, _) = engine
+            .handle_event(Event::JobArrival { job: JobId(0) }, &mut router)
+            .unwrap();
+        assert_eq!(target, 1, "the router placed the job on member 1");
+        // Member 0 now tries to dispatch member 1's job.
+        let err = engine
+            .apply_assignments(0, &[Assignment::new(JobId(0), StageId(0), 1)])
+            .unwrap_err();
+        match err {
+            SimError::InvalidAssignment { reason } => {
+                assert!(reason.contains("routed to member 1"), "got: {reason}")
+            }
+            other => panic!("expected InvalidAssignment, got {other:?}"),
+        }
+    }
+
     /// A policy that defers everything until a fixed time using the
     /// `defer_until` verb, then dispatches FIFO on (and after) the wakeup.
     struct SleepUntil {
@@ -1006,5 +1225,64 @@ mod tests {
         assert_eq!(policy.wakeup_times, vec![3.0 * 3600.0]);
         assert!(result.all_jobs_complete());
         assert!((result.makespan - (3.0 * 3600.0 + 5.0)).abs() < 1e-9);
+    }
+
+    /// Two members with different traces: each member's `defer_below` must
+    /// resolve against *its own* trace, and `defer_until` wakeups must be
+    /// delivered only to the member that requested them.
+    #[test]
+    fn wakeup_verbs_resolve_against_the_requesting_members_trace() {
+        use crate::federation::{Federation, Member};
+        use crate::routing::{Router, RoutingContext};
+
+        struct ByParity;
+        impl Router for ByParity {
+            fn name(&self) -> &str {
+                "parity"
+            }
+            fn route(&mut self, id: JobId, _: &SubmittedJob, _: &RoutingContext<'_>) -> usize {
+                (id.0 % 2) as usize
+            }
+        }
+        // Member A's trace drops below the ceiling at hour 5, member B's at
+        // hour 3.
+        let cliff = |dirty_hours: usize| {
+            let mut values = vec![500.0; dirty_hours];
+            values.extend(std::iter::repeat(100.0).take(50));
+            CarbonTrace::hourly("cliff", values)
+        };
+        let config = ClusterConfig::new(2).with_move_delay(0.0).with_time_scale(1.0);
+        let fed = Federation::new(
+            vec![
+                Member::new("A", config.clone(), cliff(5)),
+                Member::new("B", config, cliff(3)),
+            ],
+            vec![
+                SubmittedJob::at(0.0, chain_job("j0", 1, 2, 5.0)),
+                SubmittedJob::at(0.0, chain_job("j1", 1, 2, 5.0)),
+            ],
+        );
+        let mut a = CarbonCeiling {
+            ceiling: 250.0,
+            fifo: crate::schedulers::SimpleFifo::new(),
+            wakeup_times: Vec::new(),
+            pending: false,
+        };
+        let mut b = CarbonCeiling {
+            ceiling: 250.0,
+            fifo: crate::schedulers::SimpleFifo::new(),
+            wakeup_times: Vec::new(),
+            pending: false,
+        };
+        let result = {
+            let mut schedulers: [&mut dyn Scheduler; 2] = [&mut a, &mut b];
+            fed.run(&mut ByParity, &mut schedulers).unwrap()
+        };
+        assert!(result.all_jobs_complete());
+        assert_eq!(a.wakeup_times, vec![5.0 * 3600.0], "member A wakes on its own cliff");
+        assert_eq!(b.wakeup_times, vec![3.0 * 3600.0], "member B wakes on its own cliff");
+        assert!((result.members[0].result.makespan - (5.0 * 3600.0 + 5.0)).abs() < 1e-9);
+        assert!((result.members[1].result.makespan - (3.0 * 3600.0 + 5.0)).abs() < 1e-9);
+        assert!((result.makespan - (5.0 * 3600.0 + 5.0)).abs() < 1e-9);
     }
 }

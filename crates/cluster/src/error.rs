@@ -28,6 +28,15 @@ pub enum SimError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A router placed a job on a member cluster that does not exist.
+    InvalidRoute {
+        /// The job being routed.
+        job: String,
+        /// The member index the router returned.
+        member: usize,
+        /// How many members the federation actually has.
+        members: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +54,10 @@ impl fmt::Display for SimError {
             SimError::InvalidAssignment { reason } => {
                 write!(f, "scheduler returned an invalid assignment: {reason}")
             }
+            SimError::InvalidRoute { job, member, members } => write!(
+                f,
+                "router placed {job} on member {member}, but the federation only has {members} member cluster(s)"
+            ),
         }
     }
 }
@@ -67,5 +80,8 @@ mod tests {
         assert!(SimError::InvalidAssignment { reason: "bad stage".into() }
             .to_string()
             .contains("bad stage"));
+        assert!(SimError::InvalidRoute { job: "job 3".into(), member: 9, members: 2 }
+            .to_string()
+            .contains("member 9"));
     }
 }

@@ -10,15 +10,24 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A simulator event.
+///
+/// Events carry a *member cluster* dimension: task finishes and wakeups
+/// belong to the federation member whose executors / scheduler they concern,
+/// so one shared event queue can drive any number of member clusters
+/// deterministically.  Job arrivals are member-less — the routing layer
+/// assigns the member when the arrival is processed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
-    /// A job from the workload arrives at the cluster.
+    /// A job from the workload arrives at the federation (it is routed to a
+    /// member cluster when this event is handled).
     JobArrival {
         /// Index of the job in the submitted workload (also its [`JobId`]).
         job: JobId,
     },
-    /// A task finishes on an executor, freeing it.
+    /// A task finishes on an executor of one member cluster, freeing it.
     TaskFinish {
+        /// Member cluster the executor belongs to.
+        member: usize,
         /// Index of the executor that becomes free.
         executor: usize,
         /// Job whose task finished.
@@ -27,8 +36,10 @@ pub enum Event {
         stage: StageId,
     },
     /// A scheduler-requested wakeup (timer or carbon-threshold crossing)
-    /// fires; the token is echoed back to the policy.
+    /// fires; the token is echoed back to the member's policy.
     Wakeup {
+        /// Member cluster whose scheduler requested the wakeup.
+        member: usize,
         /// Token identifying the deferral request that scheduled this event.
         token: WakeupToken,
     },
@@ -155,12 +166,13 @@ mod tests {
     }
 
     #[test]
-    fn wakeup_events_carry_their_token() {
+    fn wakeup_events_carry_member_and_token() {
         let mut q = EventQueue::new();
-        q.push(4.0, Event::Wakeup { token: WakeupToken(7) });
+        q.push(4.0, Event::Wakeup { member: 2, token: WakeupToken(7) });
         match q.pop().unwrap() {
-            (t, Event::Wakeup { token }) => {
+            (t, Event::Wakeup { member, token }) => {
                 assert_eq!(t, 4.0);
+                assert_eq!(member, 2);
                 assert_eq!(token, WakeupToken(7));
             }
             other => panic!("wrong event: {other:?}"),
@@ -173,13 +185,15 @@ mod tests {
         q.push(
             1.0,
             Event::TaskFinish {
+                member: 1,
                 executor: 3,
                 job: JobId(2),
                 stage: StageId(1),
             },
         );
         match q.pop().unwrap().1 {
-            Event::TaskFinish { executor, job, stage } => {
+            Event::TaskFinish { member, executor, job, stage } => {
+                assert_eq!(member, 1);
                 assert_eq!(executor, 3);
                 assert_eq!(job, JobId(2));
                 assert_eq!(stage, StageId(1));

@@ -19,54 +19,78 @@
 //! [`DecisionSink::defer_below`]) — which is how carbon-aware deferral is
 //! expressed as a first-class scheduled event instead of a passive wait.
 //!
-//! The engine records an executor-usage profile, per-job records and
-//! (optionally) scheduler-invocation latencies, from which the metrics crate
-//! derives the carbon footprint (ex post facto, §5.2), JCT, and ECT.
+//! Since the federation refactor the engine natively drives a
+//! [`Federation`]: N member clusters, each with its own executor pool,
+//! carbon trace (one grid region each) and scheduler instance, under one
+//! shared deterministic event loop.  A [`Router`] places each arriving job
+//! on a member; the single-cluster [`Simulator`] is a thin wrapper around a
+//! one-member federation and reproduces the pre-federation engine bit for
+//! bit.
 //!
-//! ## Incremental-engine architecture (v2 scheduler API)
+//! The engine records per-member executor-usage profiles, per-job records
+//! and (optionally) scheduler-invocation latencies, from which the metrics
+//! crate derives the carbon footprint (ex post facto, §5.2), JCT, and ECT.
+//!
+//! ## Incremental-engine architecture (federated, v2 scheduler API)
 //!
 //! The scheduling hot path is *incremental and allocation-free in the
-//! steady state*: nothing linear in total jobs, stages, or forecast steps
-//! is recomputed per event, and no heap allocation happens per decision.
-//! Future schedulers and engine changes must preserve these invariants:
+//! steady state*, per member cluster: nothing linear in total jobs, stages,
+//! or forecast steps is recomputed per event, and no heap allocation happens
+//! per decision.  Future schedulers, routers and engine changes must
+//! preserve these invariants:
 //!
-//! * **Active-job index.** The engine maintains the arrived-incomplete job
-//!   table (`active`, ordered by arrival, plus the id → slot map) across
-//!   events; arrivals push, completions remove.  A [`SchedulingContext`] is
-//!   a borrow of that table — building one allocates nothing, and
-//!   [`SchedulingContext::jobs`] materialises [`JobView`]s on the fly.
-//!   Schedulers must not assume views outlive the invocation.
-//! * **Push-based decisions.** The engine owns one [`DecisionSink`] per run
-//!   and clears (never drops) its buffers between invocations; native v2
-//!   policies push assignments into it, so the last per-event allocation of
-//!   the v1 API (the returned `Vec<Assignment>`) is gone.  Only the
-//!   deprecated [`LegacyScheduler`] adapter still pays it.  Policies that
-//!   need scratch buffers (sorting, scoring) must own and reuse them.
-//! * **Typed events, engine-managed timers.** Policies learn *why* they run
-//!   from [`SchedEvent`] instead of rescanning the context, and resume from
-//!   deferral through engine-scheduled wakeups: `defer_until` enqueues a
-//!   timer event at an exact instant (piercing the carbon-step granularity)
-//!   and `defer_below` resolves the threshold crossing against the trace's
-//!   range-min index in O(log trace) — never by linear forecast walks in
-//!   the event loop.
-//! * **Shared DAGs.** Workloads hold `Arc<JobDag>`; activating a job bumps a
-//!   reference count (no deep clone), and [`Simulator::new`] validates every
-//!   DAG exactly once.  DAGs are immutable once submitted — caches hang off
-//!   them (bottleneck scores on `JobDag`, the range-min/max bounds index on
-//!   `CarbonTrace`), so mutating a submitted DAG in place is a contract
-//!   violation.
-//! * **Incremental frontier sets.** `JobProgress` keeps the runnable and
+//! * **Federation layering.**  One engine run owns a single shared
+//!   event queue and a vector of member states; every event except a job
+//!   arrival carries the index of the member it belongs to, and a
+//!   scheduling pass touches *only* that member's state.  Per-event cost is
+//!   therefore O(one member's active jobs), never O(federation).  The only
+//!   O(members) steps are the per-event earliest-carbon-step scan and the
+//!   per-arrival routing snapshot — both linear in the (small) member
+//!   count, never in jobs, stages or trace length.
+//! * **Routing layer.**  A [`Router`] is consulted exactly once per job, at
+//!   arrival, with a [`RoutingContext`] of per-member [`MemberView`]s.  Each
+//!   view is assembled in O(1) from incrementally maintained counters
+//!   (queue depth, outstanding work, free executors) plus the trace's O(1)
+//!   bounds index; the view buffer is engine-owned and reused across
+//!   arrivals.  Placement is permanent — migration is a named follow-up.
+//! * **Active-job index.**  Each member maintains its arrived-incomplete job
+//!   table (`active`, ordered by arrival, plus the global-id → slot map)
+//!   across events; arrivals push, completions remove.  A
+//!   [`SchedulingContext`] is a borrow of that table — building one
+//!   allocates nothing, and [`SchedulingContext::jobs`] materialises
+//!   [`JobView`]s on the fly.  Schedulers must not assume views outlive the
+//!   invocation.
+//! * **Push-based decisions.**  Each member owns one [`DecisionSink`] per
+//!   run; the engine clears (never drops) its buffers between invocations.
+//!   Only the deprecated [`LegacyScheduler`] adapter still pays a per-event
+//!   allocation.  Policies that need scratch buffers (sorting, scoring)
+//!   must own and reuse them.
+//! * **Typed events, engine-managed timers.**  Policies learn *why* they run
+//!   from [`SchedEvent`] and resume from deferral through engine-scheduled
+//!   wakeups: `defer_until` enqueues a timer event at an exact instant
+//!   (piercing the carbon-step granularity) and `defer_below` resolves the
+//!   threshold crossing against *the requesting member's* trace range-min
+//!   index in O(log trace) — never by linear forecast walks in the event
+//!   loop.  Wakeup events carry their member and are delivered only to it.
+//! * **Shared DAGs.**  Workloads hold `Arc<JobDag>`; activating a job bumps
+//!   a reference count (no deep clone), and [`Federation::new`] validates
+//!   every DAG exactly once.  DAGs are immutable once submitted — caches
+//!   hang off them (bottleneck scores on `JobDag`, the range-min/max bounds
+//!   index on `CarbonTrace`), so mutating a submitted DAG in place is a
+//!   contract violation.
+//! * **Incremental frontier sets.**  `JobProgress` keeps the runnable and
 //!   dispatchable stage sets sorted and up to date in O(children) per
 //!   completion; `dispatchable_stages()` returns a borrowed slice and
 //!   `remaining_work` answers in O(stages) from the DAG's cached duration
 //!   suffix sums.  Any new mutation of task state must go through
 //!   `dispatch_task`/`finish_task` so those sets stay coherent.
-//! * **O(1) carbon bounds.** The engine's per-event `CarbonView` is served
-//!   by `CarbonTrace`'s sparse-table index; linear walks over the forecast
-//!   horizon belong in trace construction, never in the event loop.
-//! * **Opt-in instrumentation.** Wall-clock invocation sampling costs a
+//! * **O(1) carbon bounds.**  Per-event `CarbonView`s (for scheduling and
+//!   routing alike) are served by each trace's sparse-table index; linear
+//!   walks over the forecast horizon belong in trace construction, never in
+//!   the event loop.
+//! * **Opt-in instrumentation.**  Wall-clock invocation sampling costs a
 //!   syscall plus a heap push per event and is disabled unless
-//!   [`ClusterConfig::with_invocation_sampling`] turns it on.
+//!   [`ClusterConfig::with_invocation_sampling`] turns it on (per member).
 //!
 //! ## Example
 //!
@@ -87,6 +111,11 @@
 //! let result = sim.run(&mut fifo).unwrap();
 //! assert!(result.all_jobs_complete());
 //! ```
+//!
+//! See the [`federation`] module for the multi-cluster equivalent.
+//!
+//! [`Federation`]: federation::Federation
+//! [`Federation::new`]: federation::Federation::new
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -96,18 +125,22 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod executor;
+pub mod federation;
 pub mod job_state;
 pub mod profile;
 pub mod result;
+pub mod routing;
 pub mod scheduler_api;
 pub mod schedulers;
 
 pub use config::ClusterConfig;
 pub use engine::Simulator;
 pub use error::SimError;
+pub use federation::{Federation, Member};
 pub use job_state::{JobRecord, SubmittedJob};
 pub use profile::{ExecutorSegment, UsageProfile};
-pub use result::SimulationResult;
+pub use result::{FederationResult, MemberResult, SimulationResult};
+pub use routing::{MemberView, Router, RoutingContext, StaticRouter};
 pub use scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, JobView, SchedEvent, Scheduler,
     SchedulingContext, WakeupToken,

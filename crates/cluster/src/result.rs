@@ -73,6 +73,78 @@ impl SimulationResult {
     }
 }
 
+/// One member cluster's share of a federated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberResult {
+    /// Index of the member within the federation.
+    pub member: usize,
+    /// The member's label (usually its grid region code).
+    pub label: String,
+    /// The member's own simulation result.  `jobs_submitted` counts the jobs
+    /// *routed to this member*, so [`SimulationResult::all_jobs_complete`]
+    /// keeps its meaning per member.
+    pub result: SimulationResult,
+}
+
+/// Everything recorded during one federated run: one [`MemberResult`] per
+/// member cluster plus federation-level aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationResult {
+    /// Name of the router that placed the jobs.
+    pub router: String,
+    /// Per-member results, ordered by member index.
+    pub members: Vec<MemberResult>,
+    /// Schedule time at which the last job of the whole federation completed.
+    pub makespan: f64,
+}
+
+impl FederationResult {
+    /// True if every job routed to every member completed.
+    pub fn all_jobs_complete(&self) -> bool {
+        self.members.iter().all(|m| m.result.all_jobs_complete())
+    }
+
+    /// Total jobs routed across all members.
+    pub fn jobs_submitted(&self) -> usize {
+        self.members.iter().map(|m| m.result.jobs_submitted).sum()
+    }
+
+    /// Total tasks dispatched across all members.
+    pub fn tasks_dispatched(&self) -> usize {
+        self.members.iter().map(|m| m.result.tasks_dispatched).sum()
+    }
+
+    /// Average job completion time over every job in the federation
+    /// (job-weighted, not member-weighted).
+    pub fn average_jct(&self) -> f64 {
+        let jobs: usize = self.members.iter().map(|m| m.result.jobs.len()).sum();
+        if jobs == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .members
+            .iter()
+            .flat_map(|m| m.result.jobs.iter())
+            .map(JobRecord::jct)
+            .sum();
+        total / jobs as f64
+    }
+
+    /// Unwraps a single-member federation into that member's result.
+    ///
+    /// # Panics
+    /// Panics if the federation has more than one member.
+    pub fn into_single(mut self) -> SimulationResult {
+        assert_eq!(
+            self.members.len(),
+            1,
+            "into_single requires exactly one member, got {}",
+            self.members.len()
+        );
+        self.members.pop().expect("one member").result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +192,57 @@ mod tests {
         let mut r = result();
         r.jobs_submitted = 3;
         assert!(!r.all_jobs_complete());
+    }
+
+    #[test]
+    fn federation_aggregates_span_members() {
+        let fed = FederationResult {
+            router: "test-router".into(),
+            members: vec![
+                MemberResult { member: 0, label: "DE".into(), result: result() },
+                MemberResult {
+                    member: 1,
+                    label: "CAISO".into(),
+                    result: SimulationResult {
+                        jobs: vec![record(2, 0.0, 40.0)],
+                        makespan: 40.0,
+                        jobs_submitted: 1,
+                        tasks_dispatched: 2,
+                        ..result()
+                    },
+                },
+            ],
+            makespan: 40.0,
+        };
+        assert!(fed.all_jobs_complete());
+        assert_eq!(fed.jobs_submitted(), 3);
+        assert_eq!(fed.tasks_dispatched(), 6);
+        // JCTs: 10, 20 and 40 → job-weighted mean 70/3.
+        assert!((fed.average_jct() - 70.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_single_unwraps_one_member() {
+        let fed = FederationResult {
+            router: "static".into(),
+            members: vec![MemberResult { member: 0, label: "DE".into(), result: result() }],
+            makespan: 25.0,
+        };
+        assert_eq!(fed.into_single().makespan, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one member")]
+    fn into_single_rejects_multiple_members() {
+        let fed = FederationResult {
+            router: "rr".into(),
+            members: vec![
+                MemberResult { member: 0, label: "a".into(), result: result() },
+                MemberResult { member: 1, label: "b".into(), result: result() },
+            ],
+            makespan: 25.0,
+        };
+        let _ = fed.into_single();
     }
 
     #[test]

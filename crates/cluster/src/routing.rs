@@ -1,0 +1,178 @@
+//! The routing layer of a [`Federation`]: deciding *which member cluster* a
+//! job runs in, one level above the per-cluster scheduling decided by
+//! [`Scheduler`].
+//!
+//! A [`Router`] is consulted exactly once per job, at the job's arrival
+//! event, with a [`RoutingContext`] summarising every member cluster (carbon
+//! signal, queue depth, outstanding work, executor occupancy).  The job is
+//! then permanently placed on the chosen member — the federation models
+//! geo-distributed placement, not live migration (migration is a named
+//! follow-up in ROADMAP.md).
+//!
+//! Routing obeys the same hot-path discipline as scheduling: the engine
+//! maintains each member's queue depth and outstanding (undispatched) work
+//! incrementally, and each [`MemberView`]'s carbon bounds come from the
+//! trace's O(1) sparse-table index, so building a routing context is
+//! O(members) with no allocation in the steady state (the view buffer is
+//! reused across arrivals).
+//!
+//! Built-in policies (round-robin, least-outstanding-work, carbon-greedy,
+//! carbon+queue-aware) live in `pcaps-schedulers::routing`; this module only
+//! defines the interface plus the trivial [`StaticRouter`] that the
+//! single-member [`Simulator`] wrapper uses.
+//!
+//! [`Federation`]: crate::federation::Federation
+//! [`Scheduler`]: crate::scheduler_api::Scheduler
+//! [`Simulator`]: crate::engine::Simulator
+
+use crate::job_state::SubmittedJob;
+use crate::scheduler_api::CarbonView;
+use pcaps_dag::JobId;
+
+/// Read-only snapshot of one member cluster at a routing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct MemberView {
+    /// Index of the member within the federation (the value a router
+    /// returns to place a job here).
+    pub member: usize,
+    /// The member's carbon signal: current intensity plus forecast bounds
+    /// over the member's configured lookahead horizon.
+    pub carbon: CarbonView,
+    /// Number of active (arrived, incomplete) jobs on the member.
+    pub queue_depth: usize,
+    /// Executor-seconds of routed-but-not-yet-dispatched task work queued on
+    /// the member (maintained incrementally: routing a job adds its total
+    /// work, dispatching a task subtracts that task's duration).
+    pub outstanding_work: f64,
+    /// Total executors in the member cluster.
+    pub total_executors: usize,
+    /// Currently idle executors in the member cluster.
+    pub free_executors: usize,
+}
+
+impl MemberView {
+    /// Outstanding work per executor — the member's backlog expressed in
+    /// seconds of work per machine, a scale-free congestion measure routers
+    /// can compare across members of different sizes.
+    pub fn backlog_seconds(&self) -> f64 {
+        self.outstanding_work / self.total_executors as f64
+    }
+}
+
+/// Everything a router can see when placing a job: one [`MemberView`] per
+/// member cluster, in member-index order.
+#[derive(Debug)]
+pub struct RoutingContext<'a> {
+    /// Current schedule time (seconds).
+    pub time: f64,
+    members: &'a [MemberView],
+}
+
+impl<'a> RoutingContext<'a> {
+    /// Builds a context over per-member views (ordered by member index).
+    pub fn new(time: f64, members: &'a [MemberView]) -> Self {
+        RoutingContext { time, members }
+    }
+
+    /// The member views, ordered by member index.
+    pub fn members(&self) -> &'a [MemberView] {
+        self.members
+    }
+
+    /// Number of member clusters in the federation.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// A job-placement policy for a federation of clusters.
+///
+/// Implementations must be deterministic given their own internal state; the
+/// engine introduces no randomness.  `route` must return a member index in
+/// `0..ctx.num_members()` — out-of-range indices abort the run with
+/// [`SimError::InvalidRoute`].
+///
+/// [`SimError::InvalidRoute`]: crate::error::SimError::InvalidRoute
+pub trait Router {
+    /// Human-readable policy name used in result tables.
+    fn name(&self) -> &str;
+
+    /// Places the arriving job `id` (with static description `job`) on a
+    /// member cluster, returning the member index.
+    fn route(&mut self, id: JobId, job: &SubmittedJob, ctx: &RoutingContext<'_>) -> usize;
+}
+
+/// Routes every job to one fixed member.  This is the degenerate router the
+/// single-cluster [`Simulator`] wrapper uses (member 0), and a useful
+/// baseline for "best single grid" comparisons.
+///
+/// [`Simulator`]: crate::engine::Simulator
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticRouter {
+    /// The member every job is routed to.
+    pub member: usize,
+}
+
+impl StaticRouter {
+    /// Routes everything to `member`.
+    pub fn new(member: usize) -> Self {
+        StaticRouter { member }
+    }
+}
+
+impl Router for StaticRouter {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn route(&mut self, _id: JobId, _job: &SubmittedJob, _ctx: &RoutingContext<'_>) -> usize {
+        self.member
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(member: usize, intensity: f64, outstanding: f64) -> MemberView {
+        MemberView {
+            member,
+            carbon: CarbonView::flat(intensity),
+            queue_depth: 0,
+            outstanding_work: outstanding,
+            total_executors: 4,
+            free_executors: 4,
+        }
+    }
+
+    #[test]
+    fn context_exposes_members_in_order() {
+        let views = [view(0, 100.0, 8.0), view(1, 50.0, 0.0)];
+        let ctx = RoutingContext::new(3.0, &views);
+        assert_eq!(ctx.num_members(), 2);
+        assert_eq!(ctx.members()[1].member, 1);
+        assert_eq!(ctx.time, 3.0);
+    }
+
+    #[test]
+    fn backlog_is_per_executor() {
+        assert!((view(0, 100.0, 8.0).backlog_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_router_is_constant() {
+        use pcaps_dag::{JobDagBuilder, Task};
+        let dag = JobDagBuilder::new("j")
+            .stage("s", vec![Task::new(1.0)])
+            .build()
+            .unwrap();
+        let job = SubmittedJob::at(0.0, dag);
+        let views = [view(0, 100.0, 0.0), view(1, 50.0, 0.0)];
+        let ctx = RoutingContext::new(0.0, &views);
+        let mut r = StaticRouter::new(1);
+        assert_eq!(r.name(), "static");
+        for i in 0..4 {
+            assert_eq!(r.route(JobId(i), &job, &ctx), 1);
+        }
+    }
+}

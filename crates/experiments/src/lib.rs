@@ -22,6 +22,11 @@
 //! | Fig. 18 / Fig. 19 (inter-arrival sweeps) | [`sweeps`] | `fig18`, `fig19` |
 //! | Fig. 20 (scheduler latency) | [`fig20`] | `fig20` (+ `cargo bench`) |
 //!
+//! Beyond the paper, the [`multi_region`] module sweeps *federated*
+//! configurations — one arrival stream routed across several grids,
+//! comparing routing × scheduling policies (binary: `multi_region`, CSV:
+//! `results/multi_region.csv`).
+//!
 //! The `repro_all` binary runs everything back to back (pass `--quick` for a
 //! reduced-trial smoke run).
 //!
@@ -42,12 +47,17 @@ pub mod fig6;
 pub mod fig9;
 pub mod format;
 pub mod headline;
+pub mod multi_region;
 pub mod per_grid;
 pub mod runner;
 pub mod sweeps;
 pub mod table1;
 
 pub use format::TextTable;
+pub use multi_region::{
+    FederatedTrialOutput, FederationExperimentConfig, RouterSpec, multi_region_sweep,
+    run_federated_trial,
+};
 pub use runner::{
     BaseScheduler, ExperimentConfig, SchedulerSpec, TrialOutput, run_trial, run_trials,
 };

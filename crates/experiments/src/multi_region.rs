@@ -1,0 +1,437 @@
+//! Multi-region federation experiments: one arrival stream routed across
+//! several grids, comparing routing policies × scheduling policies.
+//!
+//! This goes beyond the paper's per-grid evaluation (each grid in
+//! isolation): a federated deployment chooses *where* each job runs before
+//! the member's scheduler decides *when*.  The sweep reports, for every
+//! router × scheduler combination, the per-region carbon/makespan breakdown
+//! plus federation-level totals, and writes them as one CSV
+//! (`results/multi_region.csv` via the `multi_region` binary).
+//!
+//! All rows carry region-qualified scheduler labels
+//! ([`SchedulerSpec::label_in_region`]) so two members running the same
+//! policy never collide in the output.
+
+use crate::format::TextTable;
+use crate::runner::SchedulerSpec;
+use pcaps_carbon::{CarbonAccountant, GridRegion, TraceSet};
+use pcaps_cluster::{Federation, FederationResult, Member, Router, Scheduler};
+use pcaps_cluster::{ClusterConfig, SubmittedJob};
+use pcaps_metrics::ExperimentSummary;
+use pcaps_schedulers::routing::{
+    CarbonGreedyRouter, CarbonQueueAwareRouter, LeastOutstandingWorkRouter, RoundRobinRouter,
+};
+use pcaps_workloads::{WorkloadBuilder, WorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to instantiate one federated trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationExperimentConfig {
+    /// One member cluster per region, in member-index order.
+    pub regions: Vec<GridRegion>,
+    /// Workload source (a single arrival stream feeding the federation).
+    pub workload: WorkloadKind,
+    /// Number of jobs in the batch.
+    pub num_jobs: usize,
+    /// Mean Poisson inter-arrival time (schedule seconds).
+    pub mean_interarrival: f64,
+    /// Executors per member cluster.
+    pub executors_per_member: usize,
+    /// Per-job executor cap within each member.
+    pub per_job_cap: Option<usize>,
+    /// Base random seed (workload sampling, trace synthesis, scheduler
+    /// sampling).
+    pub seed: u64,
+    /// Days of synthetic carbon trace to generate per region.
+    pub trace_days: usize,
+    /// Offset (hours) into every member's trace at which the trial starts.
+    pub trace_offset_hours: usize,
+}
+
+impl FederationExperimentConfig {
+    /// A standard federated setup over `regions`: TPC-H mixed workload,
+    /// paper inter-arrival (30 s), 28 days of trace.
+    pub fn standard(regions: Vec<GridRegion>, num_jobs: usize, seed: u64) -> Self {
+        assert!(!regions.is_empty(), "a federation needs at least one region");
+        FederationExperimentConfig {
+            regions,
+            workload: WorkloadKind::TpchMixed,
+            num_jobs,
+            mean_interarrival: 30.0,
+            executors_per_member: 20,
+            per_job_cap: None,
+            seed,
+            trace_days: 28,
+            trace_offset_hours: 0,
+        }
+    }
+
+    /// Sets the trace offset (hours into every member's trace).
+    pub fn with_offset(mut self, hours: usize) -> Self {
+        self.trace_offset_hours = hours;
+        self
+    }
+
+    /// Sets the executors per member cluster.
+    pub fn with_executors_per_member(mut self, executors: usize) -> Self {
+        self.executors_per_member = executors;
+        self
+    }
+
+    /// Builds the aligned per-region traces (already windowed to the
+    /// configured offset), using the same seed-salting convention as the
+    /// single-region [`ExperimentConfig::trace`].
+    ///
+    /// [`ExperimentConfig::trace`]: crate::runner::ExperimentConfig::trace
+    pub fn traces(&self) -> TraceSet {
+        let hours = self.trace_days * 24 + self.trace_offset_hours + 72;
+        TraceSet::for_regions(&self.regions, self.seed ^ 0xCA4B0, hours)
+            .windowed(self.trace_offset_hours, self.trace_days * 24)
+    }
+
+    /// The shared workload stream (identical for every router/scheduler
+    /// combination, so comparisons are paired).
+    pub fn workload_stream(&self) -> Vec<SubmittedJob> {
+        WorkloadBuilder::new(self.workload, self.seed)
+            .jobs(self.num_jobs)
+            .mean_interarrival(self.mean_interarrival)
+            .build()
+            .into_iter()
+            .map(|j| SubmittedJob::at(j.arrival, j.dag))
+            .collect()
+    }
+
+    /// Builds the federation (members + workload) for this config.
+    pub fn federation_instance(&self) -> Federation {
+        let traces = self.traces().into_traces();
+        let members = self
+            .regions
+            .iter()
+            .zip(traces)
+            .map(|(region, trace)| {
+                let config = ClusterConfig::new(self.executors_per_member)
+                    .with_per_job_cap(self.per_job_cap)
+                    .with_time_scale(60.0);
+                Member::new(region.code(), config, trace)
+            })
+            .collect();
+        Federation::new(members, self.workload_stream())
+    }
+
+    /// Per-member carbon accountants (same traces and time scale the
+    /// federation runs with).
+    pub fn accountants(&self) -> Vec<CarbonAccountant> {
+        self.traces()
+            .into_traces()
+            .into_iter()
+            .map(|t| CarbonAccountant::new(t).with_time_scale(60.0))
+            .collect()
+    }
+
+    /// The per-member scheduler seed, derived like [`run_trial`]'s and
+    /// salted per member so sampling policies on different members draw
+    /// independent streams.
+    ///
+    /// [`run_trial`]: crate::runner::run_trial
+    fn member_seed(&self, member: usize) -> u64 {
+        (self.seed ^ 0x5EED).wrapping_add(member as u64 * 0x9E37_79B9)
+    }
+}
+
+/// Which routing policy a federated trial uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterSpec {
+    /// Carbon- and load-blind rotation.
+    RoundRobin,
+    /// Pure load balancing on per-executor backlog.
+    LeastOutstandingWork,
+    /// Lowest current carbon intensity, load-blind.
+    CarbonGreedy,
+    /// Forecast-tempered intensity weighted by queue pressure.
+    CarbonQueueAware,
+}
+
+impl RouterSpec {
+    /// All four built-in routing policies.
+    pub const ALL: [RouterSpec; 4] = [
+        RouterSpec::RoundRobin,
+        RouterSpec::LeastOutstandingWork,
+        RouterSpec::CarbonGreedy,
+        RouterSpec::CarbonQueueAware,
+    ];
+
+    /// Short label used in tables and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterSpec::RoundRobin => "round-robin",
+            RouterSpec::LeastOutstandingWork => "least-work",
+            RouterSpec::CarbonGreedy => "carbon-greedy",
+            RouterSpec::CarbonQueueAware => "carbon-queue-aware",
+        }
+    }
+
+    /// Builds the router this spec describes.
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterSpec::RoundRobin => Box::new(RoundRobinRouter::new()),
+            RouterSpec::LeastOutstandingWork => Box::new(LeastOutstandingWorkRouter::new()),
+            RouterSpec::CarbonGreedy => Box::new(CarbonGreedyRouter::new()),
+            RouterSpec::CarbonQueueAware => Box::new(CarbonQueueAwareRouter::new()),
+        }
+    }
+}
+
+/// One member's share of a federated trial.
+#[derive(Debug, Clone)]
+pub struct MemberTrialOutput {
+    /// The member's grid region.
+    pub region: GridRegion,
+    /// Region-qualified scheduler label (unambiguous across members).
+    pub label: String,
+    /// Jobs routed to this member.
+    pub jobs_routed: usize,
+    /// The member's absolute metrics (carbon accounted against the member's
+    /// own trace).
+    pub summary: ExperimentSummary,
+}
+
+/// Output of one federated trial.
+#[derive(Debug, Clone)]
+pub struct FederatedTrialOutput {
+    /// The routing policy used.
+    pub router: RouterSpec,
+    /// The (per-member) scheduling policy used.
+    pub spec: SchedulerSpec,
+    /// Per-member breakdowns, in member-index order.
+    pub members: Vec<MemberTrialOutput>,
+    /// Total carbon across all members (grams CO₂eq).
+    pub total_carbon_grams: f64,
+    /// Federation-level makespan (last completion anywhere).
+    pub makespan: f64,
+    /// Job-weighted average JCT across the whole federation.
+    pub avg_jct: f64,
+}
+
+/// Runs one federated trial: `router_spec` routing, one `sched_spec`
+/// scheduler instance per member.
+pub fn run_federated_trial(
+    config: &FederationExperimentConfig,
+    router_spec: RouterSpec,
+    sched_spec: SchedulerSpec,
+) -> FederatedTrialOutput {
+    let federation = config.federation_instance();
+    let accountants = config.accountants();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = federation
+        .members()
+        .iter()
+        .enumerate()
+        .map(|(i, member)| sched_spec.build(config.member_seed(i), &member.carbon, 60.0))
+        .collect();
+    let mut router = router_spec.build();
+    let result: FederationResult = {
+        let mut refs: Vec<&mut dyn Scheduler> = Vec::with_capacity(schedulers.len());
+        for s in schedulers.iter_mut() {
+            refs.push(&mut **s);
+        }
+        federation
+            .run(router.as_mut(), &mut refs)
+            .expect("federated experiment runs are constructed to always complete")
+    };
+    let members: Vec<MemberTrialOutput> = result
+        .members
+        .iter()
+        .zip(&accountants)
+        .zip(&config.regions)
+        .map(|((m, accountant), &region)| {
+            let mut summary = ExperimentSummary::of(&m.result, accountant);
+            let label = sched_spec.label_in_region(region);
+            summary.scheduler = label.clone();
+            MemberTrialOutput {
+                region,
+                label,
+                jobs_routed: m.result.jobs_submitted,
+                summary,
+            }
+        })
+        .collect();
+    let total_carbon_grams = members.iter().map(|m| m.summary.carbon_grams).sum();
+    FederatedTrialOutput {
+        router: router_spec,
+        spec: sched_spec,
+        total_carbon_grams,
+        makespan: result.makespan,
+        avg_jct: result.average_jct(),
+        members,
+    }
+}
+
+/// Runs the full sweep: every router × scheduler combination on the same
+/// workload and traces.
+pub fn multi_region_sweep(
+    config: &FederationExperimentConfig,
+    routers: &[RouterSpec],
+    specs: &[SchedulerSpec],
+) -> Vec<FederatedTrialOutput> {
+    routers
+        .iter()
+        .flat_map(|&router| {
+            specs
+                .iter()
+                .map(move |&spec| (router, spec))
+        })
+        .map(|(router, spec)| run_federated_trial(config, router, spec))
+        .collect()
+}
+
+/// Renders the sweep as a text table (one aggregate line per trial).
+pub fn render(outputs: &[FederatedTrialOutput]) -> TextTable {
+    let mut table = TextTable::new(&[
+        "Router",
+        "Scheduler",
+        "Carbon (kg)",
+        "Makespan (s)",
+        "Avg JCT (s)",
+    ]);
+    for out in outputs {
+        table.row(vec![
+            out.router.label().to_string(),
+            out.spec.label(),
+            format!("{:.1}", out.total_carbon_grams / 1000.0),
+            format!("{:.0}", out.makespan),
+            format!("{:.0}", out.avg_jct),
+        ]);
+    }
+    table
+}
+
+/// Serialises the sweep as CSV: one row per router × scheduler × region
+/// (with region-qualified labels), plus a `TOTAL` row per combination.
+pub fn to_csv(outputs: &[FederatedTrialOutput]) -> String {
+    let mut csv = String::from(
+        "router,scheduler,region,label,jobs_routed,carbon_g,makespan_s,avg_jct_s\n",
+    );
+    for out in outputs {
+        for m in &out.members {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.3},{:.3},{:.3}\n",
+                out.router.label(),
+                out.spec.label(),
+                m.region.code(),
+                m.label,
+                m.jobs_routed,
+                m.summary.carbon_grams,
+                m.summary.ect,
+                m.summary.avg_jct,
+            ));
+        }
+        csv.push_str(&format!(
+            "{},{},TOTAL,{},{},{:.3},{:.3},{:.3}\n",
+            out.router.label(),
+            out.spec.label(),
+            out.spec.label(),
+            out.members.iter().map(|m| m.jobs_routed).sum::<usize>(),
+            out.total_carbon_grams,
+            out.makespan,
+            out.avg_jct,
+        ));
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BaseScheduler;
+
+    fn small_config() -> FederationExperimentConfig {
+        let mut cfg = FederationExperimentConfig::standard(
+            vec![GridRegion::Caiso, GridRegion::SouthAfrica],
+            8,
+            1,
+        );
+        cfg.executors_per_member = 10;
+        cfg.trace_days = 7;
+        cfg
+    }
+
+    #[test]
+    fn federated_trial_completes_and_accounts_every_member() {
+        let out = run_federated_trial(
+            &small_config(),
+            RouterSpec::RoundRobin,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        assert_eq!(out.members.len(), 2);
+        let routed: usize = out.members.iter().map(|m| m.jobs_routed).sum();
+        assert_eq!(routed, 8);
+        // Round-robin over two members splits 8 jobs 4/4.
+        assert_eq!(out.members[0].jobs_routed, 4);
+        assert_eq!(out.members[1].jobs_routed, 4);
+        assert!(out.total_carbon_grams > 0.0);
+        assert!(out.makespan > 0.0);
+        assert!(out.avg_jct > 0.0);
+    }
+
+    #[test]
+    fn member_labels_are_region_qualified() {
+        let out = run_federated_trial(
+            &small_config(),
+            RouterSpec::CarbonGreedy,
+            SchedulerSpec::pcaps_moderate(),
+        );
+        let labels: Vec<&str> = out.members.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, vec!["PCAPS(γ=0.5)@CAISO", "PCAPS(γ=0.5)@ZA"]);
+        assert_eq!(out.members[0].summary.scheduler, "PCAPS(γ=0.5)@CAISO");
+    }
+
+    #[test]
+    fn sweep_covers_the_cross_product_and_serialises() {
+        let cfg = small_config();
+        let routers = [RouterSpec::RoundRobin, RouterSpec::CarbonQueueAware];
+        let specs = [
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+            SchedulerSpec::pcaps_moderate(),
+        ];
+        let outputs = multi_region_sweep(&cfg, &routers, &specs);
+        assert_eq!(outputs.len(), 4);
+        let csv = to_csv(&outputs);
+        // Header + (2 members + 1 total) × 4 combinations.
+        assert_eq!(csv.lines().count(), 1 + 3 * 4);
+        assert!(csv.starts_with("router,scheduler,region,label,"));
+        assert!(csv.contains("carbon-queue-aware,PCAPS(γ=0.5),CAISO,PCAPS(γ=0.5)@CAISO"));
+        assert!(csv.contains(",TOTAL,"));
+        let text = render(&outputs).render();
+        assert!(text.contains("round-robin") && text.contains("carbon-queue-aware"));
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let cfg = small_config();
+        for router in [RouterSpec::LeastOutstandingWork, RouterSpec::CarbonQueueAware] {
+            let a = run_federated_trial(&cfg, router, SchedulerSpec::pcaps_moderate());
+            let b = run_federated_trial(&cfg, router, SchedulerSpec::pcaps_moderate());
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.total_carbon_grams, b.total_carbon_grams);
+            for (x, y) in a.members.iter().zip(&b.members) {
+                assert_eq!(x.jobs_routed, y.jobs_routed);
+            }
+        }
+    }
+
+    #[test]
+    fn carbon_routers_prefer_the_greener_grid() {
+        // CAISO's mean intensity (274) is far below ZA's (713); with ample
+        // capacity the carbon-greedy router should route most jobs there.
+        let out = run_federated_trial(
+            &small_config(),
+            RouterSpec::CarbonGreedy,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        assert!(
+            out.members[0].jobs_routed > out.members[1].jobs_routed,
+            "CAISO ({}) should attract more jobs than ZA ({})",
+            out.members[0].jobs_routed,
+            out.members[1].jobs_routed
+        );
+    }
+}

@@ -123,6 +123,23 @@ impl ExperimentConfig {
     pub fn accountant(&self) -> CarbonAccountant {
         CarbonAccountant::new(self.trace()).with_time_scale(60.0)
     }
+
+    /// Region-qualified configuration label, e.g. `DE[j=8,K=20,s=1]`.
+    ///
+    /// Scheduler labels ([`SchedulerSpec::label`]) identify only the policy,
+    /// so two trials of the same spec in different regions would collide in
+    /// a CSV; prefixing rows with this label (or using
+    /// [`SchedulerSpec::label_in_region`]) keeps multi-region outputs
+    /// unambiguous.
+    pub fn label(&self) -> String {
+        format!(
+            "{}[j={},K={},s={}]",
+            self.region.code(),
+            self.num_jobs,
+            self.executors,
+            self.seed
+        )
+    }
 }
 
 /// Which base (carbon-agnostic) scheduler a wrapper operates on.
@@ -186,6 +203,13 @@ impl SchedulerSpec {
         }
     }
 
+    /// Region-qualified label, e.g. `PCAPS(γ=0.5)@CAISO` — required
+    /// wherever the same spec runs in several regions at once (federated
+    /// trials), so result rows stay unambiguous.
+    pub fn label_in_region(&self, region: GridRegion) -> String {
+        format!("{}@{}", self.label(), region.code())
+    }
+
     /// The paper's moderately carbon-aware PCAPS (γ = 0.5).
     pub fn pcaps_moderate() -> Self {
         SchedulerSpec::Pcaps { gamma: 0.5 }
@@ -194,6 +218,42 @@ impl SchedulerSpec {
     /// The paper's moderately carbon-aware CAP (B = 20) over the given base.
     pub fn cap_moderate(base: BaseScheduler) -> Self {
         SchedulerSpec::Cap { base, b: 20 }
+    }
+
+    /// Builds the scheduler this spec describes.
+    ///
+    /// `seed` feeds the sampling policies (Decima, PCAPS) — callers derive
+    /// it from the trial seed exactly as [`run_trial`] does.  `carbon` and
+    /// `time_scale` parameterise GreenHadoop, whose green/brown windows are
+    /// computed from the trace of the cluster (or federation member) the
+    /// scheduler runs in.
+    pub fn build(&self, seed: u64, carbon: &CarbonTrace, time_scale: f64) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::Baseline(BaseScheduler::Fifo) => Box::new(SparkStandaloneFifo::new()),
+            SchedulerSpec::Baseline(BaseScheduler::KubeDefault) => {
+                Box::new(KubeDefaultFifo::new())
+            }
+            SchedulerSpec::Baseline(BaseScheduler::WeightedFair) => Box::new(WeightedFair::new()),
+            SchedulerSpec::Baseline(BaseScheduler::Decima) => Box::new(DecimaLike::new(seed)),
+            SchedulerSpec::GreenHadoop { theta } => {
+                Box::new(GreenHadoop::with_theta(carbon.clone(), time_scale, theta))
+            }
+            SchedulerSpec::Cap { base, b } => {
+                let cap_cfg = CapConfig::with_minimum_quota(b);
+                match base {
+                    BaseScheduler::Fifo => Box::new(Cap::new(SparkStandaloneFifo::new(), cap_cfg)),
+                    BaseScheduler::KubeDefault => {
+                        Box::new(Cap::new(KubeDefaultFifo::new(), cap_cfg))
+                    }
+                    BaseScheduler::WeightedFair => Box::new(Cap::new(WeightedFair::new(), cap_cfg)),
+                    BaseScheduler::Decima => Box::new(Cap::new(DecimaLike::new(seed), cap_cfg)),
+                }
+            }
+            SchedulerSpec::Pcaps { gamma } => Box::new(Pcaps::new(
+                DecimaLike::new(seed),
+                PcapsConfig::with_gamma(gamma).with_seed(seed),
+            )),
+        }
     }
 }
 
@@ -208,81 +268,20 @@ pub struct TrialOutput {
     pub summary: ExperimentSummary,
 }
 
-fn run_boxed(
-    sim: &Simulator,
-    scheduler: &mut dyn Scheduler,
-    accountant: &CarbonAccountant,
-    spec: SchedulerSpec,
-) -> TrialOutput {
-    let result = sim
-        .run(scheduler)
-        .expect("experiment simulations are constructed to always complete");
-    let summary = ExperimentSummary::of(&result, accountant);
-    TrialOutput {
-        spec,
-        result,
-        summary,
-    }
-}
-
 /// Runs one trial of `spec` under `config`.
 pub fn run_trial(config: &ExperimentConfig, spec: SchedulerSpec) -> TrialOutput {
     let sim = config.simulator_instance();
     let accountant = config.accountant();
     let seed = config.seed ^ 0x5EED;
-    match spec {
-        SchedulerSpec::Baseline(BaseScheduler::Fifo) => {
-            run_boxed(&sim, &mut SparkStandaloneFifo::new(), &accountant, spec)
-        }
-        SchedulerSpec::Baseline(BaseScheduler::KubeDefault) => {
-            run_boxed(&sim, &mut KubeDefaultFifo::new(), &accountant, spec)
-        }
-        SchedulerSpec::Baseline(BaseScheduler::WeightedFair) => {
-            run_boxed(&sim, &mut WeightedFair::new(), &accountant, spec)
-        }
-        SchedulerSpec::Baseline(BaseScheduler::Decima) => {
-            run_boxed(&sim, &mut DecimaLike::new(seed), &accountant, spec)
-        }
-        SchedulerSpec::GreenHadoop { theta } => {
-            let mut gh = GreenHadoop::with_theta(sim.carbon().clone(), 60.0, theta);
-            run_boxed(&sim, &mut gh, &accountant, spec)
-        }
-        SchedulerSpec::Cap { base, b } => {
-            let cap_cfg = CapConfig::with_minimum_quota(b);
-            match base {
-                BaseScheduler::Fifo => run_boxed(
-                    &sim,
-                    &mut Cap::new(SparkStandaloneFifo::new(), cap_cfg),
-                    &accountant,
-                    spec,
-                ),
-                BaseScheduler::KubeDefault => run_boxed(
-                    &sim,
-                    &mut Cap::new(KubeDefaultFifo::new(), cap_cfg),
-                    &accountant,
-                    spec,
-                ),
-                BaseScheduler::WeightedFair => run_boxed(
-                    &sim,
-                    &mut Cap::new(WeightedFair::new(), cap_cfg),
-                    &accountant,
-                    spec,
-                ),
-                BaseScheduler::Decima => run_boxed(
-                    &sim,
-                    &mut Cap::new(DecimaLike::new(seed), cap_cfg),
-                    &accountant,
-                    spec,
-                ),
-            }
-        }
-        SchedulerSpec::Pcaps { gamma } => {
-            let mut pcaps = Pcaps::new(
-                DecimaLike::new(seed),
-                PcapsConfig::with_gamma(gamma).with_seed(seed),
-            );
-            run_boxed(&sim, &mut pcaps, &accountant, spec)
-        }
+    let mut scheduler = spec.build(seed, sim.carbon(), 60.0);
+    let result = sim
+        .run(scheduler.as_mut())
+        .expect("experiment simulations are constructed to always complete");
+    let summary = ExperimentSummary::of(&result, &accountant);
+    TrialOutput {
+        spec,
+        result,
+        summary,
     }
 }
 
@@ -374,6 +373,22 @@ mod tests {
             "CAP-Decima(B=20)"
         );
         assert!(SchedulerSpec::GreenHadoop { theta: 0.5 }.label().contains("GreenHadoop"));
+    }
+
+    #[test]
+    fn regional_labels_disambiguate_identical_specs() {
+        let spec = SchedulerSpec::pcaps_moderate();
+        let de = spec.label_in_region(GridRegion::Germany);
+        let ca = spec.label_in_region(GridRegion::Caiso);
+        assert_eq!(de, "PCAPS(γ=0.5)@DE");
+        assert_eq!(ca, "PCAPS(γ=0.5)@CAISO");
+        assert_ne!(de, ca, "same spec in different regions must not collide");
+        // The config label is region-qualified too.
+        let cfg = small_config();
+        assert!(cfg.label().starts_with("DE["));
+        let mut other = small_config();
+        other.region = GridRegion::Caiso;
+        assert_ne!(cfg.label(), other.label());
     }
 
     #[test]

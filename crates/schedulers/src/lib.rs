@@ -25,6 +25,11 @@
 //!
 //! The [`probabilistic`] module defines the [`ProbabilisticScheduler`]
 //! interface that `pcaps-core`'s PCAPS wraps (Definition 4.1/4.2).
+//!
+//! The [`routing`] module adds the layer above all of these for federated
+//! (multi-region) simulations: [`pcaps_cluster::Router`] policies that place
+//! each arriving job on one member cluster — round-robin,
+//! least-outstanding-work, carbon-greedy and carbon+queue-aware.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +38,14 @@ pub mod decima;
 pub mod fifo;
 pub mod greenhadoop;
 pub mod probabilistic;
+pub mod routing;
 pub mod weighted_fair;
 
 pub use decima::DecimaLike;
 pub use fifo::{KubeDefaultFifo, SparkStandaloneFifo};
 pub use greenhadoop::GreenHadoop;
 pub use probabilistic::{ProbabilisticScheduler, StageProbability};
+pub use routing::{
+    CarbonGreedyRouter, CarbonQueueAwareRouter, LeastOutstandingWorkRouter, RoundRobinRouter,
+};
 pub use weighted_fair::WeightedFair;

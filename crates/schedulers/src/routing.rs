@@ -1,0 +1,314 @@
+//! Built-in job-routing policies for federated (multi-region) simulations.
+//!
+//! A [`Router`] sits one level above the per-cluster scheduling policies of
+//! this crate: it is consulted once per job, at arrival, and places the job
+//! on one member cluster of a [`pcaps_cluster::Federation`].  Four built-in
+//! policies cover the classic design space:
+//!
+//! * [`RoundRobinRouter`] — carbon- and load-blind rotation; the fairness
+//!   baseline,
+//! * [`LeastOutstandingWorkRouter`] — pure load balancing on each member's
+//!   backlog of undispatched work,
+//! * [`CarbonGreedyRouter`] — chase the grid with the lowest *current*
+//!   intensity, ignoring queues (the geo-distributed analogue of a
+//!   threshold-free carbon-agnostic greedy),
+//! * [`CarbonQueueAwareRouter`] — blend the carbon signal (current intensity
+//!   tempered by the forecast lower bound, both O(1) from the trace's
+//!   sparse-table index) with queue pressure, so a green but congested
+//!   region stops attracting every job.
+//!
+//! All four are deterministic and allocation-free per decision (a single
+//! pass over the member views).  Ties break toward the lower member index so
+//! federated runs replay bit-identically.
+
+use pcaps_cluster::job_state::SubmittedJob;
+use pcaps_cluster::routing::{MemberView, Router, RoutingContext};
+use pcaps_dag::JobId;
+
+/// Returns the index of the member minimising `score` (first minimum wins,
+/// so ties deterministically favour the lower member index).
+fn argmin_by(members: &[MemberView], mut score: impl FnMut(&MemberView) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_score = score(&members[0]);
+    for (i, m) in members.iter().enumerate().skip(1) {
+        let s = score(m);
+        if s.total_cmp(&best_score).is_lt() {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
+}
+
+/// Rotates jobs over the members in arrival order, ignoring both the carbon
+/// signal and the members' load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl RoundRobinRouter {
+    /// Creates the router (first job goes to member 0).
+    pub fn new() -> Self {
+        RoundRobinRouter { next: 0 }
+    }
+}
+
+impl Router for RoundRobinRouter {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _id: JobId, _job: &SubmittedJob, ctx: &RoutingContext<'_>) -> usize {
+        let target = self.next % ctx.num_members();
+        self.next = (target + 1) % ctx.num_members();
+        target
+    }
+}
+
+/// Sends each job to the member with the least outstanding (routed but
+/// undispatched) work, normalised per executor so differently sized members
+/// compare fairly.  Pure load balancing: carbon-blind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstandingWorkRouter;
+
+impl LeastOutstandingWorkRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        LeastOutstandingWorkRouter
+    }
+}
+
+impl Router for LeastOutstandingWorkRouter {
+    fn name(&self) -> &str {
+        "least-work"
+    }
+
+    fn route(&mut self, _id: JobId, _job: &SubmittedJob, ctx: &RoutingContext<'_>) -> usize {
+        argmin_by(ctx.members(), MemberView::backlog_seconds)
+    }
+}
+
+/// Sends each job to the member whose grid currently reports the lowest
+/// carbon intensity, ignoring load.  Under sustained arrivals this piles
+/// work onto whichever grid is momentarily greenest — exactly the herding
+/// behaviour [`CarbonQueueAwareRouter`] is designed to avoid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CarbonGreedyRouter;
+
+impl CarbonGreedyRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        CarbonGreedyRouter
+    }
+}
+
+impl Router for CarbonGreedyRouter {
+    fn name(&self) -> &str {
+        "carbon-greedy"
+    }
+
+    fn route(&mut self, _id: JobId, _job: &SubmittedJob, ctx: &RoutingContext<'_>) -> usize {
+        argmin_by(ctx.members(), |m| m.carbon.intensity)
+    }
+}
+
+/// Carbon- and queue-aware placement: minimises
+///
+/// ```text
+/// score(m) = (w · c_m + (1 − w) · L_m) · (1 + backlog_m / τ)
+/// ```
+///
+/// where `c_m` is member `m`'s current intensity, `L_m` the forecast lower
+/// bound over the member's lookahead horizon (both O(1) via the trace's
+/// sparse-table bounds index), `backlog_m` its outstanding work per executor
+/// in seconds, `w` the intensity weight, and `τ` the backlog tolerance.
+///
+/// The `L_m` term lets a region that is *about to turn green* win over one
+/// that is marginally greener right now but forecast to stay flat — that is
+/// where precedence-aware deferral inside the member pays off, because the
+/// member's scheduler can hold the non-critical stages until the dip.  The
+/// queue factor makes a member's effective intensity grow linearly with its
+/// backlog, so sustained arrivals spread out instead of herding onto the
+/// greenest grid.
+#[derive(Debug, Clone, Copy)]
+pub struct CarbonQueueAwareRouter {
+    /// Weight `w ∈ [0, 1]` of the current intensity versus the forecast
+    /// lower bound.
+    pub intensity_weight: f64,
+    /// Backlog tolerance `τ` (seconds of per-executor backlog that doubles a
+    /// member's effective intensity).
+    pub backlog_tolerance: f64,
+}
+
+impl CarbonQueueAwareRouter {
+    /// Paper-scale defaults: `w = 0.5` (trust the forecast as much as the
+    /// present) and `τ = 600 s` of per-executor backlog (10 schedule
+    /// minutes, i.e. 10 carbon-hours at the paper's 60× time scale).
+    pub fn new() -> Self {
+        CarbonQueueAwareRouter {
+            intensity_weight: 0.5,
+            backlog_tolerance: 600.0,
+        }
+    }
+
+    /// Overrides the intensity weight `w`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= w <= 1.0`.
+    pub fn with_intensity_weight(mut self, w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w), "intensity weight must be in [0, 1]");
+        self.intensity_weight = w;
+        self
+    }
+
+    /// Overrides the backlog tolerance `τ` (seconds).
+    ///
+    /// # Panics
+    /// Panics unless `tau` is positive and finite.
+    pub fn with_backlog_tolerance(mut self, tau: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "backlog tolerance must be positive");
+        self.backlog_tolerance = tau;
+        self
+    }
+
+    fn score(&self, m: &MemberView) -> f64 {
+        let effective = self.intensity_weight * m.carbon.intensity
+            + (1.0 - self.intensity_weight) * m.carbon.lower_bound;
+        effective * (1.0 + m.backlog_seconds() / self.backlog_tolerance)
+    }
+}
+
+impl Default for CarbonQueueAwareRouter {
+    fn default() -> Self {
+        CarbonQueueAwareRouter::new()
+    }
+}
+
+impl Router for CarbonQueueAwareRouter {
+    fn name(&self) -> &str {
+        "carbon-queue-aware"
+    }
+
+    fn route(&mut self, _id: JobId, _job: &SubmittedJob, ctx: &RoutingContext<'_>) -> usize {
+        let this = *self;
+        argmin_by(ctx.members(), |m| this.score(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcaps_cluster::scheduler_api::CarbonView;
+    use pcaps_dag::{JobDagBuilder, Task};
+
+    fn job() -> SubmittedJob {
+        SubmittedJob::at(
+            0.0,
+            JobDagBuilder::new("j")
+                .stage("s", vec![Task::new(1.0)])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn view(member: usize, carbon: CarbonView, outstanding: f64) -> MemberView {
+        MemberView {
+            member,
+            carbon,
+            queue_depth: 0,
+            outstanding_work: outstanding,
+            total_executors: 10,
+            free_executors: 10,
+        }
+    }
+
+    fn route_once(router: &mut dyn Router, views: &[MemberView]) -> usize {
+        router.route(JobId(0), &job(), &RoutingContext::new(0.0, views))
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let views = [
+            view(0, CarbonView::flat(100.0), 0.0),
+            view(1, CarbonView::flat(100.0), 0.0),
+            view(2, CarbonView::flat(100.0), 0.0),
+        ];
+        let mut r = RoundRobinRouter::new();
+        let picks: Vec<usize> = (0..7).map(|_| route_once(&mut r, &views)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_work_balances_per_executor() {
+        // Member 0 has 100 s over 10 executors (10 s each); member 1 has
+        // 30 s over 10 executors (3 s each) — member 1 wins despite what a
+        // raw total would suggest if sizes differed.
+        let views = [
+            view(0, CarbonView::flat(50.0), 100.0),
+            view(1, CarbonView::flat(500.0), 30.0),
+        ];
+        assert_eq!(route_once(&mut LeastOutstandingWorkRouter::new(), &views), 1);
+        // Ties go to the lower index.
+        let tied = [
+            view(0, CarbonView::flat(50.0), 30.0),
+            view(1, CarbonView::flat(500.0), 30.0),
+        ];
+        assert_eq!(route_once(&mut LeastOutstandingWorkRouter::new(), &tied), 0);
+    }
+
+    #[test]
+    fn carbon_greedy_picks_lowest_intensity() {
+        let views = [
+            view(0, CarbonView::flat(400.0), 0.0),
+            view(1, CarbonView::flat(120.0), 1.0e9),
+            view(2, CarbonView::flat(300.0), 0.0),
+        ];
+        // Load is ignored entirely.
+        assert_eq!(route_once(&mut CarbonGreedyRouter::new(), &views), 1);
+    }
+
+    #[test]
+    fn queue_aware_stops_herding_onto_the_green_grid() {
+        let green_busy = view(0, CarbonView::new(100.0, 100.0, 100.0), 12_000.0);
+        let brown_idle = view(1, CarbonView::new(140.0, 140.0, 140.0), 0.0);
+        let views = [green_busy, brown_idle];
+        // Greedy still herds...
+        assert_eq!(route_once(&mut CarbonGreedyRouter::new(), &views), 0);
+        // ...but with 1 200 s of per-executor backlog (2× the default τ of
+        // 600 s) the green member's effective intensity triples: 300 > 140.
+        assert_eq!(route_once(&mut CarbonQueueAwareRouter::new(), &views), 1);
+    }
+
+    #[test]
+    fn queue_aware_rewards_a_forecast_dip() {
+        // Equal current intensity, but member 1's grid is forecast to drop
+        // to 50 within the horizon.
+        let flat = view(0, CarbonView::new(200.0, 200.0, 220.0), 0.0);
+        let dipping = view(1, CarbonView::new(200.0, 50.0, 220.0), 0.0);
+        assert_eq!(route_once(&mut CarbonQueueAwareRouter::new(), &[flat, dipping]), 1);
+        // With w = 1 the forecast is ignored and the tie goes to member 0.
+        let mut present_only = CarbonQueueAwareRouter::new().with_intensity_weight(1.0);
+        assert_eq!(route_once(&mut present_only, &[flat, dipping]), 0);
+    }
+
+    #[test]
+    fn router_names_are_stable() {
+        assert_eq!(RoundRobinRouter::new().name(), "round-robin");
+        assert_eq!(LeastOutstandingWorkRouter::new().name(), "least-work");
+        assert_eq!(CarbonGreedyRouter::new().name(), "carbon-greedy");
+        assert_eq!(CarbonQueueAwareRouter::new().name(), "carbon-queue-aware");
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity weight")]
+    fn bad_weight_rejected() {
+        let _ = CarbonQueueAwareRouter::new().with_intensity_weight(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "backlog tolerance")]
+    fn bad_tolerance_rejected() {
+        let _ = CarbonQueueAwareRouter::new().with_backlog_tolerance(0.0);
+    }
+}

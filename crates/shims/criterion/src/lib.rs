@@ -15,6 +15,11 @@
 //! * `PCAPS_BENCH_JSON=path` — write `{"<group>/<id>": {"mean_ns": …,
 //!   "samples": …}, …}` to `path` when the run finishes.
 
+// Shims are deliberate API subsets of the real crates; the smoke gate
+// builds the workspace with RUSTFLAGS=-Dwarnings and shims are exempt
+// (subset evolution routinely leaves dead code behind).
+#![allow(dead_code, unused_imports, unused_variables, unused_macros)]
+
 use std::time::Instant;
 
 /// Opaque value barrier (re-export of `std::hint::black_box`).

@@ -36,6 +36,12 @@ pub enum WorkloadKind {
 
 /// Builder for experiment workloads.
 ///
+/// A built workload is a single *arrival stream*: it can feed one cluster
+/// directly, or a whole federation — multi-region placement happens at the
+/// consumer (the routing layer), not here.  Streams from several builders
+/// (e.g. one per tenant, mixing TPC-H and Alibaba jobs) combine with
+/// [`merge_streams`].
+///
 /// ```
 /// use pcaps_workloads::{WorkloadBuilder, WorkloadKind};
 ///
@@ -133,6 +139,17 @@ impl WorkloadBuilder {
     }
 }
 
+/// Merges several independently generated arrival streams into one, sorted
+/// by arrival time (stable: ties keep the input-stream order, so merges are
+/// deterministic).  This is how multi-tenant federated workloads are
+/// assembled — each tenant keeps its own seed/kind/arrival process, and the
+/// federation consumes the combined stream.
+pub fn merge_streams(streams: Vec<Vec<ArrivingJob>>) -> Vec<ArrivingJob> {
+    let mut merged: Vec<ArrivingJob> = streams.into_iter().flatten().collect();
+    merged.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +227,20 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn zero_jobs_rejected() {
         let _ = WorkloadBuilder::new(WorkloadKind::Alibaba, 0).jobs(0);
+    }
+
+    #[test]
+    fn merge_streams_sorts_by_arrival_and_is_stable() {
+        let tenant_a = WorkloadBuilder::new(WorkloadKind::TpchMixed, 1).jobs(10).build();
+        let tenant_b = WorkloadBuilder::new(WorkloadKind::Alibaba, 2).jobs(10).build();
+        let merged = merge_streams(vec![tenant_a.clone(), tenant_b.clone()]);
+        assert_eq!(merged.len(), 20);
+        for pair in merged.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival, "merged stream must be sorted");
+        }
+        // Both tenants start at t=0; stability keeps tenant A's job first.
+        assert_eq!(merged[0], tenant_a[0]);
+        // Merging is deterministic.
+        assert_eq!(merged, merge_streams(vec![tenant_a, tenant_b]));
     }
 }

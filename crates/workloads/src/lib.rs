@@ -19,7 +19,10 @@
 //!
 //! The [`batch`] module assembles experiment workloads: `n` jobs sampled from
 //! a trace with Poisson inter-arrival times, optionally time-scaled so that
-//! one hour of carbon time corresponds to one minute of schedule time.
+//! one hour of carbon time corresponds to one minute of schedule time.  A
+//! built workload is a single arrival stream — it can feed one cluster or a
+//! whole federation (placement is the routing layer's job); multi-tenant
+//! streams combine with [`merge_streams`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +34,7 @@ pub mod tpch;
 
 pub use alibaba::AlibabaGenerator;
 pub use arrivals::PoissonArrivals;
-pub use batch::{ArrivingJob, WorkloadBuilder, WorkloadKind};
+pub use batch::{merge_streams, ArrivingJob, WorkloadBuilder, WorkloadKind};
 pub use tpch::{TpchQuery, TpchScale};
 
 /// The paper's experiment time scaling: job durations are divided by 60 so

@@ -8,9 +8,12 @@
 //! * [`carbon`] — carbon intensity traces, grid models, forecasting,
 //!   accounting,
 //! * [`workloads`] — TPC-H and Alibaba-style workload generators,
-//! * [`cluster`] — the discrete-event Spark-like cluster simulator,
+//! * [`cluster`] — the discrete-event Spark-like cluster simulator, and the
+//!   federation core that drives N member clusters (one grid each) under a
+//!   job-routing layer,
 //! * [`schedulers`] — carbon-agnostic baselines (FIFO, Spark/K8s default,
-//!   Weighted Fair, Decima-like, GreenHadoop),
+//!   Weighted Fair, Decima-like, GreenHadoop) plus the built-in federation
+//!   routers (round-robin, least-work, carbon-greedy, carbon+queue-aware),
 //! * [`core`] — PCAPS and CAP, the paper's contributions,
 //! * [`metrics`] — JCT / ECT / carbon metrics and statistics,
 //! * [`experiments`] — the table/figure reproduction harness.
@@ -56,10 +59,11 @@ pub use pcaps_workloads as workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use pcaps_carbon::synth::SyntheticTraceGenerator;
-    pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion};
+    pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion, TraceSet};
     pub use pcaps_cluster::{
-        Assignment, ClusterConfig, DecisionSink, SchedEvent, Scheduler, SchedulingContext,
-        SimulationResult, Simulator, SubmittedJob, WakeupToken,
+        Assignment, ClusterConfig, DecisionSink, Federation, FederationResult, Member,
+        MemberResult, MemberView, Router, RoutingContext, SchedEvent, Scheduler,
+        SchedulingContext, SimulationResult, Simulator, StaticRouter, SubmittedJob, WakeupToken,
     };
     #[allow(deprecated)]
     pub use pcaps_cluster::LegacyScheduler;
@@ -67,7 +71,8 @@ pub mod prelude {
     pub use pcaps_dag::{JobDag, JobDagBuilder, StageId, Task};
     pub use pcaps_metrics::{ExperimentSummary, NormalizedSummary};
     pub use pcaps_schedulers::{
-        DecimaLike, GreenHadoop, KubeDefaultFifo, SparkStandaloneFifo, WeightedFair,
+        CarbonGreedyRouter, CarbonQueueAwareRouter, DecimaLike, GreenHadoop, KubeDefaultFifo,
+        LeastOutstandingWorkRouter, RoundRobinRouter, SparkStandaloneFifo, WeightedFair,
     };
     pub use pcaps_workloads::{TpchQuery, TpchScale, WorkloadBuilder, WorkloadKind};
 }
