@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcaps_bench::{bench_config, fed_bench_config, runner};
-use pcaps_experiments::multi_region::{run_federated_trial, RouterSpec};
+use pcaps_experiments::multi_region::{
+    run_federated_trial, run_federated_trial_with_migration, MigrationSpec, RouterSpec,
+};
 use runner::{run_trial, BaseScheduler, SchedulerSpec};
 
 fn simulator_throughput(c: &mut Criterion) {
@@ -38,6 +40,26 @@ fn simulator_throughput(c: &mut Criterion) {
                     run_federated_trial(
                         &fed_cfg,
                         RouterSpec::CarbonQueueAware,
+                        SchedulerSpec::pcaps_moderate(),
+                    )
+                    .makespan,
+                )
+            })
+        },
+    );
+    // The same federated trial with live migration enabled (carbon-delta
+    // policy): tracks the cost of the migration layer — per-carbon-step
+    // policy consultations plus any applied moves — on top of the routed
+    // baseline above.
+    group.bench_function(
+        BenchmarkId::new("10_jobs_20_exec", "fed3_migrate_pcaps"),
+        |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    run_federated_trial_with_migration(
+                        &fed_cfg,
+                        RouterSpec::CarbonQueueAware,
+                        MigrationSpec::CarbonDelta,
                         SchedulerSpec::pcaps_moderate(),
                     )
                     .makespan,

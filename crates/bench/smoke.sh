@@ -34,6 +34,19 @@ export RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings"
 cargo build --release --all-targets
 cargo test -q
 
+# The migration conformance suite (tests/migration.rs) pins the engine's
+# never-migrate fingerprints and the cross-member accounting; a filter, an
+# ignore attribute or a compile-time gate that silently skipped it would let
+# those guarantees rot.  Run it explicitly and fail unless every test in the
+# binary ran: at least one passed, none failed, none ignored, none filtered.
+migration_out=$(cargo test -q --test migration 2>&1)
+echo "$migration_out"
+summary=$(grep -E "^test result:" <<<"$migration_out" | tail -n 1)
+if ! grep -qE "test result: ok\. [1-9][0-9]* passed; 0 failed; 0 ignored; 0 measured; 0 filtered out" <<<"$summary"; then
+    echo "error: the migration conformance suite did not run in full: $summary" >&2
+    exit 1
+fi
+
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 

@@ -28,6 +28,11 @@
 //! * routing decisions see per-member queue depth and outstanding work that
 //!   are maintained incrementally (O(1) per arrival/dispatch), and the
 //!   [`MemberView`] buffer handed to the router is reused across arrivals,
+//! * migration consultations (multi-member federations with a non-inert
+//!   policy only) reuse that same view buffer plus a candidate buffer, and
+//!   applying a migration fixes both members' counters in O(changed) — the
+//!   source slot reindex costs what a completion does, and nothing is
+//!   rescanned,
 //! * per-invocation latency sampling (a syscall plus a heap push per
 //!   scheduling event) is opt-in via
 //!   [`ClusterConfig::with_invocation_sampling`].
@@ -42,8 +47,13 @@ use crate::executor::ExecutorPool;
 use crate::federation::{Federation, Member};
 use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
 use crate::profile::{ExecutorSegment, UsageProfile};
-use crate::result::{FederationResult, InvocationSample, MemberResult, SimulationResult};
-use crate::routing::{MemberView, Router, RoutingContext, StaticRouter};
+use crate::result::{
+    FederationResult, InvocationSample, MemberResult, MigrationRecord, SimulationResult,
+};
+use crate::routing::{
+    MemberView, MigrationCandidate, MigrationContext, MigrationPolicy, MigrationSink, Router,
+    RoutingContext, StaticRouter, TransferMatrix,
+};
 use crate::scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, SchedEvent, Scheduler, SchedulingContext,
     WakeupToken,
@@ -127,11 +137,15 @@ struct MemberState<'a> {
     records: Vec<JobRecord>,
     invocations: Vec<InvocationSample>,
     tasks_dispatched: usize,
-    /// Jobs routed to this member so far.
+    /// Jobs this member currently owns or has completed: incremented by
+    /// routing and migration arrivals, decremented by migration departures.
+    /// At the end of a run this is the number of jobs that *finished* here.
     routed_jobs: usize,
-    /// Executor-seconds of routed-but-undispatched task work (incremental:
-    /// routing adds a job's total work, each dispatch subtracts the task's
-    /// duration).  Exposed to routers as [`MemberView::outstanding_work`].
+    /// Executor-seconds of owned-but-undispatched task work (incremental:
+    /// routing/migration-arrival adds a job's remaining work, each dispatch
+    /// subtracts the task's duration, migration departure subtracts the
+    /// job's remaining work).  Exposed to routers and migration policies as
+    /// [`MemberView::outstanding_work`].
     outstanding_work: f64,
     /// The member's carbon step expressed in schedule time.
     carbon_step_schedule: f64,
@@ -197,9 +211,10 @@ impl<'a> MemberState<'a> {
         self.slots[job.index()].map(|i| i as usize)
     }
 
-    /// Removes the completed job at `idx` from the active table, keeping
-    /// `slots` consistent.  O(active jobs) on the (rare) completion path so
-    /// every scheduling invocation stays O(active jobs) overall.
+    /// Removes the job at `idx` from the active table (completion or
+    /// migration departure), keeping `slots` consistent.  O(active jobs) on
+    /// these (rare) paths so every scheduling invocation stays
+    /// O(active jobs) overall.
     fn retire_active(&mut self, idx: usize) -> ActiveJob {
         let done = self.active.remove(idx);
         self.slots[done.id.index()] = None;
@@ -214,21 +229,56 @@ impl<'a> MemberState<'a> {
 pub(crate) struct Engine<'a> {
     workload: &'a [SubmittedJob],
     members: Vec<MemberState<'a>>,
+    /// Cross-region transfer costs charged on migration.
+    transfer: &'a TransferMatrix,
 
     time: f64,
     events: EventQueue,
-    /// `routed[id]` is the member the job was placed on (`None` before its
-    /// arrival was processed).
+    /// `routed[id]` is the member the job currently belongs to (`None`
+    /// before its arrival was processed; updated when a migration is
+    /// applied — during the transfer the entry already names the
+    /// destination, and `in_transit` disambiguates).
     routed: Vec<Option<u32>>,
     /// `completed[id]` is true once the job's last task finished (global —
     /// a job completes on exactly one member).
     completed: Vec<bool>,
     completed_jobs: usize,
+    /// `in_transit[id]` holds the detached runtime state of a job that is
+    /// currently migrating between members (on no member's active table);
+    /// its [`Event::MigrationArrival`] re-registers it.
+    in_transit: Vec<Option<ActiveJob>>,
+    /// `migrated[id]` is true once the job has left its original member at
+    /// least once — stale assignments from a former owner are then forgiven
+    /// as no-ops (the scheduler had no event through which to learn the job
+    /// left), while cross-member assignments to never-migrated jobs stay
+    /// hard errors (a scheduler can only name those by bug).
+    migrated: Vec<bool>,
+    /// Every migration applied so far, in application order.
+    migrations: Vec<MigrationRecord>,
     /// The binding time limit: the smallest `max_sim_time` of any member.
     max_sim_time: f64,
-    /// Reused buffer for the per-arrival [`RoutingContext`] — cleared and
-    /// refilled per routing decision, never reallocated in the steady state.
+    /// Reused buffer for the per-arrival [`RoutingContext`] and the
+    /// per-carbon-step [`MigrationContext`] — cleared and refilled per
+    /// decision, never reallocated in the steady state.
     view_buf: Vec<MemberView>,
+    /// Reused buffer for the per-carbon-step migration candidate list.
+    candidate_buf: Vec<MigrationCandidate>,
+    /// The run-scoped migration sink (cleared, never reallocated, per
+    /// consultation).
+    migration_sink: MigrationSink,
+}
+
+/// A job's migratable remainder: `(remaining executor-seconds of
+/// undispatched work, remaining gigabytes to move)`.  The GB figure scales
+/// the job's declared data size by its undispatched-work fraction —
+/// migration moves in-flight DAG state, not a full re-upload.  Both the
+/// candidate list offered to policies and the charge applied by
+/// [`Engine::apply_migration`] go through this one definition.
+fn remaining_state(job: &ActiveJob, submitted: &SubmittedJob) -> (f64, f64) {
+    let remaining_work = job.progress.remaining_work(&job.dag);
+    let total = job.dag.total_work();
+    let fraction = if total > 0.0 { remaining_work / total } else { 0.0 };
+    (remaining_work, submitted.data_gb * fraction)
 }
 
 /// Engine-internal, borrow-free description of the event that triggers a
@@ -244,7 +294,11 @@ enum EventSeed {
 }
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(members: &'a [Member], workload: &'a [SubmittedJob]) -> Self {
+    pub(crate) fn new(
+        members: &'a [Member],
+        workload: &'a [SubmittedJob],
+        transfer: &'a TransferMatrix,
+    ) -> Self {
         let mut events = EventQueue::new();
         for (i, job) in workload.iter().enumerate() {
             events.push(job.arrival, Event::JobArrival { job: JobId(i as u64) });
@@ -261,13 +315,19 @@ impl<'a> Engine<'a> {
         Engine {
             workload,
             members: member_states,
+            transfer,
             time: 0.0,
             events,
             routed: vec![None; workload.len()],
             completed: vec![false; workload.len()],
             completed_jobs: 0,
+            in_transit: (0..workload.len()).map(|_| None).collect(),
+            migrated: vec![false; workload.len()],
+            migrations: Vec::new(),
             max_sim_time,
             view_buf,
+            candidate_buf: Vec::new(),
+            migration_sink: MigrationSink::new(),
         }
     }
 
@@ -285,8 +345,13 @@ impl<'a> Engine<'a> {
     pub(crate) fn run(
         &mut self,
         router: &mut dyn Router,
+        migration: &mut dyn MigrationPolicy,
         schedulers: &mut [&mut dyn Scheduler],
     ) -> Result<FederationResult, SimError> {
+        // Single-member federations (and declared-inert policies) skip the
+        // migration layer entirely, so the single-cluster `Simulator` and
+        // plain routed runs pay nothing for it.
+        let consult_migrations = self.members.len() >= 2 && !migration.never_migrates();
         loop {
             // Completion is the sole termination condition: pending arrivals
             // or task finishes imply incomplete jobs, and stray wakeups for
@@ -319,6 +384,12 @@ impl<'a> Engine<'a> {
                 let prev = member.current_intensity;
                 let now = member.carbon.intensity(member.carbon_time(self.time));
                 member.current_intensity = now;
+                // Migration first, scheduling second: a member whose grid
+                // just turned dirty ships its idle jobs away *before* its
+                // scheduler gets a chance to pin them down with dispatches.
+                if consult_migrations {
+                    self.consult_migrations(carbon_member, migration)?;
+                }
                 self.schedule_loop(
                     carbon_member,
                     &mut *schedulers[carbon_member],
@@ -359,7 +430,9 @@ impl<'a> Engine<'a> {
             .fold(0.0_f64, f64::max);
         Ok(FederationResult {
             router: router.name().to_string(),
+            migration_policy: migration.name().to_string(),
             members: members_out,
+            migrations: std::mem::take(&mut self.migrations),
             makespan,
         })
     }
@@ -449,7 +522,159 @@ impl<'a> Engine<'a> {
                 Ok((target, EventSeed::TasksCompleted { job, stage, n: 1 }))
             }
             Event::Wakeup { member, token } => Ok((member, EventSeed::Wakeup(token))),
+            Event::MigrationArrival { member: target, job } => {
+                let state = self.in_transit[job.index()]
+                    .take()
+                    .expect("migration arrival for a job that is not in transit");
+                let remaining = state.progress.remaining_work(&state.dag);
+                let member = &mut self.members[target];
+                // The destination table stays ordered by arrival *at this
+                // member* — a migrated job joins the back of the queue like
+                // a fresh arrival would, whatever its global id.
+                member.slots[job.index()] = Some(member.active.len() as u32);
+                member.active.push(state);
+                member.routed_jobs += 1;
+                member.outstanding_work += remaining;
+                member
+                    .profile
+                    .record_jobs_in_system(self.time, member.active.len());
+                Ok((target, EventSeed::JobArrived(job)))
+            }
         }
+    }
+
+    /// Consults the migration policy for the member whose carbon intensity
+    /// just stepped, then applies the emitted verbs.  The view and candidate
+    /// buffers are engine-owned and reused across consultations, and the
+    /// candidate list covers only the stepped member's active jobs, so one
+    /// consultation costs O(members + that member's active jobs) — never
+    /// O(federation).
+    fn consult_migrations(
+        &mut self,
+        changed: usize,
+        policy: &mut dyn MigrationPolicy,
+    ) -> Result<(), SimError> {
+        if self.members[changed].active.is_empty() {
+            return Ok(());
+        }
+        let mut views = std::mem::take(&mut self.view_buf);
+        views.clear();
+        for (i, m) in self.members.iter().enumerate() {
+            views.push(m.view(i, self.time));
+        }
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
+        candidates.clear();
+        for job in &self.members[changed].active {
+            let (remaining_work, remaining_gb) =
+                remaining_state(job, &self.workload[job.id.index()]);
+            candidates.push(MigrationCandidate {
+                job: job.id,
+                remaining_work,
+                remaining_gb,
+                busy_executors: job.busy_executors,
+            });
+        }
+        let mut sink = std::mem::take(&mut self.migration_sink);
+        sink.clear();
+        let ctx = MigrationContext::new(self.time, changed, &views, self.transfer);
+        policy.on_carbon_change(&ctx, &candidates, &mut sink);
+        self.view_buf = views;
+        self.candidate_buf = candidates;
+        let mut result = Ok(());
+        for &m in sink.moves() {
+            result = self.apply_migration(m.job, m.to);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.migration_sink = sink;
+        result
+    }
+
+    /// Validates and applies one `Migrate { job, to }` verb: detaches the
+    /// job from its source member, charges the transfer delay and carbon
+    /// from the [`TransferMatrix`], and enqueues the
+    /// [`Event::MigrationArrival`] that re-registers it at the destination.
+    /// Both members' incremental counters (queue depth, outstanding work)
+    /// are fixed up in O(changed) — the slot reindex on the source is
+    /// O(its active jobs), the same cost class as the completion path.
+    fn apply_migration(&mut self, job: JobId, to: usize) -> Result<(), SimError> {
+        let invalid = |reason: String| SimError::InvalidMigration {
+            job: job.to_string(),
+            reason,
+        };
+        if job.index() >= self.workload.len() {
+            return Err(invalid("the job does not exist in the workload".into()));
+        }
+        // A completed job is history — moving it is a no-op, exactly like a
+        // stale assignment to it.
+        if self.completed[job.index()] {
+            return Ok(());
+        }
+        if to >= self.members.len() {
+            return Err(invalid(format!(
+                "member {to} does not exist (the federation has {} members)",
+                self.members.len()
+            )));
+        }
+        if self.in_transit[job.index()].is_some() {
+            return Err(invalid("the job is already migrating between members".into()));
+        }
+        let Some(src) = self.routed[job.index()].map(|m| m as usize) else {
+            return Err(invalid("the job has not arrived yet".into()));
+        };
+        if src == to {
+            return Ok(());
+        }
+        let idx = self.members[src]
+            .slot(job)
+            .expect("an incomplete, routed, non-transit job is active on its member");
+        if self.members[src].active[idx].busy_executors > 0 {
+            return Err(invalid(format!(
+                "the job still has {} running task(s) on member {src}; drain them first",
+                self.members[src].active[idx].busy_executors
+            )));
+        }
+
+        // Detach from the source and fix its incremental counters.  The
+        // remaining work/GB here match what the candidate reported — both
+        // sites go through `remaining_state`.
+        let state = self.members[src].retire_active(idx);
+        let (remaining_work, gb) = remaining_state(&state, &self.workload[job.index()]);
+        let member = &mut self.members[src];
+        member.outstanding_work -= remaining_work;
+        member.routed_jobs -= 1;
+        member
+            .profile
+            .record_jobs_in_system(self.time, member.active.len());
+
+        // Price the movement: transfer time from the matrix, transfer carbon
+        // at the mean of the two endpoint intensities right now.
+        let transfer_seconds = self.transfer.transfer_seconds(src, to, gb);
+        let c_src = self.members[src]
+            .carbon
+            .intensity(self.members[src].carbon_time(self.time));
+        let c_to = self.members[to]
+            .carbon
+            .intensity(self.members[to].carbon_time(self.time));
+        let transfer_carbon_grams = self.transfer.transfer_carbon_grams(gb, c_src, c_to);
+        let arrived = self.time + transfer_seconds;
+
+        self.routed[job.index()] = Some(to as u32);
+        self.migrated[job.index()] = true;
+        self.in_transit[job.index()] = Some(state);
+        self.events.push(arrived, Event::MigrationArrival { member: to, job });
+        self.migrations.push(MigrationRecord {
+            job,
+            from: src,
+            to,
+            departed: self.time,
+            arrived,
+            gb,
+            transfer_seconds,
+            transfer_carbon_grams,
+        });
+        Ok(())
     }
 
     /// Repeatedly invokes one member's scheduler until it defers, produces
@@ -604,9 +829,17 @@ impl<'a> Engine<'a> {
                     }
                     continue;
                 }
-                // Not completed and not active here: either routed to a
-                // different member (a scheduler may only dispatch its own
-                // member's jobs) or not arrived at all.
+                // Not completed and not active here: mid-migration, routed
+                // to a different member, or not arrived at all.  A job that
+                // has migrated at least once gets the same forgiveness as a
+                // completed one — its former member's scheduler had no event
+                // through which to learn it left (the SchedEvent stream is
+                // advisory), so a stale assignment is a harmless no-op.  A
+                // *never*-migrated job on another member stays a hard error:
+                // a scheduler can only name such a job by bug.
+                if self.migrated[a.job.index()] {
+                    continue;
+                }
                 if let Some(other) = self.routed[a.job.index()] {
                     return Err(SimError::InvalidAssignment {
                         reason: format!(
@@ -993,7 +1226,7 @@ mod tests {
             ],
             vec![SubmittedJob::at(0.0, chain_job("j", 1, 2, 5.0))],
         );
-        let mut engine = Engine::new(fed.members(), fed.workload());
+        let mut engine = Engine::new(fed.members(), fed.workload(), fed.transfer());
         let mut router = ToOne;
         let (target, _) = engine
             .handle_event(Event::JobArrival { job: JobId(0) }, &mut router)
@@ -1225,6 +1458,145 @@ mod tests {
         assert_eq!(policy.wakeup_times, vec![3.0 * 3600.0]);
         assert!(result.all_jobs_complete());
         assert!((result.makespan - (3.0 * 3600.0 + 5.0)).abs() < 1e-9);
+    }
+
+    /// A migration policy that moves every idle candidate to a fixed member.
+    struct MoveIdleTo {
+        to: usize,
+    }
+    impl MigrationPolicy for MoveIdleTo {
+        fn name(&self) -> &str {
+            "move-idle"
+        }
+        fn on_carbon_change(
+            &mut self,
+            _ctx: &MigrationContext<'_>,
+            candidates: &[MigrationCandidate],
+            out: &mut MigrationSink,
+        ) {
+            for c in candidates {
+                if c.migratable() {
+                    out.migrate(c.job, self.to);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_idle_jobs_and_charges_the_transfer() {
+        use crate::federation::{Federation, Member};
+
+        // Member A has one executor; two 4000 s single-task jobs arrive at
+        // t=0 and are both routed to A.  At the first carbon step (3600 s)
+        // the policy ships the still-queued second job to B, paying
+        // 1 GB × 10 s/GB of transfer delay and 1 GB × 0.1 kWh/GB × 300 g/kWh
+        // of transfer carbon (both grids are flat at 300).
+        let config = ClusterConfig::new(1).with_move_delay(0.0).with_time_scale(1.0);
+        let fed = Federation::new(
+            vec![
+                Member::new("A", config.clone(), flat_trace()),
+                Member::new("B", config, flat_trace()),
+            ],
+            vec![
+                SubmittedJob::at(0.0, chain_job("a", 1, 1, 4000.0)).with_data_gb(1.0),
+                SubmittedJob::at(0.0, chain_job("b", 1, 1, 4000.0)).with_data_gb(1.0),
+            ],
+        )
+        .with_transfer_matrix(TransferMatrix::uniform(2, 10.0).with_energy_per_gb(0.1));
+        let mut a = SimpleFifo::new();
+        let mut b = SimpleFifo::new();
+        let mut policy = MoveIdleTo { to: 1 };
+        let result = {
+            let mut schedulers: [&mut dyn Scheduler; 2] = [&mut a, &mut b];
+            fed.run_with_migration(&mut StaticRouter::new(0), &mut policy, &mut schedulers)
+                .unwrap()
+        };
+        assert!(result.all_jobs_complete());
+        assert_eq!(result.migration_policy, "move-idle");
+        assert_eq!(result.num_migrations(), 1);
+        let m = result.migrations[0];
+        assert_eq!((m.from, m.to), (0, 1));
+        assert!((m.departed - 3600.0).abs() < 1e-9);
+        assert!((m.gb - 1.0).abs() < 1e-12, "nothing dispatched, full data set moves");
+        assert!((m.transfer_seconds - 10.0).abs() < 1e-9);
+        assert!((m.arrived - 3610.0).abs() < 1e-9);
+        assert!((m.transfer_carbon_grams - 30.0).abs() < 1e-9);
+        // Job 0 runs on A [0, 4000]; job 1 runs on B [3610, 7610].
+        assert!((result.members[0].result.makespan - 4000.0).abs() < 1e-9);
+        assert!((result.members[1].result.makespan - 7610.0).abs() < 1e-9);
+        assert_eq!(result.members[0].result.jobs_submitted, 1);
+        assert_eq!(result.members[1].result.jobs_submitted, 1);
+        assert_eq!(result.members[0].result.jobs.len(), 1);
+        assert_eq!(result.members[1].result.jobs.len(), 1);
+        // The migrated job keeps its original arrival for JCT purposes.
+        assert_eq!(result.members[1].result.jobs[0].arrival, 0.0);
+    }
+
+    /// A scheduler that remembers every job it has ever seen arrive and
+    /// stubbornly re-assigns all of them on every invocation — the worst
+    /// case for stale references after a migration.
+    struct Clingy {
+        seen: Vec<JobId>,
+    }
+    impl Scheduler for Clingy {
+        fn name(&self) -> &str {
+            "clingy"
+        }
+        fn on_event(
+            &mut self,
+            event: SchedEvent<'_>,
+            _ctx: &SchedulingContext<'_>,
+            out: &mut DecisionSink,
+        ) {
+            if let SchedEvent::JobArrived { job } = event {
+                self.seen.push(job.id);
+            }
+            for &job in &self.seen {
+                out.dispatch(job, StageId(0), 1);
+            }
+        }
+    }
+
+    /// A stale assignment to a job that migrated away must be forgiven as a
+    /// no-op (like completed-job staleness): the source's scheduler had no
+    /// event through which to learn the job left.  Never-migrated jobs on
+    /// other members keep the hard cross-member error (previous test).
+    #[test]
+    fn stale_assignments_to_migrated_jobs_are_forgiven() {
+        use crate::federation::{Federation, Member};
+
+        let config = ClusterConfig::new(1).with_move_delay(0.0).with_time_scale(1.0);
+        let fed = Federation::new(
+            vec![
+                Member::new("A", config.clone(), flat_trace()),
+                Member::new("B", config, flat_trace()),
+            ],
+            // Jobs 0 and 1 arrive on A; 1 queues idle and migrates to B at
+            // the first carbon step; job 2's arrival later makes A's clingy
+            // scheduler re-emit assignments for all three.
+            vec![
+                SubmittedJob::at(0.0, chain_job("a", 1, 1, 4000.0)),
+                SubmittedJob::at(0.0, chain_job("b", 1, 1, 4000.0)),
+                SubmittedJob::at(5000.0, chain_job("c", 1, 1, 4000.0)),
+            ],
+        );
+        let mut a = Clingy { seen: Vec::new() };
+        let mut b = SimpleFifo::new();
+        let mut policy = MoveIdleTo { to: 1 };
+        let result = {
+            let mut schedulers: [&mut dyn Scheduler; 2] = [&mut a, &mut b];
+            fed.run_with_migration(&mut StaticRouter::new(0), &mut policy, &mut schedulers)
+                .unwrap()
+        };
+        assert!(result.all_jobs_complete());
+        assert_eq!(result.num_migrations(), 1);
+        let ids = |m: usize| -> Vec<u64> {
+            result.members[m].result.jobs.iter().map(|j| j.id.0).collect()
+        };
+        assert_eq!(ids(0), vec![0, 2], "jobs 0 and 2 finish on A");
+        assert_eq!(ids(1), vec![1], "the migrated job finishes on B");
+        // Job 2 dispatched at its arrival despite the stale verbs alongside.
+        assert!((result.members[0].result.makespan - 9000.0).abs() < 1e-9);
     }
 
     /// Two members with different traces: each member's `defer_below` must

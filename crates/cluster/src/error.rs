@@ -37,6 +37,17 @@ pub enum SimError {
         /// How many members the federation actually has.
         members: usize,
     },
+    /// A migration policy emitted a verb the engine cannot apply: the
+    /// destination member does not exist, the job has running tasks on its
+    /// source member, is already in transit, or has not arrived yet.
+    /// (Migrating a *completed* job is a harmless no-op, matching the
+    /// historical semantics of stale assignments.)
+    InvalidMigration {
+        /// The job being migrated.
+        job: String,
+        /// Explanation of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +69,9 @@ impl fmt::Display for SimError {
                 f,
                 "router placed {job} on member {member}, but the federation only has {members} member cluster(s)"
             ),
+            SimError::InvalidMigration { job, reason } => {
+                write!(f, "migration policy emitted an invalid move of {job}: {reason}")
+            }
         }
     }
 }
@@ -83,5 +97,11 @@ mod tests {
         assert!(SimError::InvalidRoute { job: "job 3".into(), member: 9, members: 2 }
             .to_string()
             .contains("member 9"));
+        let migration = SimError::InvalidMigration {
+            job: "job 4".into(),
+            reason: "member 7 does not exist (the federation has 2 members)".into(),
+        };
+        assert!(migration.to_string().contains("job 4"));
+        assert!(migration.to_string().contains("member 7"));
     }
 }

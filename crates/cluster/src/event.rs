@@ -43,6 +43,15 @@ pub enum Event {
         /// Token identifying the deferral request that scheduled this event.
         token: WakeupToken,
     },
+    /// A migrating job finishes its cross-region transfer and arrives at its
+    /// destination member (the job was detached from its source when the
+    /// migration was applied; this event re-registers it).
+    MigrationArrival {
+        /// Destination member cluster.
+        member: usize,
+        /// The migrating job.
+        job: JobId,
+    },
 }
 
 /// An event stamped with its occurrence time.
@@ -174,6 +183,20 @@ mod tests {
                 assert_eq!(t, 4.0);
                 assert_eq!(member, 2);
                 assert_eq!(token, WakeupToken(7));
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migration_arrival_events_carry_member_and_job() {
+        let mut q = EventQueue::new();
+        q.push(6.0, Event::MigrationArrival { member: 1, job: JobId(5) });
+        match q.pop().unwrap() {
+            (t, Event::MigrationArrival { member, job }) => {
+                assert_eq!(t, 6.0);
+                assert_eq!(member, 1);
+                assert_eq!(job, JobId(5));
             }
             other => panic!("wrong event: {other:?}"),
         }

@@ -54,7 +54,7 @@ use crate::engine::Engine;
 use crate::error::SimError;
 use crate::job_state::SubmittedJob;
 use crate::result::FederationResult;
-use crate::routing::Router;
+use crate::routing::{MigrationPolicy, NeverMigrate, Router, TransferMatrix};
 use crate::scheduler_api::Scheduler;
 use pcaps_carbon::CarbonTrace;
 
@@ -90,6 +90,9 @@ impl Member {
 pub struct Federation {
     members: Vec<Member>,
     workload: Vec<SubmittedJob>,
+    /// Cross-region transfer costs charged when jobs migrate between
+    /// members.  Defaults to [`TransferMatrix::zero`] (free movement).
+    transfer: TransferMatrix,
     /// First workload validation failure, if any — detected once at
     /// construction and reported by every [`Federation::run`] call.
     invalid: Option<SimError>,
@@ -112,7 +115,25 @@ impl Federation {
                 reason: e.to_string(),
             })
         });
-        Federation { members, workload, invalid }
+        let transfer = TransferMatrix::zero(members.len());
+        Federation { members, workload, transfer, invalid }
+    }
+
+    /// Sets the cross-region transfer cost matrix (see [`TransferMatrix`]
+    /// for units).  Only migrations pay these costs — initial routing at
+    /// arrival stays free, because the job's input is assumed to be uploaded
+    /// to wherever the router placed it.
+    ///
+    /// # Panics
+    /// Panics if the matrix dimension differs from the member count.
+    pub fn with_transfer_matrix(mut self, transfer: TransferMatrix) -> Self {
+        assert_eq!(
+            transfer.num_members(),
+            self.members.len(),
+            "transfer matrix dimension must match the member count"
+        );
+        self.transfer = transfer;
+        self
     }
 
     /// The member clusters, in member-index order.
@@ -125,14 +146,38 @@ impl Federation {
         &self.workload
     }
 
+    /// The cross-region transfer cost matrix.
+    pub fn transfer(&self) -> &TransferMatrix {
+        &self.transfer
+    }
+
     /// Runs the federation to completion with the given router and one
-    /// scheduler per member.
+    /// scheduler per member.  Placement is final: this is
+    /// [`Federation::run_with_migration`] under the [`NeverMigrate`] policy,
+    /// and it reproduces the pre-migration engine bit for bit.
     ///
     /// # Panics
     /// Panics if `schedulers.len()` differs from the number of members.
     pub fn run(
         &self,
         router: &mut dyn Router,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<FederationResult, SimError> {
+        self.run_with_migration(router, &mut NeverMigrate, schedulers)
+    }
+
+    /// Runs the federation to completion with the given router, migration
+    /// policy, and one scheduler per member.  The migration policy is
+    /// consulted on every member's carbon step (federations of two or more
+    /// members only) and may move idle jobs between members, paying the
+    /// federation's [`TransferMatrix`] costs.
+    ///
+    /// # Panics
+    /// Panics if `schedulers.len()` differs from the number of members.
+    pub fn run_with_migration(
+        &self,
+        router: &mut dyn Router,
+        migration: &mut dyn MigrationPolicy,
         schedulers: &mut [&mut dyn Scheduler],
     ) -> Result<FederationResult, SimError> {
         assert_eq!(
@@ -146,8 +191,8 @@ impl Federation {
         if let Some(e) = &self.invalid {
             return Err(e.clone());
         }
-        let mut engine = Engine::new(&self.members, &self.workload);
-        engine.run(router, schedulers)
+        let mut engine = Engine::new(&self.members, &self.workload, &self.transfer);
+        engine.run(router, migration, schedulers)
     }
 }
 

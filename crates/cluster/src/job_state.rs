@@ -4,6 +4,12 @@ use pcaps_dag::{JobDag, JobId, JobProgress};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Default job data footprint per executor-second of work, in GB: 0.01 GB/s
+/// models a compute-heavy analytics job (100 executor-seconds of work per
+/// gigabyte of input).  Used by [`SubmittedJob::at`] when no explicit size
+/// is given; override with [`SubmittedJob::with_data_gb`].
+pub const DEFAULT_DATA_GB_PER_WORK_SECOND: f64 = 0.01;
+
 /// A job together with its arrival time — one element of the workload handed
 /// to the simulator.
 ///
@@ -16,17 +22,36 @@ pub struct SubmittedJob {
     pub arrival: f64,
     /// The job DAG (shared, immutable).
     pub dag: Arc<JobDag>,
+    /// Size of the job's input data set in gigabytes — what a cross-region
+    /// migration has to move (scaled down by the fraction of work already
+    /// done; see the `TransferMatrix` docs in the routing module).  Defaults
+    /// to [`DEFAULT_DATA_GB_PER_WORK_SECOND`] × the DAG's total work.
+    pub data_gb: f64,
 }
 
 impl SubmittedJob {
     /// Submits `dag` at time `arrival`.  Accepts an owned [`JobDag`] or an
-    /// already shared `Arc<JobDag>`.
+    /// already shared `Arc<JobDag>`.  The data size defaults to
+    /// [`DEFAULT_DATA_GB_PER_WORK_SECOND`] × total work; override it with
+    /// [`SubmittedJob::with_data_gb`].
     pub fn at(arrival: f64, dag: impl Into<Arc<JobDag>>) -> Self {
         assert!(
             arrival.is_finite() && arrival >= 0.0,
             "arrival time must be finite and non-negative"
         );
-        SubmittedJob { arrival, dag: dag.into() }
+        let dag = dag.into();
+        let data_gb = dag.total_work() * DEFAULT_DATA_GB_PER_WORK_SECOND;
+        SubmittedJob { arrival, dag, data_gb }
+    }
+
+    /// Overrides the job's input data size (GB).
+    ///
+    /// # Panics
+    /// Panics if `gb` is negative or not finite.
+    pub fn with_data_gb(mut self, gb: f64) -> Self {
+        assert!(gb >= 0.0 && gb.is_finite(), "data size must be non-negative and finite");
+        self.data_gb = gb;
+        self
     }
 }
 
@@ -116,6 +141,16 @@ mod tests {
         let s = SubmittedJob::at(12.0, dag());
         assert_eq!(s.arrival, 12.0);
         assert_eq!(s.dag.name, "j");
+        // Default data size derives from the DAG's total work (1.0 s here).
+        assert!((s.data_gb - DEFAULT_DATA_GB_PER_WORK_SECOND).abs() < 1e-12);
+        let sized = s.with_data_gb(7.5);
+        assert_eq!(sized.data_gb, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "data size")]
+    fn negative_data_size_rejected() {
+        let _ = SubmittedJob::at(0.0, dag()).with_data_gb(-1.0);
     }
 
     #[test]

@@ -23,9 +23,11 @@
 //! [`Federation`]: N member clusters, each with its own executor pool,
 //! carbon trace (one grid region each) and scheduler instance, under one
 //! shared deterministic event loop.  A [`Router`] places each arriving job
-//! on a member; the single-cluster [`Simulator`] is a thin wrapper around a
-//! one-member federation and reproduces the pre-federation engine bit for
-//! bit.
+//! on a member, and a [`MigrationPolicy`] may later *move* it — paying the
+//! cross-region transfer costs of the federation's [`TransferMatrix`] — when
+//! a member's grid turns dirty after placement.  The single-cluster
+//! [`Simulator`] is a thin wrapper around a one-member federation and
+//! reproduces the pre-federation engine bit for bit.
 //!
 //! The engine records per-member executor-usage profiles, per-job records
 //! and (optionally) scheduler-invocation latencies, from which the metrics
@@ -52,7 +54,35 @@
 //!   view is assembled in O(1) from incrementally maintained counters
 //!   (queue depth, outstanding work, free executors) plus the trace's O(1)
 //!   bounds index; the view buffer is engine-owned and reused across
-//!   arrivals.  Placement is permanent — migration is a named follow-up.
+//!   arrivals.
+//! * **Migration layer.**  Placement is *not* permanent: a
+//!   [`MigrationPolicy`] is consulted on every member's carbon step
+//!   (multi-member federations with a non-inert policy only — the
+//!   single-cluster `Simulator` and plain [`Federation::run`] skip the layer
+//!   entirely via [`NeverMigrate`] and reproduce the pre-migration engine
+//!   bit for bit) and may move *idle* jobs (no running tasks) between
+//!   members.  A move is priced by the federation's [`TransferMatrix`]: the
+//!   job spends `remaining_gb × seconds_per_gb(from, to)` schedule seconds
+//!   in transit on no member (the cross-region analogue of the in-cluster
+//!   executor-move delay), and `remaining_gb × energy_kwh_per_gb × ½(c_from
+//!   + c_to)` grams of transfer carbon are logged in the
+//!   [`FederationResult::migrations`] records.  Applying a move re-registers
+//!   the job's `Arc<JobDag>`/`JobProgress` wholesale under the destination
+//!   (joining the back of its arrival-ordered queue) and fixes both
+//!   members' incremental counters in O(changed) — the source slot reindex
+//!   costs what a completion does; nothing linear in the federation, trace
+//!   or total jobs is rescanned.  One consultation costs O(members + the
+//!   stepped member's active jobs), with the view/candidate buffers and the
+//!   [`MigrationSink`] engine-owned and reused.  Deferral wakeups remain
+//!   member-scoped and advisory: after a job migrates away, a wakeup its
+//!   old member requested still fires *there* (and is suppressed like any
+//!   wakeup when that member has nothing to decide); the new owner is
+//!   instead re-invoked with a `JobArrived` event when the transfer
+//!   completes.  Stale *assignments* to a job that migrated away are
+//!   forgiven as no-ops, exactly like completed-job staleness — the former
+//!   owner's scheduler had no event through which to learn the job left —
+//!   while cross-member assignments to never-migrated jobs stay hard
+//!   errors.
 //! * **Active-job index.**  Each member maintains its arrived-incomplete job
 //!   table (`active`, ordered by arrival, plus the global-id → slot map)
 //!   across events; arrivals push, completions remove.  A
@@ -139,8 +169,11 @@ pub use error::SimError;
 pub use federation::{Federation, Member};
 pub use job_state::{JobRecord, SubmittedJob};
 pub use profile::{ExecutorSegment, UsageProfile};
-pub use result::{FederationResult, MemberResult, SimulationResult};
-pub use routing::{MemberView, Router, RoutingContext, StaticRouter};
+pub use result::{FederationResult, MemberResult, MigrationRecord, SimulationResult};
+pub use routing::{
+    MemberView, Migration, MigrationCandidate, MigrationContext, MigrationPolicy, MigrationSink,
+    NeverMigrate, Router, RoutingContext, StaticRouter, TransferMatrix,
+};
 pub use scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, JobView, SchedEvent, Scheduler,
     SchedulingContext, WakeupToken,

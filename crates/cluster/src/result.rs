@@ -2,6 +2,7 @@
 
 use crate::job_state::JobRecord;
 use crate::profile::UsageProfile;
+use pcaps_dag::JobId;
 use serde::{Deserialize, Serialize};
 
 /// One scheduler-invocation latency sample (used to reproduce Fig. 20).
@@ -81,9 +82,35 @@ pub struct MemberResult {
     /// The member's label (usually its grid region code).
     pub label: String,
     /// The member's own simulation result.  `jobs_submitted` counts the jobs
-    /// *routed to this member*, so [`SimulationResult::all_jobs_complete`]
-    /// keeps its meaning per member.
+    /// *this member ended the run owning* (routed here and never moved, or
+    /// migrated in; migration departures decrement it), so
+    /// [`SimulationResult::all_jobs_complete`] keeps its meaning per member.
     pub result: SimulationResult,
+}
+
+/// One applied job migration: which job moved where, when, and what the
+/// transfer cost in time and carbon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The migrated job.
+    pub job: JobId,
+    /// Source member index.
+    pub from: usize,
+    /// Destination member index.
+    pub to: usize,
+    /// Schedule time at which the job left its source member.
+    pub departed: f64,
+    /// Schedule time at which it re-registered at the destination
+    /// (`departed + transfer_seconds`).
+    pub arrived: f64,
+    /// Gigabytes of state moved (the job's data size scaled by its
+    /// remaining-work fraction at departure).
+    pub gb: f64,
+    /// Transfer delay charged (schedule seconds).
+    pub transfer_seconds: f64,
+    /// Carbon attributed to the transfer itself (grams CO₂eq), priced at the
+    /// mean of the two endpoint intensities at the departure instant.
+    pub transfer_carbon_grams: f64,
 }
 
 /// Everything recorded during one federated run: one [`MemberResult`] per
@@ -92,8 +119,12 @@ pub struct MemberResult {
 pub struct FederationResult {
     /// Name of the router that placed the jobs.
     pub router: String,
+    /// Name of the migration policy that (possibly) moved them afterwards.
+    pub migration_policy: String,
     /// Per-member results, ordered by member index.
     pub members: Vec<MemberResult>,
+    /// Every applied migration, in application order.
+    pub migrations: Vec<MigrationRecord>,
     /// Schedule time at which the last job of the whole federation completed.
     pub makespan: f64,
 }
@@ -112,6 +143,34 @@ impl FederationResult {
     /// Total tasks dispatched across all members.
     pub fn tasks_dispatched(&self) -> usize {
         self.members.iter().map(|m| m.result.tasks_dispatched).sum()
+    }
+
+    /// Number of job migrations applied during the run.
+    pub fn num_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Total schedule seconds jobs spent in cross-region transfer.
+    /// (Folded from `+0.0` so an empty log reports positive zero — `f64`'s
+    /// `Sum` yields `-0.0` for empty iterators, which formats as `-0`.)
+    pub fn total_transfer_seconds(&self) -> f64 {
+        self.migrations
+            .iter()
+            .fold(0.0, |acc, m| acc + m.transfer_seconds)
+    }
+
+    /// Total carbon attributed to cross-region transfers (grams CO₂eq).
+    /// This is *in addition to* the execution carbon accounted from each
+    /// member's usage profile.
+    pub fn transfer_carbon_grams(&self) -> f64 {
+        self.migrations
+            .iter()
+            .fold(0.0, |acc, m| acc + m.transfer_carbon_grams)
+    }
+
+    /// Migrations that departed from `member`, in application order.
+    pub fn migrations_from(&self, member: usize) -> impl Iterator<Item = &MigrationRecord> {
+        self.migrations.iter().filter(move |m| m.from == member)
     }
 
     /// Average job completion time over every job in the federation
@@ -198,6 +257,7 @@ mod tests {
     fn federation_aggregates_span_members() {
         let fed = FederationResult {
             router: "test-router".into(),
+            migration_policy: "never-migrate".into(),
             members: vec![
                 MemberResult { member: 0, label: "DE".into(), result: result() },
                 MemberResult {
@@ -212,6 +272,7 @@ mod tests {
                     },
                 },
             ],
+            migrations: vec![],
             makespan: 40.0,
         };
         assert!(fed.all_jobs_complete());
@@ -219,13 +280,45 @@ mod tests {
         assert_eq!(fed.tasks_dispatched(), 6);
         // JCTs: 10, 20 and 40 → job-weighted mean 70/3.
         assert!((fed.average_jct() - 70.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fed.num_migrations(), 0);
+        assert_eq!(fed.total_transfer_seconds(), 0.0);
+        assert_eq!(fed.transfer_carbon_grams(), 0.0);
+    }
+
+    #[test]
+    fn migration_aggregates_sum_the_log() {
+        let migration = |from: usize, to: usize, secs: f64, grams: f64| MigrationRecord {
+            job: JobId(0),
+            from,
+            to,
+            departed: 10.0,
+            arrived: 10.0 + secs,
+            gb: 2.0,
+            transfer_seconds: secs,
+            transfer_carbon_grams: grams,
+        };
+        let fed = FederationResult {
+            router: "rr".into(),
+            migration_policy: "test".into(),
+            members: vec![MemberResult { member: 0, label: "a".into(), result: result() }],
+            migrations: vec![migration(0, 1, 5.0, 30.0), migration(1, 0, 7.0, 12.0)],
+            makespan: 25.0,
+        };
+        assert_eq!(fed.num_migrations(), 2);
+        assert!((fed.total_transfer_seconds() - 12.0).abs() < 1e-12);
+        assert!((fed.transfer_carbon_grams() - 42.0).abs() < 1e-12);
+        assert_eq!(fed.migrations_from(0).count(), 1);
+        assert_eq!(fed.migrations_from(1).count(), 1);
+        assert_eq!(fed.migrations_from(2).count(), 0);
     }
 
     #[test]
     fn into_single_unwraps_one_member() {
         let fed = FederationResult {
             router: "static".into(),
+            migration_policy: "never-migrate".into(),
             members: vec![MemberResult { member: 0, label: "DE".into(), result: result() }],
+            migrations: vec![],
             makespan: 25.0,
         };
         assert_eq!(fed.into_single().makespan, 25.0);
@@ -236,10 +329,12 @@ mod tests {
     fn into_single_rejects_multiple_members() {
         let fed = FederationResult {
             router: "rr".into(),
+            migration_policy: "never-migrate".into(),
             members: vec![
                 MemberResult { member: 0, label: "a".into(), result: result() },
                 MemberResult { member: 1, label: "b".into(), result: result() },
             ],
+            migrations: vec![],
             makespan: 25.0,
         };
         let _ = fed.into_single();

@@ -1,28 +1,50 @@
-//! The routing layer of a [`Federation`]: deciding *which member cluster* a
-//! job runs in, one level above the per-cluster scheduling decided by
-//! [`Scheduler`].
+//! The placement layers of a [`Federation`]: deciding *which member cluster*
+//! a job runs in, one level above the per-cluster scheduling decided by
+//! [`Scheduler`].  Two sibling policies share this module's vocabulary:
 //!
-//! A [`Router`] is consulted exactly once per job, at the job's arrival
-//! event, with a [`RoutingContext`] summarising every member cluster (carbon
-//! signal, queue depth, outstanding work, executor occupancy).  The job is
-//! then permanently placed on the chosen member — the federation models
-//! geo-distributed placement, not live migration (migration is a named
-//! follow-up in ROADMAP.md).
+//! * a [`Router`] is consulted exactly once per job, at the job's arrival
+//!   event, with a [`RoutingContext`] summarising every member cluster
+//!   (carbon signal, queue depth, outstanding work, executor occupancy),
+//! * a [`MigrationPolicy`] may later *revise* that placement: it is
+//!   consulted on every member's carbon step (the federated analogue of
+//!   [`SchedEvent::CarbonChanged`]) with that member's still-idle jobs as
+//!   [`MigrationCandidate`]s, and may emit `Migrate { job, to }` verbs into
+//!   a [`MigrationSink`].  Placement is therefore no longer permanent — a
+//!   job stranded on a grid that turned dirty after arrival can be re-routed
+//!   mid-flight.
 //!
-//! Routing obeys the same hot-path discipline as scheduling: the engine
+//! Moving a job is not free.  Each federation carries a [`TransferMatrix`]
+//! pricing the member-to-member links: migrating a job charges a transfer
+//! delay of `remaining_gb × seconds_per_gb(from, to)` **schedule seconds**
+//! (the cross-region analogue of the in-cluster
+//! [`ClusterConfig::executor_move_delay`]) during which the job runs
+//! nowhere, plus a transfer carbon cost of
+//! `remaining_gb × energy_kwh_per_gb × ½(c_from + c_to)` grams attributed at
+//! the migration instant (the network path touches both regions, so the
+//! endpoint mean is used).  `remaining_gb` scales the job's
+//! [`SubmittedJob::data_gb`] by its fraction of undispatched work, modelling
+//! migration of in-flight DAG state rather than a full re-upload.
+//!
+//! Both layers obey the same hot-path discipline as scheduling: the engine
 //! maintains each member's queue depth and outstanding (undispatched) work
-//! incrementally, and each [`MemberView`]'s carbon bounds come from the
-//! trace's O(1) sparse-table index, so building a routing context is
-//! O(members) with no allocation in the steady state (the view buffer is
-//! reused across arrivals).
+//! incrementally, each [`MemberView`]'s carbon bounds come from the trace's
+//! O(1) sparse-table index, and the view/candidate buffers are engine-owned
+//! and reused, so building a routing or migration context is
+//! O(members + one member's active jobs) with no allocation in the steady
+//! state.
 //!
 //! Built-in policies (round-robin, least-outstanding-work, carbon-greedy,
-//! carbon+queue-aware) live in `pcaps-schedulers::routing`; this module only
-//! defines the interface plus the trivial [`StaticRouter`] that the
-//! single-member [`Simulator`] wrapper uses.
+//! carbon+queue-aware routers; the carbon-delta-vs-transfer-cost migrator
+//! with hysteresis) live in `pcaps-schedulers::routing`; this module only
+//! defines the interfaces plus the trivial [`StaticRouter`] /
+//! [`NeverMigrate`] policies that the single-member [`Simulator`] wrapper
+//! and plain [`Federation::run`] use.
 //!
+//! [`ClusterConfig::executor_move_delay`]: crate::config::ClusterConfig::executor_move_delay
 //! [`Federation`]: crate::federation::Federation
+//! [`Federation::run`]: crate::federation::Federation::run
 //! [`Scheduler`]: crate::scheduler_api::Scheduler
+//! [`SchedEvent::CarbonChanged`]: crate::scheduler_api::SchedEvent::CarbonChanged
 //! [`Simulator`]: crate::engine::Simulator
 
 use crate::job_state::SubmittedJob;
@@ -130,6 +152,320 @@ impl Router for StaticRouter {
     }
 }
 
+/// Pairwise cross-region transfer costs of a federation.
+///
+/// The matrix prices the link from every member to every other member in
+/// **schedule seconds per gigabyte** — the time a migrating job spends in
+/// transit per GB of remaining state — plus one scalar
+/// [`energy_kwh_per_gb`] used to attribute carbon to the movement itself.
+/// The diagonal is always zero (a job is never "transferred" to the member
+/// it is already on; same-member migrations are no-ops).
+///
+/// Units recap:
+///
+/// * `seconds_per_gb(from, to)` — schedule seconds per GB.  At the paper's
+///   60× time scale, 1 schedule second is 1 carbon minute, so a per-GB
+///   latency of 2.0 means a 10 GB job spends 20 carbon-minutes on the wire.
+/// * `energy_kwh_per_gb` — kWh drawn by the network path per GB moved;
+///   the engine charges `gb × energy × ½(c_from + c_to)` grams at the
+///   migration instant.
+///
+/// [`energy_kwh_per_gb`]: TransferMatrix::energy_kwh_per_gb
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferMatrix {
+    /// Row-major `n × n` per-GB latencies (schedule seconds per GB).
+    seconds_per_gb: Vec<f64>,
+    /// Energy drawn by the network per GB moved (kWh/GB).
+    energy_kwh_per_gb: f64,
+    n: usize,
+}
+
+impl TransferMatrix {
+    /// A free matrix: every link costs zero time and zero energy.  This is
+    /// the default of [`Federation::new`] — migration semantics without
+    /// movement cost.
+    ///
+    /// [`Federation::new`]: crate::federation::Federation::new
+    pub fn zero(members: usize) -> Self {
+        assert!(members > 0, "transfer matrix needs at least one member");
+        TransferMatrix {
+            seconds_per_gb: vec![0.0; members * members],
+            energy_kwh_per_gb: 0.0,
+            n: members,
+        }
+    }
+
+    /// A uniform matrix: every off-diagonal link costs `seconds_per_gb`
+    /// schedule seconds per GB (the diagonal stays zero).
+    ///
+    /// # Panics
+    /// Panics if `seconds_per_gb` is negative or not finite.
+    pub fn uniform(members: usize, seconds_per_gb: f64) -> Self {
+        assert!(
+            seconds_per_gb >= 0.0 && seconds_per_gb.is_finite(),
+            "per-GB transfer latency must be non-negative and finite"
+        );
+        let mut m = TransferMatrix::zero(members);
+        for from in 0..members {
+            for to in 0..members {
+                if from != to {
+                    m.seconds_per_gb[from * members + to] = seconds_per_gb;
+                }
+            }
+        }
+        m
+    }
+
+    /// Overrides one directed link's per-GB latency.
+    ///
+    /// # Panics
+    /// Panics if `from == to` (the diagonal is definitionally zero), either
+    /// index is out of range, or the latency is negative/not finite.
+    pub fn with_link(mut self, from: usize, to: usize, seconds_per_gb: f64) -> Self {
+        assert!(from != to, "the diagonal of a transfer matrix is always zero");
+        assert!(from < self.n && to < self.n, "link ({from}, {to}) out of range");
+        assert!(
+            seconds_per_gb >= 0.0 && seconds_per_gb.is_finite(),
+            "per-GB transfer latency must be non-negative and finite"
+        );
+        self.seconds_per_gb[from * self.n + to] = seconds_per_gb;
+        self
+    }
+
+    /// Sets the network energy per GB moved (kWh/GB).
+    ///
+    /// # Panics
+    /// Panics if `kwh` is negative or not finite.
+    pub fn with_energy_per_gb(mut self, kwh: f64) -> Self {
+        assert!(
+            kwh >= 0.0 && kwh.is_finite(),
+            "transfer energy per GB must be non-negative and finite"
+        );
+        self.energy_kwh_per_gb = kwh;
+        self
+    }
+
+    /// Number of members the matrix covers.
+    pub fn num_members(&self) -> usize {
+        self.n
+    }
+
+    /// Per-GB latency (schedule seconds) of the directed link `from → to`.
+    pub fn seconds_per_gb(&self, from: usize, to: usize) -> f64 {
+        self.seconds_per_gb[from * self.n + to]
+    }
+
+    /// Network energy per GB moved (kWh/GB).
+    pub fn energy_kwh_per_gb(&self) -> f64 {
+        self.energy_kwh_per_gb
+    }
+
+    /// Transfer delay (schedule seconds) for moving `gb` gigabytes over the
+    /// link `from → to`.
+    pub fn transfer_seconds(&self, from: usize, to: usize, gb: f64) -> f64 {
+        gb * self.seconds_per_gb(from, to)
+    }
+
+    /// Carbon (grams CO₂eq) attributed to moving `gb` gigabytes between
+    /// grids currently at `c_from` and `c_to` g/kWh: the network path
+    /// touches both regions, so its energy is priced at the endpoint mean.
+    /// This is **the** pricing definition — the engine charges migrations
+    /// through it, and cost-aware policies must call it (not re-derive it)
+    /// so their profitability checks stay bit-identical to the charge.
+    pub fn transfer_carbon_grams(&self, gb: f64, c_from: f64, c_to: f64) -> f64 {
+        gb * self.energy_kwh_per_gb * 0.5 * (c_from + c_to)
+    }
+}
+
+/// One job a [`MigrationPolicy`] may consider moving: a snapshot of its
+/// remaining state on the consulted member.
+///
+/// The engine offers **every** active job of the consulted member (so a
+/// policy — or a property test — can recompute the member's aggregate
+/// counters from scratch), but only [`migratable`] jobs may legally be
+/// migrated: a job with running tasks stays until they drain.
+///
+/// [`migratable`]: MigrationCandidate::migratable
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationCandidate {
+    /// The job's id.
+    pub job: JobId,
+    /// Undispatched executor-seconds of work remaining.
+    pub remaining_work: f64,
+    /// Gigabytes of state a migration would move now
+    /// ([`SubmittedJob::data_gb`] scaled by the remaining-work fraction).
+    pub remaining_gb: f64,
+    /// Executors currently running tasks of this job on the member.
+    pub busy_executors: usize,
+}
+
+impl MigrationCandidate {
+    /// True if the job may be migrated right now (no running tasks on the
+    /// source member).
+    pub fn migratable(&self) -> bool {
+        self.busy_executors == 0
+    }
+}
+
+/// Everything a migration policy can see when consulted: the carbon step
+/// that triggered it, one [`MemberView`] per member, and the federation's
+/// transfer costs.
+#[derive(Debug)]
+pub struct MigrationContext<'a> {
+    /// Current schedule time (seconds).
+    pub time: f64,
+    /// The member whose carbon intensity just stepped (the member the
+    /// offered candidates live on).
+    pub member: usize,
+    members: &'a [MemberView],
+    transfer: &'a TransferMatrix,
+}
+
+impl<'a> MigrationContext<'a> {
+    /// Builds a context over per-member views (ordered by member index).
+    pub fn new(
+        time: f64,
+        member: usize,
+        members: &'a [MemberView],
+        transfer: &'a TransferMatrix,
+    ) -> Self {
+        MigrationContext { time, member, members, transfer }
+    }
+
+    /// The member views, ordered by member index.
+    pub fn members(&self) -> &'a [MemberView] {
+        self.members
+    }
+
+    /// Number of member clusters in the federation.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The federation's transfer cost matrix.
+    pub fn transfer(&self) -> &'a TransferMatrix {
+        self.transfer
+    }
+}
+
+/// A migration verb: move `job` to member `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The job to move.
+    pub job: JobId,
+    /// Destination member index.
+    pub to: usize,
+}
+
+/// The engine-owned, reused buffer a migration policy writes its verbs
+/// into.  Like [`DecisionSink`], one sink lives for a whole run and is
+/// cleared (never reallocated) between consultations.
+///
+/// [`DecisionSink`]: crate::scheduler_api::DecisionSink
+#[derive(Debug, Clone, Default)]
+pub struct MigrationSink {
+    moves: Vec<Migration>,
+}
+
+impl MigrationSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MigrationSink::default()
+    }
+
+    /// Records a `Migrate { job, to }` verb.
+    pub fn migrate(&mut self, job: JobId, to: usize) {
+        self.moves.push(Migration { job, to });
+    }
+
+    /// The verbs recorded since the last [`MigrationSink::clear`].
+    pub fn moves(&self) -> &[Migration] {
+        &self.moves
+    }
+
+    /// True if no verbs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Clears the recorded verbs, keeping capacity.
+    pub fn clear(&mut self) {
+        self.moves.clear();
+    }
+}
+
+/// A live-migration policy for a federation of clusters.
+///
+/// The engine consults the policy on **every member's carbon step** (for
+/// federations of at least two members), offering that member's active jobs
+/// as [`MigrationCandidate`]s.  The policy may emit `Migrate` verbs for any
+/// *migratable* candidate (no running tasks); the engine validates each verb
+/// — migrating a completed job is a no-op (historical semantics, matching
+/// stale assignments), every other invalid verb aborts the run with
+/// [`SimError::InvalidMigration`] — then charges the transfer delay and
+/// carbon from the federation's [`TransferMatrix`] and re-registers the job
+/// under the destination member.
+///
+/// Implementations must be deterministic given their own internal state; the
+/// engine introduces no randomness.
+///
+/// [`SimError::InvalidMigration`]: crate::error::SimError::InvalidMigration
+pub trait MigrationPolicy {
+    /// Human-readable policy name used in result tables.
+    fn name(&self) -> &str;
+
+    /// True if the policy can never emit a verb.  The engine skips building
+    /// candidate lists entirely for such policies, so plain routed runs pay
+    /// nothing for the migration layer.  Defaults to `false`.
+    fn never_migrates(&self) -> bool {
+        false
+    }
+
+    /// Consulted when `ctx.member`'s carbon intensity steps; `candidates`
+    /// are that member's active jobs.
+    fn on_carbon_change(
+        &mut self,
+        ctx: &MigrationContext<'_>,
+        candidates: &[MigrationCandidate],
+        out: &mut MigrationSink,
+    );
+}
+
+/// The do-nothing migration policy: placement stays wherever the router put
+/// it.  This is what plain [`Federation::run`] (and therefore the
+/// single-cluster [`Simulator`]) uses, and the baseline every migration
+/// experiment compares against.
+///
+/// [`Federation::run`]: crate::federation::Federation::run
+/// [`Simulator`]: crate::engine::Simulator
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverMigrate;
+
+impl NeverMigrate {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        NeverMigrate
+    }
+}
+
+impl MigrationPolicy for NeverMigrate {
+    fn name(&self) -> &str {
+        "never-migrate"
+    }
+
+    fn never_migrates(&self) -> bool {
+        true
+    }
+
+    fn on_carbon_change(
+        &mut self,
+        _ctx: &MigrationContext<'_>,
+        _candidates: &[MigrationCandidate],
+        _out: &mut MigrationSink,
+    ) {
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +510,97 @@ mod tests {
         for i in 0..4 {
             assert_eq!(r.route(JobId(i), &job, &ctx), 1);
         }
+    }
+
+    #[test]
+    fn transfer_matrix_zero_and_uniform() {
+        let z = TransferMatrix::zero(3);
+        assert_eq!(z.num_members(), 3);
+        assert_eq!(z.seconds_per_gb(0, 2), 0.0);
+        assert_eq!(z.energy_kwh_per_gb(), 0.0);
+        let u = TransferMatrix::uniform(3, 2.5).with_energy_per_gb(0.05);
+        for from in 0..3 {
+            for to in 0..3 {
+                let expected = if from == to { 0.0 } else { 2.5 };
+                assert_eq!(u.seconds_per_gb(from, to), expected);
+            }
+        }
+        assert_eq!(u.energy_kwh_per_gb(), 0.05);
+        assert!((u.transfer_seconds(0, 1, 4.0) - 10.0).abs() < 1e-12);
+        assert_eq!(u.transfer_seconds(1, 1, 4.0), 0.0);
+        // 4 GB × 0.05 kWh/GB priced at the endpoint mean (300 g/kWh).
+        assert!((u.transfer_carbon_grams(4.0, 500.0, 100.0) - 60.0).abs() < 1e-12);
+        assert_eq!(z.transfer_carbon_grams(4.0, 500.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn transfer_matrix_link_override() {
+        let m = TransferMatrix::uniform(2, 1.0).with_link(0, 1, 9.0);
+        assert_eq!(m.seconds_per_gb(0, 1), 9.0);
+        assert_eq!(m.seconds_per_gb(1, 0), 1.0, "links are directed");
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn transfer_matrix_rejects_diagonal_link() {
+        let _ = TransferMatrix::zero(2).with_link(1, 1, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn transfer_matrix_rejects_negative_latency() {
+        let _ = TransferMatrix::uniform(2, -1.0);
+    }
+
+    #[test]
+    fn migration_sink_records_and_clears() {
+        let mut sink = MigrationSink::new();
+        assert!(sink.is_empty());
+        sink.migrate(JobId(3), 1);
+        sink.migrate(JobId(5), 0);
+        assert_eq!(
+            sink.moves(),
+            &[Migration { job: JobId(3), to: 1 }, Migration { job: JobId(5), to: 0 }]
+        );
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn migration_context_exposes_members_and_transfer() {
+        let views = [view(0, 400.0, 0.0), view(1, 100.0, 0.0)];
+        let transfer = TransferMatrix::uniform(2, 3.0);
+        let ctx = MigrationContext::new(7.0, 0, &views, &transfer);
+        assert_eq!(ctx.num_members(), 2);
+        assert_eq!(ctx.member, 0);
+        assert_eq!(ctx.time, 7.0);
+        assert_eq!(ctx.members()[1].member, 1);
+        assert_eq!(ctx.transfer().seconds_per_gb(0, 1), 3.0);
+    }
+
+    #[test]
+    fn candidate_migratable_requires_idle_job() {
+        let idle = MigrationCandidate {
+            job: JobId(0),
+            remaining_work: 10.0,
+            remaining_gb: 0.1,
+            busy_executors: 0,
+        };
+        let busy = MigrationCandidate { busy_executors: 2, ..idle };
+        assert!(idle.migratable());
+        assert!(!busy.migratable());
+    }
+
+    #[test]
+    fn never_migrate_is_inert() {
+        let mut policy = NeverMigrate::new();
+        assert_eq!(policy.name(), "never-migrate");
+        assert!(policy.never_migrates());
+        let views = [view(0, 500.0, 0.0), view(1, 100.0, 0.0)];
+        let transfer = TransferMatrix::zero(2);
+        let ctx = MigrationContext::new(0.0, 0, &views, &transfer);
+        let mut sink = MigrationSink::new();
+        policy.on_carbon_change(&ctx, &[], &mut sink);
+        assert!(sink.is_empty());
     }
 }

@@ -304,7 +304,10 @@ pub struct WakeupToken(pub u64);
 #[derive(Debug, Clone, Copy)]
 pub enum SchedEvent<'a> {
     /// A new job entered the system; `job` is its view in the current
-    /// context.
+    /// context.  Also delivered when a migrated job finishes its
+    /// cross-region transfer and re-registers at this member — to the new
+    /// owner, a migrant is indistinguishable from a fresh arrival (with
+    /// progress already made).
     JobArrived {
         /// The newly arrived job.
         job: JobView<'a>,

@@ -1,12 +1,17 @@
 //! Multi-region federation experiments: one arrival stream routed across
-//! several grids, comparing routing policies × scheduling policies.
+//! several grids, comparing routing policies × migration policies ×
+//! scheduling policies.
 //!
 //! This goes beyond the paper's per-grid evaluation (each grid in
 //! isolation): a federated deployment chooses *where* each job runs before
-//! the member's scheduler decides *when*.  The sweep reports, for every
-//! router × scheduler combination, the per-region carbon/makespan breakdown
-//! plus federation-level totals, and writes them as one CSV
-//! (`results/multi_region.csv` via the `multi_region` binary).
+//! the member's scheduler decides *when* — and, with live migration
+//! enabled, may *revise* the where when a grid turns dirty after placement,
+//! paying the federation's cross-region [`TransferMatrix`] costs.  The
+//! sweep reports, for every router × migration × scheduler combination, the
+//! per-region carbon/makespan breakdown plus federation-level totals
+//! (including migration counts, transfer seconds and transfer carbon), and
+//! writes them as one CSV (`results/multi_region.csv` via the
+//! `multi_region` binary).
 //!
 //! All rows carry region-qualified scheduler labels
 //! ([`SchedulerSpec::label_in_region`]) so two members running the same
@@ -15,11 +20,15 @@
 use crate::format::TextTable;
 use crate::runner::SchedulerSpec;
 use pcaps_carbon::{CarbonAccountant, GridRegion, TraceSet};
-use pcaps_cluster::{Federation, FederationResult, Member, Router, Scheduler};
+use pcaps_cluster::{
+    Federation, FederationResult, Member, MigrationPolicy, NeverMigrate, Router, Scheduler,
+    TransferMatrix,
+};
 use pcaps_cluster::{ClusterConfig, SubmittedJob};
 use pcaps_metrics::ExperimentSummary;
 use pcaps_schedulers::routing::{
-    CarbonGreedyRouter, CarbonQueueAwareRouter, LeastOutstandingWorkRouter, RoundRobinRouter,
+    CarbonDeltaMigrator, CarbonGreedyRouter, CarbonQueueAwareRouter, LeastOutstandingWorkRouter,
+    RoundRobinRouter,
 };
 use pcaps_workloads::{WorkloadBuilder, WorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -46,11 +55,19 @@ pub struct FederationExperimentConfig {
     pub trace_days: usize,
     /// Offset (hours) into every member's trace at which the trial starts.
     pub trace_offset_hours: usize,
+    /// Uniform off-diagonal per-GB migration latency (schedule seconds per
+    /// GB; 1 schedule second = 1 carbon minute at the 60× time scale).
+    pub transfer_seconds_per_gb: f64,
+    /// Network energy per GB migrated (kWh/GB), used to attribute transfer
+    /// carbon at the endpoint-mean intensity.
+    pub transfer_energy_kwh_per_gb: f64,
 }
 
 impl FederationExperimentConfig {
     /// A standard federated setup over `regions`: TPC-H mixed workload,
-    /// paper inter-arrival (30 s), 28 days of trace.
+    /// paper inter-arrival (30 s), 28 days of trace, and a non-zero
+    /// transfer matrix (1 s/GB, 0.05 kWh/GB — roughly an inter-continental
+    /// WAN link) so migration sweeps price the movement they model.
     pub fn standard(regions: Vec<GridRegion>, num_jobs: usize, seed: u64) -> Self {
         assert!(!regions.is_empty(), "a federation needs at least one region");
         FederationExperimentConfig {
@@ -63,6 +80,8 @@ impl FederationExperimentConfig {
             seed,
             trace_days: 28,
             trace_offset_hours: 0,
+            transfer_seconds_per_gb: 1.0,
+            transfer_energy_kwh_per_gb: 0.05,
         }
     }
 
@@ -101,7 +120,15 @@ impl FederationExperimentConfig {
             .collect()
     }
 
-    /// Builds the federation (members + workload) for this config.
+    /// The cross-region transfer matrix this config describes (uniform
+    /// off-diagonal latency + network energy per GB).
+    pub fn transfer_matrix(&self) -> TransferMatrix {
+        TransferMatrix::uniform(self.regions.len(), self.transfer_seconds_per_gb)
+            .with_energy_per_gb(self.transfer_energy_kwh_per_gb)
+    }
+
+    /// Builds the federation (members + workload + transfer matrix) for
+    /// this config.
     pub fn federation_instance(&self) -> Federation {
         let traces = self.traces().into_traces();
         let members = self
@@ -116,6 +143,7 @@ impl FederationExperimentConfig {
             })
             .collect();
         Federation::new(members, self.workload_stream())
+            .with_transfer_matrix(self.transfer_matrix())
     }
 
     /// Per-member carbon accountants (same traces and time scale the
@@ -149,6 +177,37 @@ pub enum RouterSpec {
     CarbonGreedy,
     /// Forecast-tempered intensity weighted by queue pressure.
     CarbonQueueAware,
+}
+
+/// Which live-migration policy a federated trial uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationSpec {
+    /// Placement is final (the pre-migration behaviour).
+    Never,
+    /// Greedy carbon-delta-vs-transfer-cost with hysteresis
+    /// ([`CarbonDeltaMigrator`] defaults).
+    CarbonDelta,
+}
+
+impl MigrationSpec {
+    /// Both built-in migration policies.
+    pub const ALL: [MigrationSpec; 2] = [MigrationSpec::Never, MigrationSpec::CarbonDelta];
+
+    /// Short label used in tables and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationSpec::Never => "never",
+            MigrationSpec::CarbonDelta => "carbon-delta",
+        }
+    }
+
+    /// Builds the migration policy this spec describes.
+    pub fn build(&self) -> Box<dyn MigrationPolicy> {
+        match self {
+            MigrationSpec::Never => Box::new(NeverMigrate::new()),
+            MigrationSpec::CarbonDelta => Box::new(CarbonDeltaMigrator::new()),
+        }
+    }
 }
 
 impl RouterSpec {
@@ -188,10 +247,16 @@ pub struct MemberTrialOutput {
     pub region: GridRegion,
     /// Region-qualified scheduler label (unambiguous across members).
     pub label: String,
-    /// Jobs routed to this member.
+    /// Jobs that finished on this member (routed here and never moved, or
+    /// migrated in).
     pub jobs_routed: usize,
+    /// Migrations that departed from this member.
+    pub migrations_out: usize,
+    /// Total transfer seconds of the migrations departing this member.
+    pub transfer_seconds_out: f64,
     /// The member's absolute metrics (carbon accounted against the member's
-    /// own trace).
+    /// own trace; transfer carbon is federation-level and *not* included
+    /// here).
     pub summary: ExperimentSummary,
 }
 
@@ -200,11 +265,20 @@ pub struct MemberTrialOutput {
 pub struct FederatedTrialOutput {
     /// The routing policy used.
     pub router: RouterSpec,
+    /// The live-migration policy used.
+    pub migration: MigrationSpec,
     /// The (per-member) scheduling policy used.
     pub spec: SchedulerSpec,
     /// Per-member breakdowns, in member-index order.
     pub members: Vec<MemberTrialOutput>,
-    /// Total carbon across all members (grams CO₂eq).
+    /// Number of job migrations applied.
+    pub num_migrations: usize,
+    /// Total schedule seconds jobs spent in cross-region transfer.
+    pub transfer_seconds: f64,
+    /// Carbon attributed to the transfers themselves (grams CO₂eq).
+    pub transfer_carbon_grams: f64,
+    /// Total carbon across all members *plus* the transfer carbon (grams
+    /// CO₂eq) — the honest federation-level footprint.
     pub total_carbon_grams: f64,
     /// Federation-level makespan (last completion anywhere).
     pub makespan: f64,
@@ -212,11 +286,12 @@ pub struct FederatedTrialOutput {
     pub avg_jct: f64,
 }
 
-/// Runs one federated trial: `router_spec` routing, one `sched_spec`
-/// scheduler instance per member.
-pub fn run_federated_trial(
+/// Runs one federated trial: `router_spec` routing, `migration_spec` live
+/// migration, one `sched_spec` scheduler instance per member.
+pub fn run_federated_trial_with_migration(
     config: &FederationExperimentConfig,
     router_spec: RouterSpec,
+    migration_spec: MigrationSpec,
     sched_spec: SchedulerSpec,
 ) -> FederatedTrialOutput {
     let federation = config.federation_instance();
@@ -228,21 +303,30 @@ pub fn run_federated_trial(
         .map(|(i, member)| sched_spec.build(config.member_seed(i), &member.carbon, 60.0))
         .collect();
     let mut router = router_spec.build();
+    let mut migration = migration_spec.build();
     let result: FederationResult = {
         let mut refs: Vec<&mut dyn Scheduler> = Vec::with_capacity(schedulers.len());
         for s in schedulers.iter_mut() {
             refs.push(&mut **s);
         }
         federation
-            .run(router.as_mut(), &mut refs)
+            .run_with_migration(router.as_mut(), migration.as_mut(), &mut refs)
             .expect("federated experiment runs are constructed to always complete")
     };
+    // One pass over the migration log accumulates every member's outbound
+    // count and transfer seconds.
+    let mut moves_out = vec![(0usize, 0.0f64); result.members.len()];
+    for m in &result.migrations {
+        moves_out[m.from].0 += 1;
+        moves_out[m.from].1 += m.transfer_seconds;
+    }
     let members: Vec<MemberTrialOutput> = result
         .members
         .iter()
         .zip(&accountants)
         .zip(&config.regions)
-        .map(|((m, accountant), &region)| {
+        .zip(&moves_out)
+        .map(|(((m, accountant), &region), &(migrations_out, transfer_seconds_out))| {
             let mut summary = ExperimentSummary::of(&m.result, accountant);
             let label = sched_spec.label_in_region(region);
             summary.scheduler = label.clone();
@@ -250,14 +334,22 @@ pub fn run_federated_trial(
                 region,
                 label,
                 jobs_routed: m.result.jobs_submitted,
+                migrations_out,
+                transfer_seconds_out,
                 summary,
             }
         })
         .collect();
-    let total_carbon_grams = members.iter().map(|m| m.summary.carbon_grams).sum();
+    let transfer_carbon_grams = result.transfer_carbon_grams();
+    let total_carbon_grams =
+        members.iter().map(|m| m.summary.carbon_grams).sum::<f64>() + transfer_carbon_grams;
     FederatedTrialOutput {
         router: router_spec,
+        migration: migration_spec,
         spec: sched_spec,
+        num_migrations: result.num_migrations(),
+        transfer_seconds: result.total_transfer_seconds(),
+        transfer_carbon_grams,
         total_carbon_grams,
         makespan: result.makespan,
         avg_jct: result.average_jct(),
@@ -265,21 +357,34 @@ pub fn run_federated_trial(
     }
 }
 
-/// Runs the full sweep: every router × scheduler combination on the same
-/// workload and traces.
+/// Runs one federated trial without live migration (placement is final) —
+/// [`run_federated_trial_with_migration`] under [`MigrationSpec::Never`].
+pub fn run_federated_trial(
+    config: &FederationExperimentConfig,
+    router_spec: RouterSpec,
+    sched_spec: SchedulerSpec,
+) -> FederatedTrialOutput {
+    run_federated_trial_with_migration(config, router_spec, MigrationSpec::Never, sched_spec)
+}
+
+/// Runs the full sweep: every router × migration × scheduler combination on
+/// the same workload and traces.
 pub fn multi_region_sweep(
     config: &FederationExperimentConfig,
     routers: &[RouterSpec],
+    migrations: &[MigrationSpec],
     specs: &[SchedulerSpec],
 ) -> Vec<FederatedTrialOutput> {
     routers
         .iter()
         .flat_map(|&router| {
-            specs
-                .iter()
-                .map(move |&spec| (router, spec))
+            migrations.iter().flat_map(move |&migration| {
+                specs.iter().map(move |&spec| (router, migration, spec))
+            })
         })
-        .map(|(router, spec)| run_federated_trial(config, router, spec))
+        .map(|(router, migration, spec)| {
+            run_federated_trial_with_migration(config, router, migration, spec)
+        })
         .collect()
 }
 
@@ -287,16 +392,22 @@ pub fn multi_region_sweep(
 pub fn render(outputs: &[FederatedTrialOutput]) -> TextTable {
     let mut table = TextTable::new(&[
         "Router",
+        "Migration",
         "Scheduler",
         "Carbon (kg)",
+        "Moves",
+        "Transfer (s)",
         "Makespan (s)",
         "Avg JCT (s)",
     ]);
     for out in outputs {
         table.row(vec![
             out.router.label().to_string(),
+            out.migration.label().to_string(),
             out.spec.label(),
             format!("{:.1}", out.total_carbon_grams / 1000.0),
+            format!("{}", out.num_migrations),
+            format!("{:.0}", out.transfer_seconds),
             format!("{:.0}", out.makespan),
             format!("{:.0}", out.avg_jct),
         ]);
@@ -304,32 +415,48 @@ pub fn render(outputs: &[FederatedTrialOutput]) -> TextTable {
     table
 }
 
-/// Serialises the sweep as CSV: one row per router × scheduler × region
-/// (with region-qualified labels), plus a `TOTAL` row per combination.
+/// Serialises the sweep as CSV: one row per router × migration × scheduler
+/// × region (with region-qualified labels), plus a `TOTAL` row per
+/// combination.
+///
+/// Member rows report the migrations *departing* that region and their
+/// transfer seconds; their `carbon_g` is execution carbon accounted against
+/// the member's own trace.  The `TOTAL` row's `carbon_g` additionally
+/// includes the federation-level transfer carbon (reported on its own in
+/// `transfer_carbon_g`), so totals deliberately exceed the column sum of
+/// their member rows whenever migration moved data.
 pub fn to_csv(outputs: &[FederatedTrialOutput]) -> String {
     let mut csv = String::from(
-        "router,scheduler,region,label,jobs_routed,carbon_g,makespan_s,avg_jct_s\n",
+        "router,migration,scheduler,region,label,jobs_routed,migrations,transfer_s,\
+         transfer_carbon_g,carbon_g,makespan_s,avg_jct_s\n",
     );
     for out in outputs {
         for m in &out.members {
             csv.push_str(&format!(
-                "{},{},{},{},{},{:.3},{:.3},{:.3}\n",
+                "{},{},{},{},{},{},{},{:.3},,{:.3},{:.3},{:.3}\n",
                 out.router.label(),
+                out.migration.label(),
                 out.spec.label(),
                 m.region.code(),
                 m.label,
                 m.jobs_routed,
+                m.migrations_out,
+                m.transfer_seconds_out,
                 m.summary.carbon_grams,
                 m.summary.ect,
                 m.summary.avg_jct,
             ));
         }
         csv.push_str(&format!(
-            "{},{},TOTAL,{},{},{:.3},{:.3},{:.3}\n",
+            "{},{},{},TOTAL,{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
             out.router.label(),
+            out.migration.label(),
             out.spec.label(),
             out.spec.label(),
             out.members.iter().map(|m| m.jobs_routed).sum::<usize>(),
+            out.num_migrations,
+            out.transfer_seconds,
+            out.transfer_carbon_grams,
             out.total_carbon_grams,
             out.makespan,
             out.avg_jct,
@@ -392,16 +519,86 @@ mod tests {
             SchedulerSpec::Baseline(BaseScheduler::Fifo),
             SchedulerSpec::pcaps_moderate(),
         ];
-        let outputs = multi_region_sweep(&cfg, &routers, &specs);
-        assert_eq!(outputs.len(), 4);
+        let outputs = multi_region_sweep(&cfg, &routers, &MigrationSpec::ALL, &specs);
+        assert_eq!(outputs.len(), 8);
         let csv = to_csv(&outputs);
-        // Header + (2 members + 1 total) × 4 combinations.
-        assert_eq!(csv.lines().count(), 1 + 3 * 4);
-        assert!(csv.starts_with("router,scheduler,region,label,"));
-        assert!(csv.contains("carbon-queue-aware,PCAPS(γ=0.5),CAISO,PCAPS(γ=0.5)@CAISO"));
+        // Header + (2 members + 1 total) × 8 combinations.
+        assert_eq!(csv.lines().count(), 1 + 3 * 8);
+        assert!(csv.starts_with("router,migration,scheduler,region,label,"));
+        assert!(csv
+            .contains("carbon-queue-aware,never,PCAPS(γ=0.5),CAISO,PCAPS(γ=0.5)@CAISO"));
+        assert!(csv.contains("carbon-queue-aware,carbon-delta,PCAPS(γ=0.5),CAISO"));
         assert!(csv.contains(",TOTAL,"));
         let text = render(&outputs).render();
         assert!(text.contains("round-robin") && text.contains("carbon-queue-aware"));
+        assert!(text.contains("never") && text.contains("carbon-delta"));
+    }
+
+    #[test]
+    fn migration_axis_moves_jobs_and_prices_the_transfer() {
+        // Two grids with very different intensities, few executors, so
+        // round-robin strands queued jobs on the dirty grid — exactly what
+        // the carbon-delta migrator exists to fix.
+        let mut cfg = small_config();
+        cfg.num_jobs = 12;
+        cfg.executors_per_member = 4;
+        let never = run_federated_trial_with_migration(
+            &cfg,
+            RouterSpec::RoundRobin,
+            MigrationSpec::Never,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        let migrate = run_federated_trial_with_migration(
+            &cfg,
+            RouterSpec::RoundRobin,
+            MigrationSpec::CarbonDelta,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        assert_eq!(never.num_migrations, 0);
+        assert_eq!(never.transfer_seconds, 0.0);
+        assert_eq!(never.transfer_carbon_grams, 0.0);
+        assert!(migrate.num_migrations > 0, "the cliff config must trigger migrations");
+        assert!(migrate.transfer_seconds > 0.0, "a nonzero matrix must price the moves");
+        assert!(migrate.transfer_carbon_grams > 0.0);
+        // Conservation: every job still completes exactly once.
+        let routed: usize = migrate.members.iter().map(|m| m.jobs_routed).sum();
+        assert_eq!(routed, 12);
+        let out: usize = migrate.members.iter().map(|m| m.migrations_out).sum();
+        assert_eq!(out, migrate.num_migrations);
+        // And the movement pays off where it should: fewer grams in total.
+        assert!(
+            migrate.total_carbon_grams < never.total_carbon_grams,
+            "carbon-delta migration must beat never-migrate here: {} vs {}",
+            migrate.total_carbon_grams,
+            never.total_carbon_grams
+        );
+    }
+
+    #[test]
+    fn never_migration_spec_matches_the_plain_trial() {
+        let cfg = small_config();
+        let plain = run_federated_trial(
+            &cfg,
+            RouterSpec::CarbonGreedy,
+            SchedulerSpec::pcaps_moderate(),
+        );
+        let explicit = run_federated_trial_with_migration(
+            &cfg,
+            RouterSpec::CarbonGreedy,
+            MigrationSpec::Never,
+            SchedulerSpec::pcaps_moderate(),
+        );
+        assert_eq!(plain.total_carbon_grams.to_bits(), explicit.total_carbon_grams.to_bits());
+        assert_eq!(plain.makespan.to_bits(), explicit.makespan.to_bits());
+        assert_eq!(plain.num_migrations, 0);
+    }
+
+    #[test]
+    fn migration_spec_labels_are_stable() {
+        assert_eq!(MigrationSpec::Never.label(), "never");
+        assert_eq!(MigrationSpec::CarbonDelta.label(), "carbon-delta");
+        assert_eq!(MigrationSpec::Never.build().name(), "never-migrate");
+        assert_eq!(MigrationSpec::CarbonDelta.build().name(), "carbon-delta");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub use fifo::{KubeDefaultFifo, SparkStandaloneFifo};
 pub use greenhadoop::GreenHadoop;
 pub use probabilistic::{ProbabilisticScheduler, StageProbability};
 pub use routing::{
-    CarbonGreedyRouter, CarbonQueueAwareRouter, LeastOutstandingWorkRouter, RoundRobinRouter,
+    CarbonDeltaMigrator, CarbonGreedyRouter, CarbonQueueAwareRouter, LeastOutstandingWorkRouter,
+    RoundRobinRouter,
 };
 pub use weighted_fair::WeightedFair;

@@ -1,4 +1,5 @@
-//! Built-in job-routing policies for federated (multi-region) simulations.
+//! Built-in job-routing and job-migration policies for federated
+//! (multi-region) simulations.
 //!
 //! A [`Router`] sits one level above the per-cluster scheduling policies of
 //! this crate: it is consulted once per job, at arrival, and places the job
@@ -17,12 +18,42 @@
 //!   sparse-table index) with queue pressure, so a green but congested
 //!   region stops attracting every job.
 //!
-//! All four are deterministic and allocation-free per decision (a single
-//! pass over the member views).  Ties break toward the lower member index so
-//! federated runs replay bit-identically.
+//! A [`MigrationPolicy`] sits *beside* the router and may revise its
+//! placements after the fact: it is consulted on every member's carbon step
+//! with that member's idle jobs as candidates, and each move it emits pays
+//! the federation's [`TransferMatrix`] costs (per-GB transfer delay in
+//! schedule seconds plus per-GB network energy priced at the endpoint-mean
+//! intensity — see the `TransferMatrix` docs for units).  Two built-ins:
+//!
+//! * [`pcaps_cluster::NeverMigrate`] (re-exported by `pcaps-cluster`) —
+//!   placement is final; the baseline,
+//! * [`CarbonDeltaMigrator`] — greedy carbon-delta-vs-transfer-cost: move a
+//!   job to the currently greenest grid when the carbon saved by running its
+//!   remaining work there outweighs the carbon cost of moving its remaining
+//!   data.  **Hysteresis rule** (so jobs don't ping-pong between two grids
+//!   whose intensities oscillate around each other): a move needs (1) an
+//!   intensity gap of at least [`min_intensity_delta`] g/kWh, (2) an
+//!   execution-carbon saving of at least [`cost_factor`] × the transfer
+//!   carbon (`cost_factor` > 1 demands the move pay for itself with margin),
+//!   and (3) at least [`cooldown_s`] schedule seconds since the same job
+//!   last moved.  Returning to a previously left grid therefore requires
+//!   that grid to be `min_intensity_delta` cleaner *and* the transfer to be
+//!   re-paid with margin, after the cooldown — oscillation is priced out.
+//!
+//! All policies are deterministic and allocation-free per decision (a single
+//! pass over the member views / candidates; the migrator's per-job cooldown
+//! table grows once to the workload size).  Ties break toward the lower
+//! member index so federated runs replay bit-identically.
+//!
+//! [`min_intensity_delta`]: CarbonDeltaMigrator::min_intensity_delta
+//! [`cost_factor`]: CarbonDeltaMigrator::cost_factor
+//! [`cooldown_s`]: CarbonDeltaMigrator::cooldown_s
 
 use pcaps_cluster::job_state::SubmittedJob;
-use pcaps_cluster::routing::{MemberView, Router, RoutingContext};
+use pcaps_cluster::routing::{
+    MemberView, MigrationCandidate, MigrationContext, MigrationPolicy, MigrationSink, Router,
+    RoutingContext,
+};
 use pcaps_dag::JobId;
 
 /// Returns the index of the member minimising `score` (first minimum wins,
@@ -196,6 +227,200 @@ impl Router for CarbonQueueAwareRouter {
     }
 }
 
+/// Greedy carbon-delta-vs-transfer-cost live migration with hysteresis.
+///
+/// When a member's carbon intensity steps, every idle job on it is compared
+/// against the currently greenest member `g`:
+///
+/// ```text
+/// saving(job)  = (c_member − c_g) · remaining_work · time_scale/3600 · kW      [grams]
+/// transfer(job) = remaining_gb · energy_kwh_per_gb · ½(c_member + c_g)         [grams]
+/// migrate  ⇔  c_member − c_g ≥ min_intensity_delta
+///           ∧ saving ≥ cost_factor · transfer
+///           ∧ time − last_move(job) ≥ cooldown_s
+/// ```
+///
+/// The three conjuncts are the hysteresis rule (see the module docs): a
+/// dead band on the intensity gap, a required margin over the transfer
+/// carbon, and a per-job cooldown.  Together they make ping-ponging between
+/// two grids whose intensities oscillate around each other strictly
+/// unprofitable.
+///
+/// `saving` converts the job's remaining executor-seconds into kWh with the
+/// same convention the carbon accountant uses (`time_scale` carbon-seconds
+/// per schedule second, `executor_power_kw` kilowatts per busy executor), so
+/// the comparison against the transfer carbon — computed from the
+/// federation's `TransferMatrix` exactly as the engine will charge it — is
+/// apples to apples.
+#[derive(Debug, Clone)]
+pub struct CarbonDeltaMigrator {
+    /// Per-executor power draw (kW) used to convert remaining work into
+    /// energy; matches `pcaps_carbon::accounting::DEFAULT_EXECUTOR_POWER_KW`
+    /// by default.
+    pub executor_power_kw: f64,
+    /// Carbon-trace seconds per schedule second (the paper convention is
+    /// 60.0); must match the member configs for the saving estimate to be in
+    /// the same units as the transfer carbon.
+    pub time_scale: f64,
+    /// Dead band: the destination must be at least this much cleaner
+    /// (g/kWh) than the job's current grid.
+    pub min_intensity_delta: f64,
+    /// Required margin: the execution-carbon saving must be at least this
+    /// multiple of the transfer carbon (values > 1 demand the move pay for
+    /// itself with headroom).
+    pub cost_factor: f64,
+    /// Minimum schedule seconds between two migrations of the same job.
+    pub cooldown_s: f64,
+    /// `last_move[job]` is the schedule time of the job's last migration
+    /// (grown on demand; `-inf` before the first move).
+    last_move: Vec<f64>,
+}
+
+impl CarbonDeltaMigrator {
+    /// Paper-scale defaults: accountant power (0.2 kW) and time scale (60×),
+    /// a 30 g/kWh dead band, a 2× transfer-cost margin and a 120 s schedule
+    /// cooldown (2 carbon-hours at 60×).
+    pub fn new() -> Self {
+        CarbonDeltaMigrator {
+            executor_power_kw: pcaps_carbon::accounting::DEFAULT_EXECUTOR_POWER_KW,
+            time_scale: 60.0,
+            min_intensity_delta: 30.0,
+            cost_factor: 2.0,
+            cooldown_s: 120.0,
+            last_move: Vec::new(),
+        }
+    }
+
+    /// No hysteresis at all: any strictly greener grid attracts every idle
+    /// job whose saving covers the bare transfer carbon (`cost_factor` = 1,
+    /// zero dead band, zero cooldown).  With a zero [`TransferMatrix`] this
+    /// is *always-migrate-to-greenest* — useful as a conformance baseline,
+    /// rarely as a production policy.
+    ///
+    /// [`TransferMatrix`]: pcaps_cluster::routing::TransferMatrix
+    pub fn aggressive() -> Self {
+        CarbonDeltaMigrator {
+            min_intensity_delta: 0.0,
+            cost_factor: 1.0,
+            cooldown_s: 0.0,
+            ..CarbonDeltaMigrator::new()
+        }
+    }
+
+    /// Overrides the carbon time scale (carbon seconds per schedule second).
+    ///
+    /// # Panics
+    /// Panics unless `scale` is positive and finite.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "time scale must be positive");
+        self.time_scale = scale;
+        self
+    }
+
+    /// Overrides the per-executor power draw (kW).
+    ///
+    /// # Panics
+    /// Panics unless `kw` is positive and finite.
+    pub fn with_executor_power(mut self, kw: f64) -> Self {
+        assert!(kw > 0.0 && kw.is_finite(), "executor power must be positive");
+        self.executor_power_kw = kw;
+        self
+    }
+
+    /// Overrides the intensity dead band (g/kWh).
+    ///
+    /// # Panics
+    /// Panics unless `delta` is non-negative and finite.
+    pub fn with_min_intensity_delta(mut self, delta: f64) -> Self {
+        assert!(delta >= 0.0 && delta.is_finite(), "intensity delta must be non-negative");
+        self.min_intensity_delta = delta;
+        self
+    }
+
+    /// Overrides the transfer-cost margin factor.
+    ///
+    /// # Panics
+    /// Panics unless `factor >= 1.0` (a factor below 1 would *subsidise*
+    /// moves that lose carbon).
+    pub fn with_cost_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0 && factor.is_finite(), "cost factor must be at least 1");
+        self.cost_factor = factor;
+        self
+    }
+
+    /// Overrides the per-job cooldown (schedule seconds).
+    ///
+    /// # Panics
+    /// Panics unless `seconds` is non-negative and finite.
+    pub fn with_cooldown(mut self, seconds: f64) -> Self {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "cooldown must be non-negative");
+        self.cooldown_s = seconds;
+        self
+    }
+
+    fn last_move(&self, job: JobId) -> f64 {
+        self.last_move
+            .get(job.index())
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    fn record_move(&mut self, job: JobId, time: f64) {
+        if self.last_move.len() <= job.index() {
+            self.last_move.resize(job.index() + 1, f64::NEG_INFINITY);
+        }
+        self.last_move[job.index()] = time;
+    }
+}
+
+impl Default for CarbonDeltaMigrator {
+    fn default() -> Self {
+        CarbonDeltaMigrator::new()
+    }
+}
+
+impl MigrationPolicy for CarbonDeltaMigrator {
+    fn name(&self) -> &str {
+        "carbon-delta"
+    }
+
+    fn on_carbon_change(
+        &mut self,
+        ctx: &MigrationContext<'_>,
+        candidates: &[MigrationCandidate],
+        out: &mut MigrationSink,
+    ) {
+        let src = ctx.member;
+        let greenest = argmin_by(ctx.members(), |m| m.carbon.intensity);
+        if greenest == src {
+            return;
+        }
+        let c_src = ctx.members()[src].carbon.intensity;
+        let c_dst = ctx.members()[greenest].carbon.intensity;
+        let delta = c_src - c_dst;
+        if delta <= 0.0 || delta < self.min_intensity_delta {
+            return;
+        }
+        let transfer = ctx.transfer();
+        for c in candidates {
+            if !c.migratable() {
+                continue;
+            }
+            if ctx.time - self.last_move(c.job) < self.cooldown_s {
+                continue;
+            }
+            let job_kwh = c.remaining_work * self.time_scale / 3600.0 * self.executor_power_kw;
+            let saving = delta * job_kwh;
+            let transfer_grams = transfer.transfer_carbon_grams(c.remaining_gb, c_src, c_dst);
+            if saving < self.cost_factor * transfer_grams {
+                continue;
+            }
+            out.migrate(c.job, greenest);
+            self.record_move(c.job, ctx.time);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +535,140 @@ mod tests {
     #[should_panic(expected = "backlog tolerance")]
     fn bad_tolerance_rejected() {
         let _ = CarbonQueueAwareRouter::new().with_backlog_tolerance(0.0);
+    }
+
+    mod migrator {
+        use super::*;
+        use pcaps_cluster::routing::TransferMatrix;
+
+        fn candidate(job: u64, remaining_work: f64, remaining_gb: f64, busy: usize) -> MigrationCandidate {
+            MigrationCandidate {
+                job: JobId(job),
+                remaining_work,
+                remaining_gb,
+                busy_executors: busy,
+            }
+        }
+
+        fn consult(
+            policy: &mut CarbonDeltaMigrator,
+            time: f64,
+            member: usize,
+            views: &[MemberView],
+            transfer: &TransferMatrix,
+            candidates: &[MigrationCandidate],
+        ) -> Vec<(u64, usize)> {
+            let ctx = MigrationContext::new(time, member, views, transfer);
+            let mut sink = MigrationSink::new();
+            policy.on_carbon_change(&ctx, candidates, &mut sink);
+            sink.moves().iter().map(|m| (m.job.0, m.to)).collect()
+        }
+
+        #[test]
+        fn moves_idle_jobs_to_the_greenest_grid_when_saving_covers_the_transfer() {
+            // 500 vs 100 g/kWh; a 600 s job at 60× / 0.2 kW holds 2 kWh →
+            // saving = 400 × 2 = 800 g.  Moving 1 GB at 0.05 kWh/GB priced
+            // at the endpoint mean (300) costs 15 g; 800 ≥ 2 × 15.
+            let views = [view(0, CarbonView::flat(500.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            let transfer = TransferMatrix::uniform(2, 1.0).with_energy_per_gb(0.05);
+            let mut p = CarbonDeltaMigrator::new();
+            let moves = consult(
+                &mut p,
+                0.0,
+                0,
+                &views,
+                &transfer,
+                &[candidate(0, 600.0, 1.0, 0), candidate(1, 600.0, 1.0, 2)],
+            );
+            assert_eq!(moves, vec![(0, 1)], "only the idle job moves");
+        }
+
+        #[test]
+        fn dead_band_blocks_marginal_gains() {
+            // 20 g/kWh gap < the default 30 g/kWh dead band.
+            let views = [view(0, CarbonView::flat(120.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            let transfer = TransferMatrix::zero(2);
+            let mut p = CarbonDeltaMigrator::new();
+            assert!(consult(&mut p, 0.0, 0, &views, &transfer, &[candidate(0, 600.0, 1.0, 0)])
+                .is_empty());
+            // Shrinking the band admits the same move.
+            let mut eager = CarbonDeltaMigrator::new().with_min_intensity_delta(10.0);
+            assert_eq!(
+                consult(&mut eager, 0.0, 0, &views, &transfer, &[candidate(0, 600.0, 1.0, 0)]),
+                vec![(0, 1)]
+            );
+        }
+
+        #[test]
+        fn transfer_cost_margin_blocks_expensive_moves() {
+            // Saving = 400 × (60 × 60/3600 × 0.2) = 320 g; transfer of 20 GB
+            // at 0.1 kWh/GB × 300 = 600 g.  Even the bare cost exceeds the
+            // saving, and the 2× margin makes it clearly unprofitable.
+            let views = [view(0, CarbonView::flat(500.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            let transfer = TransferMatrix::uniform(2, 1.0).with_energy_per_gb(0.1);
+            let mut p = CarbonDeltaMigrator::new();
+            assert!(consult(&mut p, 0.0, 0, &views, &transfer, &[candidate(0, 60.0, 20.0, 0)])
+                .is_empty());
+            // The same job with a tiny data set moves.
+            assert_eq!(
+                consult(&mut p, 0.0, 0, &views, &transfer, &[candidate(0, 60.0, 0.1, 0)]),
+                vec![(0, 1)]
+            );
+        }
+
+        #[test]
+        fn cooldown_prevents_ping_pong() {
+            let a_dirty = [view(0, CarbonView::flat(500.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            let b_dirty = [view(0, CarbonView::flat(100.0), 0.0), view(1, CarbonView::flat(500.0), 0.0)];
+            let transfer = TransferMatrix::zero(2);
+            let mut p = CarbonDeltaMigrator::new().with_cooldown(100.0);
+            // t=0: job 0 leaves member 0 for member 1.
+            assert_eq!(
+                consult(&mut p, 0.0, 0, &a_dirty, &transfer, &[candidate(0, 600.0, 1.0, 0)]),
+                vec![(0, 1)]
+            );
+            // t=60: the grids flipped, but the cooldown holds the job still.
+            assert!(consult(&mut p, 60.0, 1, &b_dirty, &transfer, &[candidate(0, 600.0, 1.0, 0)])
+                .is_empty());
+            // t=150: cooldown expired — now it may return.
+            assert_eq!(
+                consult(&mut p, 150.0, 1, &b_dirty, &transfer, &[candidate(0, 600.0, 1.0, 0)]),
+                vec![(0, 0)]
+            );
+        }
+
+        #[test]
+        fn no_moves_when_already_on_the_greenest_grid() {
+            let views = [view(0, CarbonView::flat(100.0), 0.0), view(1, CarbonView::flat(500.0), 0.0)];
+            let transfer = TransferMatrix::zero(2);
+            let mut p = CarbonDeltaMigrator::aggressive();
+            assert!(consult(&mut p, 0.0, 0, &views, &transfer, &[candidate(0, 600.0, 1.0, 0)])
+                .is_empty());
+        }
+
+        #[test]
+        fn aggressive_always_chases_the_greenest_grid_at_zero_cost() {
+            let views = [view(0, CarbonView::flat(101.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            let transfer = TransferMatrix::zero(2);
+            let mut p = CarbonDeltaMigrator::aggressive();
+            assert_eq!(
+                consult(&mut p, 0.0, 0, &views, &transfer, &[candidate(0, 1.0, 50.0, 0)]),
+                vec![(0, 1)],
+                "any strictly greener grid attracts idle work when moving is free"
+            );
+        }
+
+        #[test]
+        fn migrator_name_is_stable() {
+            let p = CarbonDeltaMigrator::new();
+            assert_eq!(p.name(), "carbon-delta");
+            assert!(!p.never_migrates());
+        }
+
+        #[test]
+        #[should_panic(expected = "cost factor")]
+        fn sub_unit_cost_factor_rejected() {
+            let _ = CarbonDeltaMigrator::new().with_cost_factor(0.5);
+        }
     }
 }

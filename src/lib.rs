@@ -10,10 +10,12 @@
 //! * [`workloads`] — TPC-H and Alibaba-style workload generators,
 //! * [`cluster`] — the discrete-event Spark-like cluster simulator, and the
 //!   federation core that drives N member clusters (one grid each) under a
-//!   job-routing layer,
+//!   job-routing layer plus a live-migration layer with cross-region
+//!   transfer costs,
 //! * [`schedulers`] — carbon-agnostic baselines (FIFO, Spark/K8s default,
 //!   Weighted Fair, Decima-like, GreenHadoop) plus the built-in federation
-//!   routers (round-robin, least-work, carbon-greedy, carbon+queue-aware),
+//!   routers (round-robin, least-work, carbon-greedy, carbon+queue-aware)
+//!   and the carbon-delta-vs-transfer-cost live migrator,
 //! * [`core`] — PCAPS and CAP, the paper's contributions,
 //! * [`metrics`] — JCT / ECT / carbon metrics and statistics,
 //! * [`experiments`] — the table/figure reproduction harness.
@@ -62,8 +64,10 @@ pub mod prelude {
     pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion, TraceSet};
     pub use pcaps_cluster::{
         Assignment, ClusterConfig, DecisionSink, Federation, FederationResult, Member,
-        MemberResult, MemberView, Router, RoutingContext, SchedEvent, Scheduler,
-        SchedulingContext, SimulationResult, Simulator, StaticRouter, SubmittedJob, WakeupToken,
+        MemberResult, MemberView, Migration, MigrationCandidate, MigrationContext,
+        MigrationPolicy, MigrationRecord, MigrationSink, NeverMigrate, Router, RoutingContext,
+        SchedEvent, Scheduler, SchedulingContext, SimulationResult, Simulator, StaticRouter,
+        SubmittedJob, TransferMatrix, WakeupToken,
     };
     #[allow(deprecated)]
     pub use pcaps_cluster::LegacyScheduler;
@@ -71,8 +75,9 @@ pub mod prelude {
     pub use pcaps_dag::{JobDag, JobDagBuilder, StageId, Task};
     pub use pcaps_metrics::{ExperimentSummary, NormalizedSummary};
     pub use pcaps_schedulers::{
-        CarbonGreedyRouter, CarbonQueueAwareRouter, DecimaLike, GreenHadoop, KubeDefaultFifo,
-        LeastOutstandingWorkRouter, RoundRobinRouter, SparkStandaloneFifo, WeightedFair,
+        CarbonDeltaMigrator, CarbonGreedyRouter, CarbonQueueAwareRouter, DecimaLike, GreenHadoop,
+        KubeDefaultFifo, LeastOutstandingWorkRouter, RoundRobinRouter, SparkStandaloneFifo,
+        WeightedFair,
     };
     pub use pcaps_workloads::{TpchQuery, TpchScale, WorkloadBuilder, WorkloadKind};
 }

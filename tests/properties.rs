@@ -325,6 +325,175 @@ fn carbon_trace_bounds_contain_intensity() {
     }
 }
 
+/// A migration policy that (a) cross-checks the consulted member's
+/// incrementally maintained counters against a from-scratch recomputation,
+/// and (b) migrates a random idle job to a random member — so the checks
+/// keep passing *after* job state has crossed the member boundary.
+///
+/// The engine offers every active job of the consulted member as a
+/// candidate, which is exactly what a scratch recomputation needs: queue
+/// depth must equal the candidate count, and the incrementally maintained
+/// outstanding-work counter must equal the sum of the candidates' remaining
+/// work recomputed from their `JobProgress` state.
+struct CheckingRandomMigrator {
+    rng: ChaCha8Rng,
+    consultations: usize,
+    moves_emitted: usize,
+}
+
+impl pcaps_cluster::MigrationPolicy for CheckingRandomMigrator {
+    fn name(&self) -> &str {
+        "checking-random"
+    }
+
+    fn on_carbon_change(
+        &mut self,
+        ctx: &pcaps_cluster::MigrationContext<'_>,
+        candidates: &[pcaps_cluster::MigrationCandidate],
+        out: &mut pcaps_cluster::MigrationSink,
+    ) {
+        self.consultations += 1;
+        let view = &ctx.members()[ctx.member];
+        assert_eq!(
+            view.queue_depth,
+            candidates.len(),
+            "incremental queue depth diverged from the active-job count at t={}",
+            ctx.time
+        );
+        let scratch: f64 = candidates.iter().map(|c| c.remaining_work).sum();
+        assert!(
+            (view.outstanding_work - scratch).abs() <= 1e-6 * scratch.abs().max(1.0),
+            "incremental outstanding work {} diverged from scratch recomputation {} at t={}",
+            view.outstanding_work,
+            scratch,
+            ctx.time
+        );
+        // Half the consultations move one random idle job to a random
+        // member (possibly its own — a documented no-op).
+        if self.rng.gen_range(0.0..1.0) < 0.5 {
+            let idle: Vec<&pcaps_cluster::MigrationCandidate> =
+                candidates.iter().filter(|c| c.migratable()).collect();
+            if !idle.is_empty() {
+                let job = idle[self.rng.gen_range(0..idle.len())].job;
+                let to = self.rng.gen_range(0..ctx.num_members());
+                out.migrate(job, to);
+                self.moves_emitted += 1;
+            }
+        }
+    }
+}
+
+/// A FIFO wrapper that, at every invocation, cross-checks each visible
+/// job's incrementally maintained dispatchable set against the
+/// recompute-from-scratch oracle — including jobs that migrated in from
+/// another member, whose `JobProgress` travelled with them.
+struct CheckingFifo {
+    fifo: SimpleFifo,
+    checks: usize,
+}
+
+impl pcaps_cluster::Scheduler for CheckingFifo {
+    fn name(&self) -> &str {
+        "checking-fifo"
+    }
+
+    fn on_event(
+        &mut self,
+        event: pcaps_cluster::SchedEvent<'_>,
+        ctx: &pcaps_cluster::SchedulingContext<'_>,
+        out: &mut pcaps_cluster::DecisionSink,
+    ) {
+        for job in ctx.jobs() {
+            let incremental: Vec<StageId> = job.dispatchable_stages().to_vec();
+            assert_eq!(
+                incremental,
+                naive_dispatchable(job.dag, job.progress),
+                "dispatchable set diverged for {} at t={}",
+                job.id,
+                ctx.time
+            );
+            self.checks += 1;
+        }
+        self.fifo.on_event(event, ctx, out);
+    }
+}
+
+/// After any migration, the destination member's incremental
+/// queue-depth/outstanding-work counters and every job's
+/// runnable/dispatchable sets must equal a from-scratch recomputation —
+/// the existing incremental-vs-scratch harness extended across the member
+/// boundary.  Random federated workloads with random migrations, all
+/// seeded and reproducible.
+#[test]
+fn incremental_member_counters_match_scratch_recompute_across_migrations() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x316);
+    let mut total_moves = 0usize;
+    let mut total_consultations = 0usize;
+    for case in 0..12 {
+        let members = rng.gen_range(2..4usize);
+        let njobs = rng.gen_range(3..8usize);
+        let workload: Vec<SubmittedJob> = (0..njobs)
+            .map(|i| SubmittedJob::at(i as f64 * rng.gen_range(5.0..40.0), random_dag(&mut rng)))
+            .collect();
+        let fed_members = (0..members)
+            .map(|m| {
+                // Random hourly trace per member so carbon steps (every 60
+                // schedule seconds at the 60× scale) genuinely differ.
+                let values: Vec<f64> =
+                    (0..48).map(|_| rng.gen_range(50.0..900.0)).collect();
+                Member::new(
+                    format!("m{m}"),
+                    ClusterConfig::new(2).with_move_delay(0.0).with_time_scale(60.0),
+                    CarbonTrace::hourly(format!("m{m}"), values),
+                )
+            })
+            .collect();
+        let federation = Federation::new(fed_members, workload).with_transfer_matrix(
+            pcaps_cluster::TransferMatrix::uniform(members, rng.gen_range(0.0..2.0))
+                .with_energy_per_gb(0.01),
+        );
+        let mut policy = CheckingRandomMigrator {
+            rng: ChaCha8Rng::seed_from_u64(0xC0FFEE ^ case),
+            consultations: 0,
+            moves_emitted: 0,
+        };
+        let mut schedulers: Vec<CheckingFifo> = (0..members)
+            .map(|_| CheckingFifo { fifo: SimpleFifo::new(), checks: 0 })
+            .collect();
+        let result = {
+            let mut refs: Vec<&mut dyn pcaps_cluster::Scheduler> = Vec::new();
+            for s in schedulers.iter_mut() {
+                refs.push(s);
+            }
+            let mut router = RoundRobinRouter::new();
+            federation
+                .run_with_migration(&mut router, &mut policy, &mut refs)
+                .expect("randomized federated runs always complete")
+        };
+        assert!(result.all_jobs_complete(), "case {case}");
+        assert!(policy.consultations > 0, "case {case}: the checks must actually run");
+        assert!(
+            schedulers.iter().map(|s| s.checks).sum::<usize>() > 0,
+            "case {case}: the dispatchable-set oracle must actually run"
+        );
+        // Conservation under random migration: ids partition the workload.
+        let mut ids: Vec<u64> = result
+            .members
+            .iter()
+            .flat_map(|m| m.result.jobs.iter().map(|j| j.id.0))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..njobs as u64).collect::<Vec<u64>>(), "case {case}");
+        total_moves += result.num_migrations();
+        total_consultations += policy.consultations;
+    }
+    assert!(total_consultations > 0);
+    assert!(
+        total_moves > 0,
+        "across all cases some migrations must apply, or the boundary is never crossed"
+    );
+}
+
 #[test]
 fn simulator_conserves_work() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x51CC);
