@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcaps_bench::{bench_config, fed_bench_config, runner};
+use pcaps_experiments::alibaba_scale::{run_scale_trial, ScaleConfig};
 use pcaps_experiments::multi_region::{
     run_federated_trial, run_federated_trial_with_migration, MigrationSpec, RouterSpec,
 };
@@ -63,6 +64,23 @@ fn simulator_throughput(c: &mut Criterion) {
                         SchedulerSpec::pcaps_moderate(),
                     )
                     .makespan,
+                )
+            })
+        },
+    );
+    // Trace-scale streaming intake: 10k Alibaba-style jobs pulled lazily
+    // through the engine's arrival window (FIFO, 100 executors, light
+    // profiling) — tracks the wall-clock cost of the regime the streaming
+    // pipeline opened.  Roughly 1000× the event count of the 10-job specs,
+    // so this spec dominates the bench's wall time by design.
+    group.bench_function(
+        BenchmarkId::new("10k_jobs_100_exec", "alibaba_10k_stream"),
+        |b| {
+            let cfg = ScaleConfig::standard();
+            b.iter(|| {
+                criterion::black_box(
+                    run_scale_trial(&cfg, 10_000, SchedulerSpec::Baseline(BaseScheduler::Fifo))
+                        .makespan,
                 )
             })
         },

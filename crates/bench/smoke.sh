@@ -34,18 +34,27 @@ export RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings"
 cargo build --release --all-targets
 cargo test -q
 
-# The migration conformance suite (tests/migration.rs) pins the engine's
-# never-migrate fingerprints and the cross-member accounting; a filter, an
-# ignore attribute or a compile-time gate that silently skipped it would let
-# those guarantees rot.  Run it explicitly and fail unless every test in the
-# binary ran: at least one passed, none failed, none ignored, none filtered.
-migration_out=$(cargo test -q --test migration 2>&1)
-echo "$migration_out"
-summary=$(grep -E "^test result:" <<<"$migration_out" | tail -n 1)
-if ! grep -qE "test result: ok\. [1-9][0-9]* passed; 0 failed; 0 ignored; 0 measured; 0 filtered out" <<<"$summary"; then
-    echo "error: the migration conformance suite did not run in full: $summary" >&2
-    exit 1
-fi
+# Conformance suites that must run in full: a filter, an ignore attribute
+# or a compile-time gate that silently skipped one would let its guarantees
+# rot.  Run each explicitly and fail unless every test in the binary ran:
+# at least one passed, none failed, none ignored, none filtered.
+require_full_suite() {
+    local name="$1" description="$2"
+    local out summary
+    out=$(cargo test -q --test "$name" 2>&1)
+    echo "$out"
+    summary=$(grep -E "^test result:" <<<"$out" | tail -n 1)
+    if ! grep -qE "test result: ok\. [1-9][0-9]* passed; 0 failed; 0 ignored; 0 measured; 0 filtered out" <<<"$summary"; then
+        echo "error: the $description did not run in full: $summary" >&2
+        exit 1
+    fi
+}
+# tests/migration.rs pins the engine's never-migrate fingerprints and the
+# cross-member accounting; tests/streaming.rs pins the pull-based intake
+# pipeline bit-for-bit against the materialized path (and the k-way merge
+# against its sort oracle).
+require_full_suite migration "migration conformance suite"
+require_full_suite streaming "streaming-equivalence suite"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

@@ -2,6 +2,31 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How much of the run's activity the engine records in its
+/// [`UsageProfile`].
+///
+/// [`Full`](ProfileMode::Full) recording grows with the number of *tasks*
+/// (one executor segment per task, one usage sample per dispatch/finish
+/// instant), which is exactly what a trace-scale streaming run must not
+/// accumulate: a 100k-job Alibaba workload dispatches millions of tasks.
+/// [`Light`](ProfileMode::Light) keeps only the jobs-in-system step
+/// function — O(arrivals + completions) samples, enough for the
+/// peak-resident-jobs accounting of the scale experiments — and skips the
+/// usage/segment series (so carbon accounting, which integrates the usage
+/// profile, is unavailable).
+///
+/// [`UsageProfile`]: crate::profile::UsageProfile
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileMode {
+    /// Record everything: usage step function, per-task executor segments,
+    /// jobs-in-system (the default; required for carbon accounting and the
+    /// usage figures).
+    Full,
+    /// Record only the jobs-in-system series; memory stays
+    /// O(active + completed jobs), never O(tasks).
+    Light,
+}
+
 /// Static configuration of the simulated cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -40,6 +65,10 @@ pub struct ClusterConfig {
     ///
     /// [`InvocationSample`]: crate::result::InvocationSample
     pub sample_invocation_latency: bool,
+    /// Profile recording granularity (default [`ProfileMode::Full`]);
+    /// trace-scale streaming runs use [`ProfileMode::Light`] so recorded
+    /// state never grows with the task count.
+    pub profile_mode: ProfileMode,
 }
 
 impl ClusterConfig {
@@ -56,6 +85,7 @@ impl ClusterConfig {
             forecast_horizon: 48.0 * 3600.0,
             max_sim_time: 1.0e9,
             sample_invocation_latency: false,
+            profile_mode: ProfileMode::Full,
         }
     }
 
@@ -111,6 +141,13 @@ impl ClusterConfig {
     /// Enables or disables per-invocation latency sampling (off by default).
     pub fn with_invocation_sampling(mut self, enabled: bool) -> Self {
         self.sample_invocation_latency = enabled;
+        self
+    }
+
+    /// Sets the profile recording granularity (default
+    /// [`ProfileMode::Full`]).
+    pub fn with_profile_mode(mut self, mode: ProfileMode) -> Self {
+        self.profile_mode = mode;
         self
     }
 

@@ -10,6 +10,13 @@
 //! The engine is built so that the per-event cost of a scheduling decision is
 //! *incremental* rather than recomputed, per member:
 //!
+//! * the workload is **pulled, not preloaded**: arrivals come from an
+//!   [`ArrivalSource`] through a one-job lookahead window that the event
+//!   loop interleaves with the queue by time (arrivals win ties, preserving
+//!   the ordering that enqueueing the whole workload up front used to give),
+//!   so a lazy source builds each job only when its arrival is imminent and
+//!   resident state is O(active jobs + O(1)-per-seen-job bookkeeping) —
+//!   never O(total workload) of materialized DAGs,
 //! * each member's active-job table (`active` + `slots`) is maintained
 //!   across events — arrival pushes, completion removes — so building a
 //!   [`SchedulingContext`] is a pair of slice borrows with **zero
@@ -40,12 +47,13 @@
 //! [`Federation`]: crate::federation::Federation
 //! [`Federation::new`]: crate::federation::Federation::new
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, ProfileMode};
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
 use crate::executor::ExecutorPool;
 use crate::federation::{Federation, Member};
 use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
+use crate::source::ArrivalSource;
 use crate::profile::{ExecutorSegment, UsageProfile};
 use crate::result::{
     FederationResult, InvocationSample, MemberResult, MigrationRecord, SimulationResult,
@@ -88,13 +96,42 @@ impl Simulator {
         }
     }
 
+    /// Creates a simulator with no materialized workload, for streaming runs
+    /// via [`Simulator::run_source`]: jobs are pulled from an
+    /// [`ArrivalSource`] per run instead of being stored on the simulator.
+    /// [`Simulator::run`] on a streaming simulator reports
+    /// [`SimError::EmptyWorkload`].
+    pub fn streaming(config: ClusterConfig, carbon: CarbonTrace) -> Self {
+        let label = carbon.label.clone();
+        Simulator {
+            federation: Federation::streaming(vec![Member::new(label, config, carbon)]),
+        }
+    }
+
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.federation.members()[0].config
     }
 
-    /// The workload (sorted by arrival).
+    /// The materialized workload (sorted by arrival).
+    #[deprecated(
+        note = "meaningless under streaming intake (a lazy source has no workload to borrow); \
+                use `known_jobs()` for the up-front-known jobs or \
+                `SimulationResult::jobs_submitted` for what a run actually saw"
+    )]
     pub fn workload(&self) -> &[SubmittedJob] {
+        self.federation.workload()
+    }
+
+    /// The jobs known up front: the full workload for a materialized
+    /// simulator ([`Simulator::new`]), empty for a streaming one
+    /// ([`Simulator::streaming`], where jobs exist only as a run pulls them
+    /// — the per-run count is [`SimulationResult::jobs_submitted`] and the
+    /// per-job records are [`SimulationResult::jobs`]).
+    ///
+    /// [`SimulationResult::jobs`]: crate::result::SimulationResult::jobs
+    /// [`SimulationResult::jobs_submitted`]: crate::result::SimulationResult::jobs_submitted
+    pub fn known_jobs(&self) -> &[SubmittedJob] {
         self.federation.workload()
     }
 
@@ -115,6 +152,21 @@ impl Simulator {
         let result = self.federation.run(&mut router, &mut schedulers)?;
         Ok(result.into_single())
     }
+
+    /// Runs the simulation to completion, pulling the workload from
+    /// `source` instead of the simulator's materialized workload (see
+    /// [`Federation::run_source`] for the intake semantics).  The source is
+    /// consumed; streaming reruns construct a fresh source per run.
+    pub fn run_source(
+        &self,
+        source: &mut dyn ArrivalSource,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimulationResult, SimError> {
+        let mut router = StaticRouter::new(0);
+        let mut schedulers: [&mut dyn Scheduler; 1] = [scheduler];
+        let result = self.federation.run_source(source, &mut router, &mut schedulers)?;
+        Ok(result.into_single())
+    }
 }
 
 /// Mutable state of one member cluster during a run.
@@ -131,7 +183,8 @@ struct MemberState<'a> {
     active: Vec<ActiveJob>,
     /// `slots[id]` is the job's index in `active` (`None`: not arrived, not
     /// routed here, or already complete — the engine's global `completed`
-    /// table disambiguates).
+    /// table disambiguates).  Grows as jobs are seen (streaming intake has
+    /// no up-front workload length); ids past the end read as `None`.
     slots: Vec<Option<u32>>,
     profile: UsageProfile,
     records: Vec<JobRecord>,
@@ -160,15 +213,15 @@ struct MemberState<'a> {
 }
 
 impl<'a> MemberState<'a> {
-    fn new(member: &'a Member, total_jobs: usize) -> Self {
+    fn new(member: &'a Member, jobs_hint: usize) -> Self {
         let carbon_step_schedule = member.carbon.step / member.config.time_scale;
         MemberState {
             label: &member.label,
             config: &member.config,
             carbon: &member.carbon,
             executors: ExecutorPool::new(member.config.num_executors),
-            active: Vec::with_capacity(total_jobs.min(1024)),
-            slots: vec![None; total_jobs],
+            active: Vec::with_capacity(jobs_hint.min(1024)),
+            slots: Vec::with_capacity(jobs_hint.min(1024)),
             profile: UsageProfile::new(),
             records: Vec::new(),
             invocations: Vec::new(),
@@ -206,9 +259,30 @@ impl<'a> MemberState<'a> {
         }
     }
 
-    /// Index of `job` in `active`, if it is active on this member.
+    /// Index of `job` in `active`, if it is active on this member.  Ids
+    /// beyond the slots table (jobs this member never registered) read as
+    /// not-active.
     fn slot(&self, job: JobId) -> Option<usize> {
-        self.slots[job.index()].map(|i| i as usize)
+        self.slots.get(job.index()).copied().flatten().map(|i| i as usize)
+    }
+
+    /// Registers `job` at the back of the active table (fresh or migration
+    /// arrival), growing the slots table as needed.
+    fn register_active(&mut self, job: ActiveJob) {
+        let idx = job.id.index();
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(self.active.len() as u32);
+        self.active.push(job);
+    }
+
+    /// Records a busy-executor sample unless the profile mode omits the
+    /// usage series.
+    fn record_usage_sample(&mut self, time: f64) {
+        if self.config.profile_mode == ProfileMode::Full {
+            self.profile.record_usage(time, self.executors.busy_count());
+        }
     }
 
     /// Removes the job at `idx` from the active table (completion or
@@ -225,15 +299,78 @@ impl<'a> MemberState<'a> {
     }
 }
 
+/// The engine's intake: either a borrow of a federation's materialized,
+/// construction-validated workload, or an external pull-based source.  Both
+/// are consumed through the same one-job lookahead window, which is what
+/// keeps materialized runs bit-identical to the pre-streaming engine while
+/// lazy runs never materialize more than the window.
+enum EngineSource<'a> {
+    /// A materialized workload slice (sorted and validated by
+    /// [`Federation::new`]); pulling clones the next element — an `Arc`
+    /// bump, not a DAG copy.
+    Slice { jobs: &'a [SubmittedJob], next: usize },
+    /// An external source; DAGs are validated per pull unless the source
+    /// declares itself prevalidated.
+    Dyn { source: &'a mut dyn ArrivalSource, validate: bool },
+}
+
+impl EngineSource<'_> {
+    fn pull(&mut self) -> Option<SubmittedJob> {
+        match self {
+            EngineSource::Slice { jobs, next } => {
+                let job = jobs.get(*next)?.clone();
+                *next += 1;
+                Some(job)
+            }
+            EngineSource::Dyn { source, .. } => source.next_job(),
+        }
+    }
+
+    /// Whether pulled DAGs still need validation.
+    fn validate_pulls(&self) -> bool {
+        match self {
+            EngineSource::Slice { .. } => false,
+            EngineSource::Dyn { validate, .. } => *validate,
+        }
+    }
+
+    /// Lower bound on the jobs not yet pulled (exact for slices).
+    fn remaining_hint(&self) -> usize {
+        match self {
+            EngineSource::Slice { jobs, next } => jobs.len() - next,
+            EngineSource::Dyn { source, .. } => source.size_hint().0,
+        }
+    }
+}
+
+/// The next arrival, pulled from the source but not yet admitted — the
+/// engine's entire lookahead window.
+struct PendingArrival {
+    id: JobId,
+    job: SubmittedJob,
+}
+
 /// Mutable state of one federated run.
 pub(crate) struct Engine<'a> {
-    workload: &'a [SubmittedJob],
     members: Vec<MemberState<'a>>,
     /// Cross-region transfer costs charged on migration.
     transfer: &'a TransferMatrix,
 
     time: f64,
     events: EventQueue,
+    /// Where arrivals come from (pulled through `pending`, never preloaded).
+    source: EngineSource<'a>,
+    /// The one-job arrival lookahead window.  `None` once the source is
+    /// drained — the window is refilled eagerly after every admission, so
+    /// an empty window means exhaustion, never "not pulled yet".
+    pending: Option<PendingArrival>,
+    /// Jobs pulled from the source so far; the next pull is assigned
+    /// `JobId(jobs_seen)`.  Every per-job table below is indexed by id and
+    /// grows to exactly this length.
+    jobs_seen: usize,
+    /// Latest arrival time pulled, for enforcing the source's
+    /// ascending-arrival contract.
+    last_arrival: f64,
     /// `routed[id]` is the member the job currently belongs to (`None`
     /// before its arrival was processed; updated when a migration is
     /// applied — during the transfer the entry already names the
@@ -253,6 +390,11 @@ pub(crate) struct Engine<'a> {
     /// left), while cross-member assignments to never-migrated jobs stay
     /// hard errors (a scheduler can only name those by bug).
     migrated: Vec<bool>,
+    /// `stage_counts[id]` is the seen job's stage count, kept so stale
+    /// assignments to *completed* jobs retain their historical validation
+    /// (out-of-range stage = hard error) without keeping the DAG alive
+    /// after completion.
+    stage_counts: Vec<u32>,
     /// Every migration applied so far, in application order.
     migrations: Vec<MigrationRecord>,
     /// The binding time limit: the smallest `max_sim_time` of any member.
@@ -270,15 +412,17 @@ pub(crate) struct Engine<'a> {
 
 /// A job's migratable remainder: `(remaining executor-seconds of
 /// undispatched work, remaining gigabytes to move)`.  The GB figure scales
-/// the job's declared data size by its undispatched-work fraction —
-/// migration moves in-flight DAG state, not a full re-upload.  Both the
-/// candidate list offered to policies and the charge applied by
-/// [`Engine::apply_migration`] go through this one definition.
-fn remaining_state(job: &ActiveJob, submitted: &SubmittedJob) -> (f64, f64) {
+/// the job's declared data size (carried on the [`ActiveJob`] since
+/// streaming intake dropped the materialized workload) by its
+/// undispatched-work fraction — migration moves in-flight DAG state, not a
+/// full re-upload.  Both the candidate list offered to policies and the
+/// charge applied by [`Engine::apply_migration`] go through this one
+/// definition.
+fn remaining_state(job: &ActiveJob) -> (f64, f64) {
     let remaining_work = job.progress.remaining_work(&job.dag);
     let total = job.dag.total_work();
     let fraction = if total > 0.0 { remaining_work / total } else { 0.0 };
-    (remaining_work, submitted.data_gb * fraction)
+    (remaining_work, job.data_gb * fraction)
 }
 
 /// Engine-internal, borrow-free description of the event that triggers a
@@ -294,35 +438,57 @@ enum EventSeed {
 }
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(
+    /// An engine over a federation's materialized workload slice (sorted
+    /// and validated by [`Federation::new`]).
+    pub(crate) fn from_slice(
         members: &'a [Member],
         workload: &'a [SubmittedJob],
         transfer: &'a TransferMatrix,
     ) -> Self {
-        let mut events = EventQueue::new();
-        for (i, job) in workload.iter().enumerate() {
-            events.push(job.arrival, Event::JobArrival { job: JobId(i as u64) });
-        }
+        Engine::with_source(members, EngineSource::Slice { jobs: workload, next: 0 }, transfer)
+    }
+
+    /// An engine pulling its workload from an external source.
+    pub(crate) fn from_source(
+        members: &'a [Member],
+        source: &'a mut dyn ArrivalSource,
+        transfer: &'a TransferMatrix,
+    ) -> Self {
+        let validate = !source.prevalidated();
+        Engine::with_source(members, EngineSource::Dyn { source, validate }, transfer)
+    }
+
+    fn with_source(
+        members: &'a [Member],
+        source: EngineSource<'a>,
+        transfer: &'a TransferMatrix,
+    ) -> Self {
+        let jobs_hint = source.remaining_hint();
         let member_states: Vec<MemberState<'a>> = members
             .iter()
-            .map(|m| MemberState::new(m, workload.len()))
+            .map(|m| MemberState::new(m, jobs_hint))
             .collect();
         let max_sim_time = member_states
             .iter()
             .map(|m| m.config.max_sim_time)
             .fold(f64::INFINITY, f64::min);
         let view_buf = Vec::with_capacity(member_states.len());
+        let table_hint = jobs_hint.min(1024);
         Engine {
-            workload,
             members: member_states,
             transfer,
             time: 0.0,
-            events,
-            routed: vec![None; workload.len()],
-            completed: vec![false; workload.len()],
+            events: EventQueue::new(),
+            source,
+            pending: None,
+            jobs_seen: 0,
+            last_arrival: 0.0,
+            routed: Vec::with_capacity(table_hint),
+            completed: Vec::with_capacity(table_hint),
             completed_jobs: 0,
-            in_transit: (0..workload.len()).map(|_| None).collect(),
-            migrated: vec![false; workload.len()],
+            in_transit: Vec::with_capacity(table_hint),
+            migrated: Vec::with_capacity(table_hint),
+            stage_counts: Vec::with_capacity(table_hint),
             migrations: Vec::new(),
             max_sim_time,
             view_buf,
@@ -331,8 +497,47 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Refills the arrival window: pulls the next job from the source,
+    /// enforces the ascending-arrival contract, validates the DAG if the
+    /// source is not prevalidated, assigns the job its id and grows the
+    /// per-job tables.  A no-op once the source is drained.
+    fn refill_window(&mut self) -> Result<(), SimError> {
+        debug_assert!(self.pending.is_none(), "the window holds at most one arrival");
+        let Some(job) = self.source.pull() else {
+            return Ok(());
+        };
+        // `!(a >= b)` rather than `a < b`: a NaN arrival must also fail.
+        if !(job.arrival >= self.last_arrival) {
+            return Err(SimError::OutOfOrderArrival {
+                job: job.dag.name.clone(),
+                arrival: job.arrival,
+                previous: self.last_arrival,
+            });
+        }
+        if self.source.validate_pulls() {
+            if let Err(e) = job.dag.validate() {
+                return Err(SimError::InvalidJob {
+                    job: job.dag.name.clone(),
+                    reason: e.to_string(),
+                });
+            }
+        }
+        self.last_arrival = job.arrival;
+        let id = JobId(self.jobs_seen as u64);
+        self.jobs_seen += 1;
+        self.routed.push(None);
+        self.completed.push(false);
+        self.in_transit.push(None);
+        self.migrated.push(false);
+        self.stage_counts.push(job.dag.num_stages() as u32);
+        self.pending = Some(PendingArrival { id, job });
+        Ok(())
+    }
+
+    /// Incomplete jobs = pulled-but-incomplete plus (a lower bound on) the
+    /// jobs still inside the source; exact for materialized workloads.
     fn incomplete_jobs(&self) -> usize {
-        self.workload.len() - self.completed_jobs
+        self.jobs_seen - self.completed_jobs + self.source.remaining_hint()
     }
 
     fn time_limit_error(&self) -> SimError {
@@ -352,11 +557,20 @@ impl<'a> Engine<'a> {
         // migration layer entirely, so the single-cluster `Simulator` and
         // plain routed runs pay nothing for it.
         let consult_migrations = self.members.len() >= 2 && !migration.never_migrates();
+        // Prime the arrival window.  A source that yields nothing at all is
+        // an empty workload (the materialized entry points report this
+        // before the engine is even built).
+        self.refill_window()?;
+        if self.pending.is_none() && self.jobs_seen == 0 {
+            return Err(SimError::EmptyWorkload);
+        }
         loop {
-            // Completion is the sole termination condition: pending arrivals
-            // or task finishes imply incomplete jobs, and stray wakeups for
-            // times past the last completion must not keep the clock running.
-            if self.incomplete_jobs() == 0 {
+            // Completion is the sole termination condition: a non-empty
+            // arrival window or pending task finishes imply incomplete
+            // jobs, and stray wakeups for times past the last completion
+            // must not keep the clock running.  (The window is refilled
+            // eagerly, so `pending == None` means the source is drained.)
+            if self.pending.is_none() && self.completed_jobs == self.jobs_seen {
                 break;
             }
             // The earliest member carbon step (ties broken by member index,
@@ -369,7 +583,18 @@ impl<'a> Engine<'a> {
                     carbon_time = m.next_carbon_change;
                 }
             }
-            let wake_on_carbon = match self.events.peek_time() {
+            // The earliest non-carbon event: the arrival window vs the
+            // queue.  The arrival wins ties — historically the whole
+            // workload was enqueued before any runtime event, so on equal
+            // times the queue's insertion-order tie-break always chose the
+            // arrival; the window preserves that ordering exactly.
+            let arrival_time = self.pending.as_ref().map(|p| p.job.arrival);
+            let (next_time, next_is_arrival) = match (arrival_time, self.events.peek_time()) {
+                (Some(a), Some(q)) => (Some(a.min(q)), a <= q),
+                (Some(a), None) => (Some(a), true),
+                (None, q) => (q, false),
+            };
+            let wake_on_carbon = match next_time {
                 Some(ht) => carbon_time < ht,
                 None => true,
             };
@@ -395,13 +620,25 @@ impl<'a> Engine<'a> {
                     &mut *schedulers[carbon_member],
                     EventSeed::CarbonChanged { prev, now },
                 )?;
+            } else if next_is_arrival {
+                let arrival = self.pending.take().expect("next_is_arrival implies a window");
+                self.time = arrival.job.arrival;
+                if self.time > self.max_sim_time {
+                    return Err(self.time_limit_error());
+                }
+                let (target, seed) = self.admit_arrival(arrival, router)?;
+                // Refill before the scheduling pass: the window never holds
+                // more than one job, and the pass must observe the same
+                // engine state it did when arrivals came off the queue.
+                self.refill_window()?;
+                self.schedule_loop(target, &mut *schedulers[target], seed)?;
             } else {
                 let (t, event) = self.events.pop().expect("peeked time implies non-empty");
                 self.time = t;
                 if self.time > self.max_sim_time {
                     return Err(self.time_limit_error());
                 }
-                let (target, seed) = self.handle_event(event, router)?;
+                let (target, seed) = self.handle_event(event)?;
                 self.schedule_loop(target, &mut *schedulers[target], seed)?;
             }
         }
@@ -439,18 +676,23 @@ impl<'a> Engine<'a> {
 
     /// Consults the router for the arriving job, validating the returned
     /// member index.  The view buffer is reused across arrivals.
-    fn route(&mut self, router: &mut dyn Router, job: JobId) -> Result<usize, SimError> {
+    fn route(
+        &mut self,
+        router: &mut dyn Router,
+        id: JobId,
+        job: &SubmittedJob,
+    ) -> Result<usize, SimError> {
         let mut views = std::mem::take(&mut self.view_buf);
         views.clear();
         for (i, m) in self.members.iter().enumerate() {
             views.push(m.view(i, self.time));
         }
         let ctx = RoutingContext::new(self.time, &views);
-        let target = router.route(job, &self.workload[job.index()], &ctx);
+        let target = router.route(id, job, &ctx);
         self.view_buf = views;
         if target >= self.members.len() {
             return Err(SimError::InvalidRoute {
-                job: job.to_string(),
+                job: id.to_string(),
                 member: target,
                 members: self.members.len(),
             });
@@ -458,35 +700,41 @@ impl<'a> Engine<'a> {
         Ok(target)
     }
 
-    /// Applies an event's state changes and returns the member to consult
-    /// plus the seed of the typed [`SchedEvent`] the scheduling pass is
-    /// invoked with.
-    fn handle_event(
+    /// Admits the arrival pulled from the source: routes it, activates it on
+    /// the chosen member (the source contract makes this a push to the back
+    /// of the member's ascending-id active table) and fixes the member's
+    /// incremental counters.  Returns the member to consult plus the typed
+    /// event seed, exactly like [`Engine::handle_event`] does for queue
+    /// events.
+    fn admit_arrival(
         &mut self,
-        event: Event,
+        arrival: PendingArrival,
         router: &mut dyn Router,
     ) -> Result<(usize, EventSeed), SimError> {
+        let PendingArrival { id, job } = arrival;
+        let target = self.route(router, id, &job)?;
+        self.routed[id.index()] = Some(target as u32);
+        let member = &mut self.members[target];
+        debug_assert!(
+            member.active.last().map_or(true, |last| last.id < id),
+            "arrivals must come in ascending id order"
+        );
+        let active = ActiveJob::from_submitted(id, job);
+        member.outstanding_work += active.dag.total_work();
+        member.register_active(active);
+        member.routed_jobs += 1;
+        member
+            .profile
+            .record_jobs_in_system(self.time, member.active.len());
+        Ok((target, EventSeed::JobArrived(id)))
+    }
+
+    /// Applies a queue event's state changes and returns the member to
+    /// consult plus the seed of the typed [`SchedEvent`] the scheduling
+    /// pass is invoked with.  (Workload arrivals are not queue events —
+    /// see [`Engine::admit_arrival`].)
+    fn handle_event(&mut self, event: Event) -> Result<(usize, EventSeed), SimError> {
         match event {
-            Event::JobArrival { job } => {
-                let target = self.route(router, job)?;
-                let submitted = &self.workload[job.index()];
-                self.routed[job.index()] = Some(target as u32);
-                let member = &mut self.members[target];
-                debug_assert!(
-                    member.active.last().map_or(true, |last| last.id < job),
-                    "arrivals must come in ascending id order"
-                );
-                member.slots[job.index()] = Some(member.active.len() as u32);
-                member
-                    .active
-                    .push(ActiveJob::new(job, submitted.dag.clone(), submitted.arrival));
-                member.routed_jobs += 1;
-                member.outstanding_work += submitted.dag.total_work();
-                member
-                    .profile
-                    .record_jobs_in_system(self.time, member.active.len());
-                Ok((target, EventSeed::JobArrived(job)))
-            }
             Event::TaskFinish { member: target, executor, job, stage } => {
                 let time = self.time;
                 let member = &mut self.members[target];
@@ -516,9 +764,7 @@ impl<'a> Engine<'a> {
                         .profile
                         .record_jobs_in_system(time, member.active.len());
                 }
-                member
-                    .profile
-                    .record_usage(time, member.executors.busy_count());
+                member.record_usage_sample(time);
                 Ok((target, EventSeed::TasksCompleted { job, stage, n: 1 }))
             }
             Event::Wakeup { member, token } => Ok((member, EventSeed::Wakeup(token))),
@@ -531,8 +777,7 @@ impl<'a> Engine<'a> {
                 // The destination table stays ordered by arrival *at this
                 // member* — a migrated job joins the back of the queue like
                 // a fresh arrival would, whatever its global id.
-                member.slots[job.index()] = Some(member.active.len() as u32);
-                member.active.push(state);
+                member.register_active(state);
                 member.routed_jobs += 1;
                 member.outstanding_work += remaining;
                 member
@@ -565,8 +810,7 @@ impl<'a> Engine<'a> {
         let mut candidates = std::mem::take(&mut self.candidate_buf);
         candidates.clear();
         for job in &self.members[changed].active {
-            let (remaining_work, remaining_gb) =
-                remaining_state(job, &self.workload[job.id.index()]);
+            let (remaining_work, remaining_gb) = remaining_state(job);
             candidates.push(MigrationCandidate {
                 job: job.id,
                 remaining_work,
@@ -603,7 +847,7 @@ impl<'a> Engine<'a> {
             job: job.to_string(),
             reason,
         };
-        if job.index() >= self.workload.len() {
+        if job.index() >= self.jobs_seen {
             return Err(invalid("the job does not exist in the workload".into()));
         }
         // A completed job is history — moving it is a no-op, exactly like a
@@ -640,7 +884,7 @@ impl<'a> Engine<'a> {
         // remaining work/GB here match what the candidate reported — both
         // sites go through `remaining_state`.
         let state = self.members[src].retire_active(idx);
-        let (remaining_work, gb) = remaining_state(&state, &self.workload[job.index()]);
+        let (remaining_work, gb) = remaining_state(&state);
         let member = &mut self.members[src];
         member.outstanding_work -= remaining_work;
         member.routed_jobs -= 1;
@@ -808,10 +1052,11 @@ impl<'a> Engine<'a> {
         target: usize,
         assignments: &[Assignment],
     ) -> Result<usize, SimError> {
+        let jobs_seen = self.jobs_seen;
         let member = &mut self.members[target];
         let mut dispatched = 0;
         for a in assignments {
-            if a.job.index() >= member.slots.len() {
+            if a.job.index() >= jobs_seen {
                 return Err(SimError::InvalidAssignment {
                     reason: format!("unknown job {}", a.job),
                 });
@@ -820,9 +1065,9 @@ impl<'a> Engine<'a> {
                 if self.completed[a.job.index()] {
                     // An assignment to an already finished job is a harmless
                     // no-op — but an out-of-range stage is still a scheduler
-                    // bug and keeps being reported (the workload shares the
-                    // retired job's DAG).
-                    if a.stage.index() >= self.workload[a.job.index()].dag.num_stages() {
+                    // bug and keeps being reported (the retained stage count
+                    // outlives the retired job's DAG).
+                    if a.stage.index() >= self.stage_counts[a.job.index()] as usize {
                         return Err(SimError::InvalidAssignment {
                             reason: format!("{} has no {}", a.job, a.stage),
                         });
@@ -897,21 +1142,21 @@ impl<'a> Engine<'a> {
                         stage: a.stage,
                     },
                 );
-                member.profile.record_segment(ExecutorSegment {
-                    executor: exec_idx,
-                    job: a.job,
-                    stage: a.stage,
-                    start: self.time,
-                    end: finish_time,
-                });
+                if member.config.profile_mode == ProfileMode::Full {
+                    member.profile.record_segment(ExecutorSegment {
+                        executor: exec_idx,
+                        job: a.job,
+                        stage: a.stage,
+                        start: self.time,
+                        end: finish_time,
+                    });
+                }
                 dispatched += 1;
                 member.tasks_dispatched += 1;
             }
         }
         if dispatched > 0 {
-            member
-                .profile
-                .record_usage(self.time, member.executors.busy_count());
+            member.record_usage_sample(self.time);
         }
         Ok(dispatched)
     }
@@ -1226,11 +1471,11 @@ mod tests {
             ],
             vec![SubmittedJob::at(0.0, chain_job("j", 1, 2, 5.0))],
         );
-        let mut engine = Engine::new(fed.members(), fed.workload(), fed.transfer());
+        let mut engine = Engine::from_slice(fed.members(), fed.workload(), fed.transfer());
         let mut router = ToOne;
-        let (target, _) = engine
-            .handle_event(Event::JobArrival { job: JobId(0) }, &mut router)
-            .unwrap();
+        engine.refill_window().unwrap();
+        let arrival = engine.pending.take().expect("one job in the workload");
+        let (target, _) = engine.admit_arrival(arrival, &mut router).unwrap();
         assert_eq!(target, 1, "the router placed the job on member 1");
         // Member 0 now tries to dispatch member 1's job.
         let err = engine
@@ -1458,6 +1703,102 @@ mod tests {
         assert_eq!(policy.wakeup_times, vec![3.0 * 3600.0]);
         assert!(result.all_jobs_complete());
         assert!((result.makespan - (3.0 * 3600.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_run_matches_the_materialized_run() {
+        let workload = vec![
+            SubmittedJob::at(0.0, chain_job("a", 2, 3, 4.0)),
+            SubmittedJob::at(7.0, chain_job("b", 1, 5, 2.0)),
+            SubmittedJob::at(7.0, chain_job("c", 3, 1, 6.0)),
+        ];
+        let config = ClusterConfig::new(3).with_move_delay(0.5).with_time_scale(1.0);
+        let materialized = Simulator::new(config.clone(), workload.clone(), flat_trace());
+        let expected = materialized.run(&mut SimpleFifo::new()).unwrap();
+
+        let streaming = Simulator::streaming(config, flat_trace());
+        let mut source = workload.into_iter();
+        let got = streaming
+            .run_source(&mut source, &mut SimpleFifo::new())
+            .unwrap();
+        assert_eq!(got.makespan, expected.makespan);
+        assert_eq!(got.tasks_dispatched, expected.tasks_dispatched);
+        assert_eq!(got.jobs_submitted, expected.jobs_submitted);
+        assert_eq!(got.jobs, expected.jobs);
+        assert!(streaming.known_jobs().is_empty(), "streaming simulators hold no workload");
+    }
+
+    #[test]
+    fn streaming_simulator_without_source_is_an_empty_workload() {
+        let sim = Simulator::streaming(ClusterConfig::new(1), flat_trace());
+        assert_eq!(sim.run(&mut SimpleFifo::new()).unwrap_err(), SimError::EmptyWorkload);
+        let mut empty = std::iter::empty::<SubmittedJob>();
+        assert_eq!(
+            sim.run_source(&mut empty, &mut SimpleFifo::new()).unwrap_err(),
+            SimError::EmptyWorkload
+        );
+    }
+
+    #[test]
+    fn out_of_order_sources_are_rejected() {
+        let sim = Simulator::streaming(
+            ClusterConfig::new(1).with_time_scale(1.0),
+            flat_trace(),
+        );
+        let jobs = vec![
+            SubmittedJob::at(10.0, chain_job("late", 1, 1, 1.0)),
+            SubmittedJob::at(3.0, chain_job("early", 1, 1, 1.0)),
+        ];
+        let mut source = jobs.into_iter();
+        match sim.run_source(&mut source, &mut SimpleFifo::new()) {
+            Err(SimError::OutOfOrderArrival { job, arrival, previous }) => {
+                assert_eq!(job, "early");
+                assert_eq!(arrival, 3.0);
+                assert_eq!(previous, 10.0);
+            }
+            other => panic!("expected OutOfOrderArrival, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streamed_dags_are_validated_unless_prevalidated() {
+        let mut bad = chain_job("bad", 2, 1, 1.0);
+        bad.stages[1].tasks.clear();
+        let sim = Simulator::streaming(ClusterConfig::new(1), flat_trace());
+        let mut source = vec![SubmittedJob::at(0.0, bad)].into_iter();
+        match sim.run_source(&mut source, &mut SimpleFifo::new()) {
+            Err(SimError::InvalidJob { job, .. }) => assert_eq!(job, "bad"),
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn light_profile_mode_records_jobs_but_not_tasks() {
+        let workload = vec![
+            SubmittedJob::at(0.0, chain_job("a", 2, 3, 4.0)),
+            SubmittedJob::at(5.0, chain_job("b", 1, 4, 2.0)),
+        ];
+        let run_with = |mode: ProfileMode| {
+            let config = ClusterConfig::new(3)
+                .with_move_delay(0.0)
+                .with_time_scale(1.0)
+                .with_profile_mode(mode);
+            Simulator::new(config, workload.clone(), flat_trace())
+                .run(&mut SimpleFifo::new())
+                .unwrap()
+        };
+        let full = run_with(ProfileMode::Full);
+        let light = run_with(ProfileMode::Light);
+        // The schedule itself must be unaffected by the recording mode.
+        assert_eq!(full.makespan, light.makespan);
+        assert_eq!(full.tasks_dispatched, light.tasks_dispatched);
+        assert_eq!(full.jobs, light.jobs);
+        assert!(!full.profile.usage.is_empty());
+        assert!(!full.profile.segments.is_empty());
+        assert!(light.profile.usage.is_empty(), "light mode must skip usage samples");
+        assert!(light.profile.segments.is_empty(), "light mode must skip segments");
+        // Jobs-in-system is what the scale experiments need — always kept.
+        assert_eq!(full.profile.jobs_in_system, light.profile.jobs_in_system);
     }
 
     /// A migration policy that moves every idle candidate to a fixed member.

@@ -37,6 +37,19 @@ pub enum SimError {
         /// How many members the federation actually has.
         members: usize,
     },
+    /// A streaming arrival source yielded a job whose arrival time is
+    /// earlier than a job it already yielded, violating the
+    /// ascending-arrival contract of
+    /// [`ArrivalSource`](crate::source::ArrivalSource) (materialized
+    /// workloads are sorted at construction and cannot trip this).
+    OutOfOrderArrival {
+        /// Name of the out-of-order job.
+        job: String,
+        /// The offending arrival time.
+        arrival: f64,
+        /// The latest arrival time the source had yielded before it.
+        previous: f64,
+    },
     /// A migration policy emitted a verb the engine cannot apply: the
     /// destination member does not exist, the job has running tasks on its
     /// source member, is already in transit, or has not arrived yet.
@@ -69,6 +82,11 @@ impl fmt::Display for SimError {
                 f,
                 "router placed {job} on member {member}, but the federation only has {members} member cluster(s)"
             ),
+            SimError::OutOfOrderArrival { job, arrival, previous } => write!(
+                f,
+                "arrival source yielded job {job:?} at time {arrival} after a job at time {previous}; \
+                 sources must yield jobs in non-decreasing arrival order"
+            ),
             SimError::InvalidMigration { job, reason } => {
                 write!(f, "migration policy emitted an invalid move of {job}: {reason}")
             }
@@ -97,6 +115,13 @@ mod tests {
         assert!(SimError::InvalidRoute { job: "job 3".into(), member: 9, members: 2 }
             .to_string()
             .contains("member 9"));
+        let unsorted = SimError::OutOfOrderArrival {
+            job: "late".into(),
+            arrival: 3.0,
+            previous: 7.0,
+        };
+        assert!(unsorted.to_string().contains("non-decreasing"));
+        assert!(unsorted.to_string().contains("late"));
         let migration = SimError::InvalidMigration {
             job: "job 4".into(),
             reason: "member 7 does not exist (the federation has 2 members)".into(),

@@ -14,16 +14,15 @@ use std::collections::BinaryHeap;
 /// Events carry a *member cluster* dimension: task finishes and wakeups
 /// belong to the federation member whose executors / scheduler they concern,
 /// so one shared event queue can drive any number of member clusters
-/// deterministically.  Job arrivals are member-less — the routing layer
-/// assigns the member when the arrival is processed.
+/// deterministically.  Workload arrivals are *not* queue events: the engine
+/// pulls them from its [`ArrivalSource`] through a one-job lookahead window
+/// and interleaves them with the queue by time (arrivals win ties, which is
+/// what enqueueing the whole workload up front used to guarantee via
+/// insertion order).
+///
+/// [`ArrivalSource`]: crate::source::ArrivalSource
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
-    /// A job from the workload arrives at the federation (it is routed to a
-    /// member cluster when this event is handled).
-    JobArrival {
-        /// Index of the job in the submitted workload (also its [`JobId`]).
-        job: JobId,
-    },
     /// A task finishes on an executor of one member cluster, freeing it.
     TaskFinish {
         /// Member cluster the executor belongs to.
@@ -139,9 +138,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(5.0, Event::JobArrival { job: JobId(1) });
-        q.push(1.0, Event::JobArrival { job: JobId(0) });
-        q.push(3.0, Event::JobArrival { job: JobId(2) });
+        q.push(5.0, Event::Wakeup { member: 0, token: WakeupToken(1) });
+        q.push(1.0, Event::Wakeup { member: 0, token: WakeupToken(0) });
+        q.push(3.0, Event::Wakeup { member: 0, token: WakeupToken(2) });
         let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
@@ -149,19 +148,19 @@ mod tests {
     #[test]
     fn ties_broken_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(2.0, Event::JobArrival { job: JobId(10) });
-        q.push(2.0, Event::JobArrival { job: JobId(20) });
+        q.push(2.0, Event::Wakeup { member: 0, token: WakeupToken(10) });
+        q.push(2.0, Event::Wakeup { member: 0, token: WakeupToken(20) });
         let first = q.pop().unwrap().1;
         let second = q.pop().unwrap().1;
-        assert_eq!(first, Event::JobArrival { job: JobId(10) });
-        assert_eq!(second, Event::JobArrival { job: JobId(20) });
+        assert_eq!(first, Event::Wakeup { member: 0, token: WakeupToken(10) });
+        assert_eq!(second, Event::Wakeup { member: 0, token: WakeupToken(20) });
     }
 
     #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.push(7.0, Event::JobArrival { job: JobId(0) });
+        q.push(7.0, Event::Wakeup { member: 0, token: WakeupToken(0) });
         assert_eq!(q.peek_time(), Some(7.0));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
@@ -171,7 +170,7 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
-        q.push(f64::NAN, Event::JobArrival { job: JobId(0) });
+        q.push(f64::NAN, Event::Wakeup { member: 0, token: WakeupToken(0) });
     }
 
     #[test]

@@ -56,6 +56,7 @@ use crate::job_state::SubmittedJob;
 use crate::result::FederationResult;
 use crate::routing::{MigrationPolicy, NeverMigrate, Router, TransferMatrix};
 use crate::scheduler_api::Scheduler;
+use crate::source::ArrivalSource;
 use pcaps_carbon::CarbonTrace;
 
 /// One member cluster of a federation: a label (usually the grid region
@@ -119,6 +120,18 @@ impl Federation {
         Federation { members, workload, transfer, invalid }
     }
 
+    /// Creates a federation with no materialized workload, for streaming
+    /// runs via [`Federation::run_source`]: the workload is pulled from an
+    /// [`ArrivalSource`] per run instead of being stored on the federation.
+    /// Calling the materialized [`Federation::run`] on a streaming
+    /// federation reports [`SimError::EmptyWorkload`].
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn streaming(members: Vec<Member>) -> Self {
+        Federation::new(members, Vec::new())
+    }
+
     /// Sets the cross-region transfer cost matrix (see [`TransferMatrix`]
     /// for units).  Only migrations pay these costs — initial routing at
     /// arrival stays free, because the job's input is assumed to be uploaded
@@ -141,7 +154,9 @@ impl Federation {
         &self.members
     }
 
-    /// The workload (sorted by arrival; index = job id).
+    /// The materialized workload (sorted by arrival; index = job id).
+    /// Empty for a [`Federation::streaming`] federation, whose jobs exist
+    /// only while a [`Federation::run_source`] run pulls them.
     pub fn workload(&self) -> &[SubmittedJob] {
         &self.workload
     }
@@ -191,7 +206,52 @@ impl Federation {
         if let Some(e) = &self.invalid {
             return Err(e.clone());
         }
-        let mut engine = Engine::new(&self.members, &self.workload, &self.transfer);
+        let mut engine = Engine::from_slice(&self.members, &self.workload, &self.transfer);
+        engine.run(router, migration, schedulers)
+    }
+
+    /// Runs the federation to completion, pulling the workload from
+    /// `source` instead of the federation's materialized workload (which is
+    /// not consulted; a [`Federation::streaming`] federation has none).
+    ///
+    /// The engine holds only a one-job arrival lookahead window plus the
+    /// active jobs, so a lazy source opens trace-scale runs: job ids are
+    /// assigned in pull order, the source's ascending-arrival contract is
+    /// enforced per pull ([`SimError::OutOfOrderArrival`]), DAGs are
+    /// validated as they are pulled (unless the source is
+    /// [prevalidated](ArrivalSource::prevalidated)), and a source that
+    /// yields nothing reports [`SimError::EmptyWorkload`].  The source is
+    /// consumed; streaming reruns construct a fresh source per run.
+    ///
+    /// # Panics
+    /// Panics if `schedulers.len()` differs from the number of members.
+    pub fn run_source(
+        &self,
+        source: &mut dyn ArrivalSource,
+        router: &mut dyn Router,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<FederationResult, SimError> {
+        self.run_source_with_migration(source, router, &mut NeverMigrate, schedulers)
+    }
+
+    /// [`Federation::run_source`] with a migration policy (the streaming
+    /// analogue of [`Federation::run_with_migration`]).
+    ///
+    /// # Panics
+    /// Panics if `schedulers.len()` differs from the number of members.
+    pub fn run_source_with_migration(
+        &self,
+        source: &mut dyn ArrivalSource,
+        router: &mut dyn Router,
+        migration: &mut dyn MigrationPolicy,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<FederationResult, SimError> {
+        assert_eq!(
+            schedulers.len(),
+            self.members.len(),
+            "a federation needs exactly one scheduler per member cluster"
+        );
+        let mut engine = Engine::from_source(&self.members, source, &self.transfer);
         engine.run(router, migration, schedulers)
     }
 }
@@ -332,6 +392,36 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_federation_rejected() {
         let _ = Federation::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn run_source_matches_the_materialized_run() {
+        let workload = vec![
+            SubmittedJob::at(0.0, job("j0", 2, 5.0)),
+            SubmittedJob::at(1.0, job("j1", 2, 5.0)),
+            SubmittedJob::at(2.0, job("j2", 2, 5.0)),
+        ];
+        let fed = two_member_fed(workload.clone());
+        let expected = run_fed(&fed, &mut ParityRouter).unwrap();
+
+        let streaming = Federation::streaming(fed.members().to_vec());
+        let mut a = SimpleFifo::new();
+        let mut b = SimpleFifo::new();
+        let mut schedulers: [&mut dyn Scheduler; 2] = [&mut a, &mut b];
+        let mut source = crate::source::MaterializedJobs::new(workload).unwrap();
+        let got = streaming
+            .run_source(&mut source, &mut ParityRouter, &mut schedulers)
+            .unwrap();
+        assert_eq!(got.makespan, expected.makespan);
+        assert_eq!(got.jobs_submitted(), expected.jobs_submitted());
+        for (g, e) in got.members.iter().zip(&expected.members) {
+            assert_eq!(g.result.jobs, e.result.jobs);
+        }
+        // A streaming federation's materialized run is an empty workload.
+        assert_eq!(
+            run_fed(&streaming, &mut ParityRouter).unwrap_err(),
+            SimError::EmptyWorkload
+        );
     }
 
     /// The routing context the router sees must reflect each member's

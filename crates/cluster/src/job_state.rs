@@ -73,12 +73,22 @@ pub struct ActiveJob {
     /// Executor-seconds of task work dispatched so far (excluding executor
     /// movement delays).
     pub executor_seconds: f64,
+    /// The job's declared input data size (GB), carried over from its
+    /// [`SubmittedJob`] so migration pricing needs no lookup into a
+    /// materialized workload — under streaming intake the submitted form is
+    /// dropped once the job is activated.
+    pub data_gb: f64,
 }
 
 impl ActiveJob {
     /// Creates runtime state for a job arriving at `arrival`.  Cloning the
-    /// `Arc` is a reference-count bump, not a deep copy of the DAG.
+    /// `Arc` is a reference-count bump, not a deep copy of the DAG.  The
+    /// data size defaults to the [`SubmittedJob::at`] derivation — this
+    /// constructor is for hand-assembled harnesses; the engine activates
+    /// jobs through [`ActiveJob::from_submitted`], which carries the
+    /// declared size without recomputing the default.
     pub fn new(id: JobId, dag: Arc<JobDag>, arrival: f64) -> Self {
+        let data_gb = dag.total_work() * DEFAULT_DATA_GB_PER_WORK_SECOND;
         let progress = JobProgress::new(&dag);
         ActiveJob {
             id,
@@ -88,6 +98,24 @@ impl ActiveJob {
             completion: None,
             busy_executors: 0,
             executor_seconds: 0.0,
+            data_gb,
+        }
+    }
+
+    /// Activates a submitted job, consuming it: the DAG moves (no refcount
+    /// churn) and the declared `data_gb` travels with the job — no
+    /// per-activation work traversal.
+    pub fn from_submitted(id: JobId, job: SubmittedJob) -> Self {
+        let progress = JobProgress::new(&job.dag);
+        ActiveJob {
+            id,
+            dag: job.dag,
+            progress,
+            arrival: job.arrival,
+            completion: None,
+            busy_executors: 0,
+            executor_seconds: 0.0,
+            data_gb: job.data_gb,
         }
     }
 

@@ -5,7 +5,7 @@
 //! mode (Mao et al. [48]).  This crate implements the latter from scratch and
 //! exposes enough configuration (per-job executor caps, executor-movement
 //! delays, time scaling) to emulate the prototype's behaviour as well — see
-//! Appendix A.1.2 of the paper and DESIGN.md §1 for how the two differ.
+//! Appendix A.1.2 of the paper for how the two environments differ.
 //!
 //! The simulator is event driven.  Jobs arrive over time; each job is a
 //! [`pcaps_dag::JobDag`] of stages; each stage consists of tasks that run on
@@ -40,6 +40,23 @@
 //! or forecast steps is recomputed per event, and no heap allocation happens
 //! per decision.  Future schedulers, routers and engine changes must
 //! preserve these invariants:
+//!
+//! * **Streaming intake.**  The workload is *pulled*, never preloaded: the
+//!   engine draws arrivals from an [`ArrivalSource`] through a one-job
+//!   lookahead window that the event loop interleaves with the queue by
+//!   time (arrivals win ties — the ordering that enqueueing the whole
+//!   workload up front used to guarantee via insertion order, so
+//!   materialized runs are bit-identical to the pre-streaming engine).
+//!   The "arrivals come in ascending id order" invariant lives in the
+//!   source contract: ids are assigned in pull order and the engine rejects
+//!   out-of-order sources ([`SimError::OutOfOrderArrival`]).  Resident
+//!   state is the window, the active jobs, and O(1)-per-seen-job
+//!   bookkeeping (ownership/completion flags, stage counts — DAGs are
+//!   dropped at completion under a lazy source); with
+//!   [`ProfileMode::Light`] nothing recorded grows with the task count
+//!   either, which is what lets 100k-job Alibaba-style runs fit.  New
+//!   engine features must not reintroduce whole-workload borrows or
+//!   preloading.
 //!
 //! * **Federation layering.**  One engine run owns a single shared
 //!   event queue and a vector of member states; every event except a job
@@ -162,8 +179,9 @@ pub mod result;
 pub mod routing;
 pub mod scheduler_api;
 pub mod schedulers;
+pub mod source;
 
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, ProfileMode};
 pub use engine::Simulator;
 pub use error::SimError;
 pub use federation::{Federation, Member};
@@ -174,6 +192,7 @@ pub use routing::{
     MemberView, Migration, MigrationCandidate, MigrationContext, MigrationPolicy, MigrationSink,
     NeverMigrate, Router, RoutingContext, StaticRouter, TransferMatrix,
 };
+pub use source::{ArrivalSource, MaterializedJobs};
 pub use scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, JobView, SchedEvent, Scheduler,
     SchedulingContext, WakeupToken,

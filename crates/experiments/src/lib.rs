@@ -25,7 +25,10 @@
 //! Beyond the paper, the [`multi_region`] module sweeps *federated*
 //! configurations — one arrival stream routed across several grids,
 //! comparing routing × scheduling policies (binary: `multi_region`, CSV:
-//! `results/multi_region.csv`).
+//! `results/multi_region.csv`) — and the [`alibaba_scale`] module sweeps
+//! trace-scale streaming workloads (1k–100k Alibaba-style jobs pulled
+//! lazily through the [`streaming`] bridge; binary: `alibaba_scale`, CSV:
+//! `results/alibaba_scale.csv`).
 //!
 //! The `repro_all` binary runs everything back to back (pass `--quick` for a
 //! reduced-trial smoke run).
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alibaba_scale;
 pub mod fig1;
 pub mod fig13;
 pub mod fig15;
@@ -50,6 +54,7 @@ pub mod headline;
 pub mod multi_region;
 pub mod per_grid;
 pub mod runner;
+pub mod streaming;
 pub mod sweeps;
 pub mod table1;
 

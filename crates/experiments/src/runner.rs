@@ -102,20 +102,32 @@ impl ExperimentConfig {
         full.window(self.trace_offset_hours, self.trace_days * 24)
     }
 
-    /// Builds the simulator (workload + cluster + trace) for this config.
-    pub fn simulator_instance(&self) -> Simulator {
-        let workload: Vec<SubmittedJob> = WorkloadBuilder::new(self.workload, self.seed)
+    /// The workload builder this configuration describes — materialize with
+    /// `.build()` or stream with `.stream()` (see
+    /// [`run_streamed_trial`](crate::streaming::run_streamed_trial)).
+    pub fn workload_builder(&self) -> WorkloadBuilder {
+        WorkloadBuilder::new(self.workload, self.seed)
             .jobs(self.num_jobs)
             .mean_interarrival(self.mean_interarrival)
+    }
+
+    /// The cluster configuration this experiment runs on.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig::new(self.executors)
+            .with_per_job_cap(self.per_job_cap)
+            .with_time_scale(60.0)
+            .with_invocation_sampling(self.record_invocations)
+    }
+
+    /// Builds the simulator (workload + cluster + trace) for this config.
+    pub fn simulator_instance(&self) -> Simulator {
+        let workload: Vec<SubmittedJob> = self
+            .workload_builder()
             .build()
             .into_iter()
             .map(|j| SubmittedJob::at(j.arrival, j.dag))
             .collect();
-        let config = ClusterConfig::new(self.executors)
-            .with_per_job_cap(self.per_job_cap)
-            .with_time_scale(60.0)
-            .with_invocation_sampling(self.record_invocations);
-        Simulator::new(config, workload, self.trace())
+        Simulator::new(self.cluster_config(), workload, self.trace())
     }
 
     /// The carbon accountant matching this configuration's trace and time

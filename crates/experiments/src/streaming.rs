@@ -1,0 +1,123 @@
+//! Streaming workload intake for experiments: the bridge from
+//! workload-level job sources to the cluster engine, plus the streamed twin
+//! of [`run_trial`].
+//!
+//! The two halves of the streaming pipeline live in different crates on
+//! purpose: `pcaps_workloads::source::JobSource` yields generator-level
+//! [`ArrivingJob`]s (a DAG plus an arrival time — no simulator types), and
+//! `pcaps_cluster::source::ArrivalSource` is what the engine pulls
+//! [`SubmittedJob`]s from.  [`StreamSource`] adapts the former to the
+//! latter, converting each job as it is pulled — never materializing the
+//! stream — exactly the way the materialized harness converts a built
+//! workload up front.
+//!
+//! [`run_trial`]: crate::runner::run_trial
+//! [`ArrivingJob`]: pcaps_workloads::ArrivingJob
+
+use crate::runner::{ExperimentConfig, SchedulerSpec, TrialOutput};
+use pcaps_cluster::source::ArrivalSource;
+use pcaps_cluster::{Simulator, SubmittedJob};
+use pcaps_metrics::ExperimentSummary;
+use pcaps_workloads::JobSource;
+
+/// Adapts a workload-level [`JobSource`] into the engine-level
+/// [`ArrivalSource`]: each pulled [`ArrivingJob`] becomes a
+/// [`SubmittedJob`] via [`SubmittedJob::at`] (the same conversion the
+/// materialized harness applies to a built workload, so streamed and
+/// materialized trials see identical jobs).
+///
+/// [`ArrivingJob`]: pcaps_workloads::ArrivingJob
+#[derive(Debug)]
+pub struct StreamSource<S> {
+    inner: S,
+}
+
+impl<S: JobSource> StreamSource<S> {
+    /// Wraps a workload source.
+    pub fn new(inner: S) -> Self {
+        StreamSource { inner }
+    }
+}
+
+impl<S: JobSource> ArrivalSource for StreamSource<S> {
+    fn next_job(&mut self) -> Option<SubmittedJob> {
+        self.inner
+            .next_job()
+            .map(|job| SubmittedJob::at(job.arrival, job.dag))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// The streamed twin of [`run_trial`]: same configuration, same scheduler
+/// construction, same carbon accounting — but the workload is pulled
+/// lazily from [`ExperimentConfig::workload_builder`]'s stream instead of
+/// being materialized before the simulator is built.  Because the lazy
+/// stream collects to exactly the materialized workload and the engine's
+/// intake window preserves event ordering, the two trials produce
+/// bit-identical results (pinned by `tests/streaming.rs`).
+///
+/// [`run_trial`]: crate::runner::run_trial
+pub fn run_streamed_trial(config: &ExperimentConfig, spec: SchedulerSpec) -> TrialOutput {
+    let sim = Simulator::streaming(config.cluster_config(), config.trace());
+    let accountant = config.accountant();
+    let seed = config.seed ^ 0x5EED;
+    let mut scheduler = spec.build(seed, sim.carbon(), 60.0);
+    let mut source = StreamSource::new(config.workload_builder().stream());
+    let result = sim
+        .run_source(&mut source, scheduler.as_mut())
+        .expect("experiment simulations are constructed to always complete");
+    let summary = ExperimentSummary::of(&result, &accountant);
+    TrialOutput {
+        spec,
+        result,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_trial, BaseScheduler};
+    use pcaps_carbon::GridRegion;
+    use pcaps_workloads::WorkloadKind;
+
+    fn small_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::simulator(GridRegion::Germany, 8, 1);
+        c.executors = 20;
+        c.trace_days = 7;
+        c.workload = WorkloadKind::Alibaba;
+        c
+    }
+
+    #[test]
+    fn streamed_trial_matches_materialized_trial() {
+        let cfg = small_config();
+        let spec = SchedulerSpec::Baseline(BaseScheduler::Fifo);
+        let streamed = run_streamed_trial(&cfg, spec);
+        let materialized = run_trial(&cfg, spec);
+        assert_eq!(streamed.result.makespan, materialized.result.makespan);
+        assert_eq!(streamed.result.jobs, materialized.result.jobs);
+        assert_eq!(streamed.summary.carbon_grams, materialized.summary.carbon_grams);
+    }
+
+    #[test]
+    fn stream_source_converts_like_the_materialized_harness() {
+        let builder = crate::runner::ExperimentConfig::simulator(GridRegion::Caiso, 5, 3)
+            .workload_builder();
+        let mut source = StreamSource::new(builder.stream());
+        assert_eq!(ArrivalSource::size_hint(&source), (5, Some(5)));
+        let materialized: Vec<SubmittedJob> = builder
+            .build()
+            .into_iter()
+            .map(|j| SubmittedJob::at(j.arrival, j.dag))
+            .collect();
+        let mut pulled = Vec::new();
+        while let Some(j) = source.next_job() {
+            pulled.push(j);
+        }
+        assert_eq!(pulled, materialized);
+    }
+}

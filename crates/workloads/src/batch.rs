@@ -1,7 +1,8 @@
 //! Assembling experiment workloads: batches of jobs with arrival times.
 
 use crate::alibaba::AlibabaGenerator;
-use crate::arrivals::PoissonArrivals;
+use crate::arrivals::{ArrivalProcess, PoissonArrivals};
+use crate::source::{JobSource, MaterializedSource, MergedSource};
 use crate::tpch::{TpchQuery, TpchScale};
 use pcaps_dag::JobDag;
 use rand::seq::SliceRandom;
@@ -108,34 +109,123 @@ impl WorkloadBuilder {
         self
     }
 
-    /// Generates the workload.
+    /// Generates the workload, fully materialized.  Equivalent to
+    /// `self.stream().collect()` — the streaming form builds each DAG only
+    /// when pulled and is what trace-scale runs should use.
     pub fn build(&self) -> Vec<ArrivingJob> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut arrivals = PoissonArrivals::new(self.mean_interarrival, self.seed ^ 0xA11CE);
-        let times = arrivals.arrivals(self.num_jobs);
+        self.stream().collect()
+    }
 
-        let mut alibaba = AlibabaGenerator::new(self.seed ^ 0xBEEF);
-        let queries = TpchQuery::all();
-        let mut jobs = Vec::with_capacity(self.num_jobs);
-        for (i, &arrival) in times.iter().enumerate() {
-            let dag = match self.kind {
-                WorkloadKind::TpchMixed => {
-                    let q = *queries.choose(&mut rng).expect("non-empty query list");
-                    let scale = *TpchScale::ALL.choose(&mut rng).expect("non-empty scales");
-                    q.job(scale, rng.gen())
-                }
-                WorkloadKind::TpchAtScale(scale) => {
-                    let q = *queries.choose(&mut rng).expect("non-empty query list");
-                    q.job(scale, rng.gen())
-                }
-                WorkloadKind::Alibaba => alibaba.next_job(),
-            };
-            let dag = dag
-                .scaled(self.duration_scale)
-                .renamed(format!("{}#{}", dag.name, i));
-            jobs.push(ArrivingJob { arrival, dag });
+    /// Returns the lazy form of [`WorkloadBuilder::build`]: a pull-based
+    /// [`JobSource`] that samples each job's arrival time and DAG when the
+    /// job is pulled, holding no materialized workload.  Collecting the
+    /// stream is bit-identical to `build()` (the arrival process and the
+    /// DAG sampler consume independent RNG streams, so interleaving their
+    /// draws changes nothing) — pinned by tests here and in
+    /// `tests/streaming.rs`.
+    pub fn stream(&self) -> WorkloadStream {
+        WorkloadStream {
+            kind: self.kind,
+            duration_scale: self.duration_scale,
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            arrivals: Box::new(PoissonArrivals::new(
+                self.mean_interarrival,
+                self.seed ^ 0xA11CE,
+            )),
+            first_at_zero: true,
+            alibaba: AlibabaGenerator::new(self.seed ^ 0xBEEF),
+            queries: TpchQuery::all(),
+            next_index: 0,
+            remaining: self.num_jobs,
         }
-        jobs
+    }
+
+    /// Like [`WorkloadBuilder::stream`], but spacing arrivals with the given
+    /// process (e.g. [`crate::DiurnalArrivals`]) instead of the builder's
+    /// Poisson default.  Every arrival, including the first, is sampled
+    /// from the process — a diurnal stream should respect its rate profile
+    /// from the start rather than pinning job 0 to time 0.
+    pub fn stream_with_arrivals<A: ArrivalProcess + 'static>(&self, process: A) -> WorkloadStream {
+        WorkloadStream {
+            kind: self.kind,
+            duration_scale: self.duration_scale,
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            arrivals: Box::new(process),
+            first_at_zero: false,
+            alibaba: AlibabaGenerator::new(self.seed ^ 0xBEEF),
+            queries: TpchQuery::all(),
+            next_index: 0,
+            remaining: self.num_jobs,
+        }
+    }
+}
+
+/// The lazy twin of a built workload: jobs are sampled one at a time as the
+/// stream is pulled (see [`WorkloadBuilder::stream`]).
+///
+/// `WorkloadStream` implements [`Iterator`], which makes it a [`JobSource`]
+/// through the blanket impl — arrivals are non-decreasing by construction
+/// (the arrival process is monotone), satisfying the source contract.
+pub struct WorkloadStream {
+    kind: WorkloadKind,
+    duration_scale: f64,
+    rng: ChaCha8Rng,
+    arrivals: Box<dyn ArrivalProcess>,
+    /// `build()` semantics: the first job arrives at time 0 (the batch
+    /// starts immediately); custom arrival processes sample every gap.
+    first_at_zero: bool,
+    alibaba: AlibabaGenerator,
+    /// The TPC-H query list, built once — `next()` is the pull hot path.
+    queries: Vec<TpchQuery>,
+    next_index: usize,
+    remaining: usize,
+}
+
+impl std::fmt::Debug for WorkloadStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadStream")
+            .field("kind", &self.kind)
+            .field("next_index", &self.next_index)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = ArrivingJob;
+
+    fn next(&mut self) -> Option<ArrivingJob> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let i = self.next_index;
+        self.next_index += 1;
+        let arrival = if self.first_at_zero && i == 0 {
+            0.0
+        } else {
+            self.arrivals.next_arrival()
+        };
+        let dag = match self.kind {
+            WorkloadKind::TpchMixed => {
+                let q = *self.queries.choose(&mut self.rng).expect("non-empty query list");
+                let scale = *TpchScale::ALL.choose(&mut self.rng).expect("non-empty scales");
+                q.job(scale, self.rng.gen())
+            }
+            WorkloadKind::TpchAtScale(scale) => {
+                let q = *self.queries.choose(&mut self.rng).expect("non-empty query list");
+                q.job(scale, self.rng.gen())
+            }
+            WorkloadKind::Alibaba => self.alibaba.next_job(),
+        };
+        let dag = dag
+            .scaled(self.duration_scale)
+            .renamed(format!("{}#{}", dag.name, i));
+        Some(ArrivingJob { arrival, dag })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -144,10 +234,22 @@ impl WorkloadBuilder {
 /// deterministic).  This is how multi-tenant federated workloads are
 /// assembled — each tenant keeps its own seed/kind/arrival process, and the
 /// federation consumes the combined stream.
+///
+/// Implemented as a k-way [`MergedSource`] over per-stream
+/// [`MaterializedSource`]s (each input is stable-sorted on wrap), which is
+/// equivalent to the historical stable-sort-of-the-concatenation for any
+/// input — the property test in `tests/streaming.rs` pins the two against
+/// each other on random streams.  Fully lazy multi-tenant intake should use
+/// [`MergedSource`] directly over [`WorkloadStream`]s instead of
+/// materializing per-tenant vectors first.
 pub fn merge_streams(streams: Vec<Vec<ArrivingJob>>) -> Vec<ArrivingJob> {
-    let mut merged: Vec<ArrivingJob> = streams.into_iter().flatten().collect();
-    merged.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
-    merged
+    let mut merged =
+        MergedSource::new(streams.into_iter().map(MaterializedSource::new).collect::<Vec<_>>());
+    let mut out = Vec::with_capacity(JobSource::size_hint(&merged).0);
+    while let Some(job) = merged.next_job() {
+        out.push(job);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -227,6 +329,60 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn zero_jobs_rejected() {
         let _ = WorkloadBuilder::new(WorkloadKind::Alibaba, 0).jobs(0);
+    }
+
+    #[test]
+    fn stream_collects_to_the_materialized_build() {
+        for kind in [
+            WorkloadKind::TpchMixed,
+            WorkloadKind::TpchAtScale(TpchScale::Gb2),
+            WorkloadKind::Alibaba,
+        ] {
+            let builder = WorkloadBuilder::new(kind, 77).jobs(15).mean_interarrival(12.0);
+            let lazy: Vec<ArrivingJob> = builder.stream().collect();
+            // Rebuild by hand the way `build()` used to (all arrivals first,
+            // then all DAGs) to prove interleaving the RNG streams changes
+            // nothing.
+            let mut arrivals = PoissonArrivals::new(12.0, 77 ^ 0xA11CE);
+            let times = arrivals.arrivals(15);
+            assert_eq!(
+                lazy.iter().map(|j| j.arrival).collect::<Vec<_>>(),
+                times,
+                "lazy arrival times must match the eager batch"
+            );
+            assert_eq!(lazy, builder.build(), "{kind:?}: stream ≠ build");
+        }
+    }
+
+    #[test]
+    fn stream_is_lazy_and_sized() {
+        let builder = WorkloadBuilder::new(WorkloadKind::Alibaba, 5).jobs(1000);
+        let mut stream = builder.stream();
+        assert_eq!(Iterator::size_hint(&stream), (1000, Some(1000)));
+        // Pulling one job must not materialize the rest.
+        let first = stream.next().unwrap();
+        assert_eq!(first.arrival, 0.0);
+        assert_eq!(Iterator::size_hint(&stream), (999, Some(999)));
+    }
+
+    #[test]
+    fn stream_with_custom_arrivals_respects_the_process() {
+        use crate::arrivals::DiurnalArrivals;
+        let builder = WorkloadBuilder::new(WorkloadKind::TpchMixed, 9).jobs(50);
+        let jobs: Vec<ArrivingJob> = builder
+            .stream_with_arrivals(DiurnalArrivals::new(30.0, 0.5, 1440.0, 9))
+            .collect();
+        assert_eq!(jobs.len(), 50);
+        assert!(jobs[0].arrival > 0.0, "custom processes sample the first gap too");
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        // The DAG stream is independent of the arrival process: same seed,
+        // same jobs, only the times differ.
+        let poisson = builder.build();
+        for (a, b) in jobs.iter().zip(&poisson) {
+            assert_eq!(a.dag, b.dag);
+        }
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //! multi-gigabyte download), so this crate generates *faithful synthetic
 //! equivalents*: per-query DAG templates whose shapes follow Spark's
 //! physical plans for TPC-H, and a calibrated power-law DAG generator for
-//! the Alibaba-style jobs.  Both are deterministic given a seed.  See
-//! DESIGN.md §1 for the substitution rationale.
+//! the Alibaba-style jobs.  Substituting generators for the raw artifacts is
+//! deliberate, not a shortcut: the paper's scheduling results depend on the
+//! workloads' *summary statistics* (DAG shape motifs, duration distribution,
+//! node counts — which the generators are calibrated to and the unit tests
+//! pin), not on any individual trace entry, and generators are deterministic
+//! given a seed where a sampled trace subset would not be reproducible
+//! without shipping it.
 //!
 //! The [`batch`] module assembles experiment workloads: `n` jobs sampled from
 //! a trace with Poisson inter-arrival times, optionally time-scaled so that
@@ -23,6 +28,14 @@
 //! built workload is a single arrival stream — it can feed one cluster or a
 //! whole federation (placement is the routing layer's job); multi-tenant
 //! streams combine with [`merge_streams`].
+//!
+//! Workloads come in two forms: **materialized** (`Vec<ArrivingJob>`, fine
+//! for paper-sized batches) and **streaming** — the [`source`] module's
+//! pull-based [`JobSource`] trait, whose implementations build each job's
+//! DAG only when it is pulled ([`WorkloadBuilder::stream`],
+//! [`MergedSource`], arrival-process-driven streams).  Streaming intake is
+//! what makes Alibaba-trace-sized runs (50k–100k jobs) possible without
+//! up-front memory proportional to the whole trace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +43,13 @@
 pub mod alibaba;
 pub mod arrivals;
 pub mod batch;
+pub mod source;
 pub mod tpch;
 
 pub use alibaba::AlibabaGenerator;
-pub use arrivals::PoissonArrivals;
-pub use batch::{merge_streams, ArrivingJob, WorkloadBuilder, WorkloadKind};
+pub use arrivals::{ArrivalProcess, DiurnalArrivals, PoissonArrivals};
+pub use batch::{merge_streams, ArrivingJob, WorkloadBuilder, WorkloadKind, WorkloadStream};
+pub use source::{JobSource, MaterializedSource, MergedSource};
 pub use tpch::{TpchQuery, TpchScale};
 
 /// The paper's experiment time scaling: job durations are divided by 60 so

@@ -1,0 +1,225 @@
+//! Pull-based job sources: streaming workload intake.
+//!
+//! A workload used to be a fully materialized `Vec<ArrivingJob>` handed to
+//! the consumer in one piece.  That is fine for 50-job paper batches but
+//! pays up-front DAG construction and memory proportional to the *whole*
+//! trace on Alibaba-scale runs (50k–100k jobs).  A [`JobSource`] is the
+//! streaming alternative: an ascending-time iterator of [`ArrivingJob`]s
+//! that builds each job when it is pulled, so a consumer that processes
+//! arrivals in order (a discrete-event simulator, say) only ever holds a
+//! small arrival window in memory.
+//!
+//! ## The source contract
+//!
+//! * **Ascending arrivals.**  Successive [`JobSource::next_job`] results
+//!   have non-decreasing `arrival` times.  Consumers are entitled to rely on
+//!   this (the cluster engine turns it into the "arrivals come in ascending
+//!   id order" invariant and rejects violations).
+//! * **Bounded lookahead.**  Consumers pull at most a bounded number of jobs
+//!   (typically one) beyond the simulation clock; a conforming source
+//!   therefore never needs to materialize more than O(lookahead) jobs, and a
+//!   conforming consumer never forces the whole stream.  Combinators obey
+//!   the same discipline — [`MergedSource`] holds exactly one pending job
+//!   per input stream.
+//! * **Exhaustion is final.**  After `next_job` returns `None` it keeps
+//!   returning `None`.
+//!
+//! Three families of implementations live here:
+//!
+//! * [`MaterializedSource`] — wraps an existing `Vec<ArrivingJob>`
+//!   (back-compat with every builder-produced workload; sorts on
+//!   construction so the contract holds for arbitrary input),
+//! * [`crate::WorkloadStream`] — the lazy twin of
+//!   [`crate::WorkloadBuilder::build`]: DAGs are sampled on pull, and
+//!   collecting the stream is bit-identical to the materialized build,
+//! * [`MergedSource`] — a stable k-way merge of independent sources
+//!   (multi-tenant federated streams) with one-job lookahead per input.
+
+use crate::batch::ArrivingJob;
+
+/// A pull-based stream of jobs in non-decreasing arrival order.
+///
+/// See the [module docs](self) for the full contract (ascending arrivals,
+/// bounded lookahead, final exhaustion).
+pub trait JobSource {
+    /// Pulls the next job, or `None` once the stream is exhausted.
+    fn next_job(&mut self) -> Option<ArrivingJob>;
+
+    /// Bounds on the number of jobs remaining, `(lower, upper)` — same
+    /// semantics as [`Iterator::size_hint`].  Sources of known length
+    /// should return exact bounds so consumers can pre-size bookkeeping.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// Any iterator of jobs is a source, provided it yields them in
+/// non-decreasing arrival order (the iterator author's responsibility —
+/// violations surface at the consumer, not here).
+impl<I: Iterator<Item = ArrivingJob>> JobSource for I {
+    fn next_job(&mut self) -> Option<ArrivingJob> {
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        Iterator::size_hint(self)
+    }
+}
+
+/// A fully materialized workload exposed as a [`JobSource`] — the
+/// back-compat bridge from `Vec<ArrivingJob>` to the streaming interface.
+///
+/// Construction stable-sorts the jobs by arrival time, so the ascending
+/// contract holds for arbitrary input while ties keep their input order
+/// (matching what [`crate::merge_streams`] and the pre-streaming engine
+/// did).
+#[derive(Debug, Clone)]
+pub struct MaterializedSource {
+    jobs: std::vec::IntoIter<ArrivingJob>,
+}
+
+impl MaterializedSource {
+    /// Wraps a materialized workload, stable-sorting it by arrival time.
+    pub fn new(mut jobs: Vec<ArrivingJob>) -> Self {
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        MaterializedSource { jobs: jobs.into_iter() }
+    }
+
+    /// Number of jobs left in the source.
+    pub fn remaining(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+impl JobSource for MaterializedSource {
+    fn next_job(&mut self) -> Option<ArrivingJob> {
+        self.jobs.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.jobs.len();
+        (n, Some(n))
+    }
+}
+
+/// A stable k-way merge of job sources: the combined stream is ordered by
+/// arrival time, with ties resolved in favour of the lowest input-stream
+/// index (and, within one stream, that stream's own order).
+///
+/// This is how multi-tenant federated workloads are assembled without
+/// materializing any tenant's stream: the merge holds exactly one pending
+/// job per input (the bounded lookahead the [`JobSource`] contract
+/// promises), so memory is O(streams), not O(jobs).
+///
+/// Merging streams that are each sorted is equivalent to stable-sorting
+/// their concatenation — the property test in `tests/streaming.rs` pins the
+/// two against each other on random inputs.
+#[derive(Debug)]
+pub struct MergedSource<S> {
+    streams: Vec<S>,
+    /// One-job lookahead per stream (`None` = that stream is exhausted).
+    heads: Vec<Option<ArrivingJob>>,
+}
+
+impl<S: JobSource> MergedSource<S> {
+    /// Merges the given sources.  Pulls one job from each immediately (the
+    /// per-stream lookahead).
+    pub fn new(mut streams: Vec<S>) -> Self {
+        let heads = streams.iter_mut().map(S::next_job).collect();
+        MergedSource { streams, heads }
+    }
+}
+
+impl<S: JobSource> JobSource for MergedSource<S> {
+    fn next_job(&mut self) -> Option<ArrivingJob> {
+        // Linear scan over the heads: k is the number of tenants (small),
+        // and `<` (not `<=`) keeps the earliest-index winner on ties.
+        let mut best: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some(job) = head {
+                match best {
+                    Some(b) if self.heads[b].as_ref().unwrap().arrival <= job.arrival => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let i = best?;
+        let job = self.heads[i].take();
+        self.heads[i] = self.streams[i].next_job();
+        job
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let pending = self.heads.iter().flatten().count();
+        let mut lower = pending;
+        let mut upper = Some(pending);
+        for s in &self.streams {
+            let (l, u) = s.size_hint();
+            lower += l;
+            upper = match (upper, u) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+        (lower, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WorkloadBuilder, WorkloadKind};
+
+    #[test]
+    fn materialized_source_yields_sorted_jobs() {
+        let mut jobs = WorkloadBuilder::new(WorkloadKind::TpchMixed, 3).jobs(10).build();
+        jobs.reverse(); // deliberately violate the order
+        let mut src = MaterializedSource::new(jobs.clone());
+        assert_eq!(JobSource::size_hint(&src), (10, Some(10)));
+        let mut out = Vec::new();
+        while let Some(j) = src.next_job() {
+            out.push(j);
+        }
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        assert_eq!(out, jobs);
+        assert_eq!(src.next_job(), None, "exhaustion is final");
+    }
+
+    #[test]
+    fn iterators_are_sources() {
+        let jobs = WorkloadBuilder::new(WorkloadKind::Alibaba, 5).jobs(4).build();
+        let mut it = jobs.clone().into_iter();
+        assert_eq!(JobSource::size_hint(&it), (4, Some(4)));
+        assert_eq!(it.next_job(), Some(jobs[0].clone()));
+    }
+
+    #[test]
+    fn merged_source_is_stable_and_sorted() {
+        let a = WorkloadBuilder::new(WorkloadKind::TpchMixed, 1).jobs(9).build();
+        let b = WorkloadBuilder::new(WorkloadKind::Alibaba, 2).jobs(7).build();
+        let mut merged = MergedSource::new(vec![
+            MaterializedSource::new(a.clone()),
+            MaterializedSource::new(b.clone()),
+        ]);
+        assert_eq!(JobSource::size_hint(&merged), (16, Some(16)));
+        let mut out = Vec::new();
+        while let Some(j) = merged.next_job() {
+            out.push(j);
+        }
+        // Oracle: stable sort of the concatenation (the pre-streaming
+        // implementation of merge_streams).
+        let mut oracle: Vec<ArrivingJob> = a.into_iter().chain(b).collect();
+        oracle.sort_by(|x, y| x.arrival.total_cmp(&y.arrival));
+        assert_eq!(out, oracle);
+    }
+
+    #[test]
+    fn merged_source_of_empty_inputs_is_empty() {
+        let mut merged = MergedSource::new(vec![
+            MaterializedSource::new(Vec::new()),
+            MaterializedSource::new(Vec::new()),
+        ]);
+        assert_eq!(merged.next_job(), None);
+        assert_eq!(JobSource::size_hint(&merged), (0, Some(0)));
+    }
+}

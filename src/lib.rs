@@ -63,11 +63,11 @@ pub mod prelude {
     pub use pcaps_carbon::synth::SyntheticTraceGenerator;
     pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion, TraceSet};
     pub use pcaps_cluster::{
-        Assignment, ClusterConfig, DecisionSink, Federation, FederationResult, Member,
-        MemberResult, MemberView, Migration, MigrationCandidate, MigrationContext,
-        MigrationPolicy, MigrationRecord, MigrationSink, NeverMigrate, Router, RoutingContext,
-        SchedEvent, Scheduler, SchedulingContext, SimulationResult, Simulator, StaticRouter,
-        SubmittedJob, TransferMatrix, WakeupToken,
+        ArrivalSource, Assignment, ClusterConfig, DecisionSink, Federation, FederationResult,
+        MaterializedJobs, Member, MemberResult, MemberView, Migration, MigrationCandidate,
+        MigrationContext, MigrationPolicy, MigrationRecord, MigrationSink, NeverMigrate,
+        ProfileMode, Router, RoutingContext, SchedEvent, Scheduler, SchedulingContext,
+        SimulationResult, Simulator, StaticRouter, SubmittedJob, TransferMatrix, WakeupToken,
     };
     #[allow(deprecated)]
     pub use pcaps_cluster::LegacyScheduler;
@@ -79,5 +79,9 @@ pub mod prelude {
         KubeDefaultFifo, LeastOutstandingWorkRouter, RoundRobinRouter, SparkStandaloneFifo,
         WeightedFair,
     };
-    pub use pcaps_workloads::{TpchQuery, TpchScale, WorkloadBuilder, WorkloadKind};
+    pub use pcaps_workloads::{
+        merge_streams, ArrivalProcess, DiurnalArrivals, JobSource, MaterializedSource,
+        MergedSource, PoissonArrivals, TpchQuery, TpchScale, WorkloadBuilder, WorkloadKind,
+        WorkloadStream,
+    };
 }

@@ -44,7 +44,7 @@ fn every_scheduler_completes_the_same_workload() {
         ),
     ];
 
-    let total_work: f64 = sim.workload().iter().map(|j| j.dag.total_work()).sum();
+    let total_work: f64 = sim.known_jobs().iter().map(|j| j.dag.total_work()).sum();
     for (name, scheduler) in schedulers.iter_mut() {
         let result = sim.run(scheduler.as_mut()).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(result.all_jobs_complete(), "{name} left jobs incomplete");

@@ -1,0 +1,276 @@
+//! Streaming-intake conformance suite.
+//!
+//! Pins the guarantees of the pull-based workload pipeline:
+//!
+//! 1. **Streaming ≡ materialized** — a lazy Alibaba (and TPC-H) source and
+//!    its `.collect()`-ed materialized twin produce bit-identical
+//!    `run_trial` fingerprints across seeds and schedulers,
+//! 2. **k-way merge ≡ sort oracle** — `merge_streams`'s stable k-way merge
+//!    reproduces the historical flatten-then-stable-sort on random streams,
+//! 3. **bounded residency** — a streaming run's peak resident job count
+//!    stays far below the workload size,
+//! 4. **contract enforcement** — out-of-order sources abort with a
+//!    descriptive error instead of silently corrupting the schedule.
+//!
+//! `crates/bench/smoke.sh` fails if this suite does not run in full (no
+//! filters, no ignores), the same gate the migration suite has.
+
+use carbon_aware_dag_sched::prelude::*;
+use pcaps_experiments::runner::{run_trial, BaseScheduler, ExperimentConfig, SchedulerSpec};
+use pcaps_experiments::streaming::{run_streamed_trial, StreamSource};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// FNV-1a over the schedule-defining outputs of a run — the same
+/// fingerprint `tests/determinism.rs` pins the scheduler API against.
+fn fingerprint(result: &SimulationResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(result.makespan.to_bits());
+    mix(result.tasks_dispatched as u64);
+    mix(result.jobs_submitted as u64);
+    for job in &result.jobs {
+        mix(job.id.0);
+        mix(job.arrival.to_bits());
+        mix(job.completion.to_bits());
+        mix(job.executor_seconds.to_bits());
+    }
+    h
+}
+
+fn config(seed: u64, kind: WorkloadKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::simulator(GridRegion::Germany, 12, seed);
+    cfg.executors = 20;
+    cfg.trace_days = 7;
+    cfg.workload = kind;
+    cfg
+}
+
+/// (1) The tentpole guarantee: pulling the workload lazily through the
+/// arrival window changes nothing — streamed and materialized trials are
+/// bit-identical, for the Alibaba generator across ≥3 seeds × ≥2
+/// schedulers.
+#[test]
+fn streamed_and_materialized_alibaba_trials_are_bit_identical() {
+    let specs = [
+        SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        SchedulerSpec::pcaps_moderate(),
+    ];
+    for seed in [1_u64, 7, 42] {
+        for spec in specs {
+            let cfg = config(seed, WorkloadKind::Alibaba);
+            let materialized = run_trial(&cfg, spec);
+            let streamed = run_streamed_trial(&cfg, spec);
+            assert_eq!(
+                fingerprint(&streamed.result),
+                fingerprint(&materialized.result),
+                "seed {seed}, {}: streaming changed the schedule",
+                spec.label()
+            );
+            // The summaries (carbon accounting over the usage profile) must
+            // agree bit for bit too, not just the schedule.
+            assert_eq!(streamed.summary.carbon_grams, materialized.summary.carbon_grams);
+            assert_eq!(streamed.summary.avg_jct, materialized.summary.avg_jct);
+        }
+    }
+}
+
+/// The same equivalence on the TPC-H mix — the workload the paper's main
+/// tables use.
+#[test]
+fn streamed_and_materialized_tpch_trials_are_bit_identical() {
+    for seed in [3_u64, 9] {
+        let cfg = config(seed, WorkloadKind::TpchMixed);
+        let spec = SchedulerSpec::Baseline(BaseScheduler::Decima);
+        assert_eq!(
+            fingerprint(&run_streamed_trial(&cfg, spec).result),
+            fingerprint(&run_trial(&cfg, spec).result),
+            "seed {seed}: streaming changed the TPC-H schedule"
+        );
+    }
+}
+
+/// A lazy source is exactly its collected twin: collecting the stream and
+/// feeding it through the materialized path gives the same jobs the lazy
+/// pull sees (property over several seeds).
+#[test]
+fn lazy_stream_collects_to_its_materialized_twin() {
+    for seed in [2_u64, 5, 11] {
+        let builder = WorkloadBuilder::new(WorkloadKind::Alibaba, seed).jobs(40);
+        let lazy: Vec<_> = builder.stream().collect();
+        assert_eq!(lazy, builder.build(), "seed {seed}");
+    }
+}
+
+/// (2) `merge_streams` satellite: the stable k-way merge must reproduce the
+/// historical flatten-then-stable-sort oracle on random streams — including
+/// *unsorted* inputs (each input is stable-sorted on wrap, which commutes
+/// with the oracle's global stable sort) and duplicate arrival times.
+#[test]
+fn k_way_merge_matches_the_sort_based_oracle_on_random_streams() {
+    let dag = |name: &str| {
+        JobDagBuilder::new(name)
+            .stage("s", vec![Task::new(1.0)])
+            .build()
+            .unwrap()
+    };
+    for seed in 0_u64..20 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let num_streams = rng.gen_range(1..5usize);
+        let streams: Vec<Vec<pcaps_workloads::ArrivingJob>> = (0..num_streams)
+            .map(|s| {
+                let len = rng.gen_range(0..12usize);
+                (0..len)
+                    .map(|i| pcaps_workloads::ArrivingJob {
+                        // Coarse integer-ish times force plenty of ties.
+                        arrival: rng.gen_range(0..6u32) as f64,
+                        dag: dag(&format!("t{s}-j{i}")),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Oracle: per-stream stable sort (the per-source contract), then
+        // flatten + global stable sort — the pre-streaming implementation.
+        let mut oracle: Vec<pcaps_workloads::ArrivingJob> = streams
+            .iter()
+            .cloned()
+            .flat_map(|mut s| {
+                s.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+                s
+            })
+            .collect();
+        oracle.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+
+        assert_eq!(merge_streams(streams), oracle, "seed {seed}");
+    }
+}
+
+/// Merging lazy sources end-to-end: a two-tenant merged stream fed through
+/// a streaming federation equals the materialized merge fed through the
+/// classic constructor.
+#[test]
+fn merged_lazy_streams_drive_a_federation_identically() {
+    let tenant = |kind, seed| WorkloadBuilder::new(kind, seed).jobs(8).mean_interarrival(40.0);
+    let members = || {
+        vec![
+            Member::new(
+                "A",
+                ClusterConfig::new(6).with_time_scale(1.0),
+                CarbonTrace::constant("A", 100.0, 400),
+            ),
+            Member::new(
+                "B",
+                ClusterConfig::new(6).with_time_scale(1.0),
+                CarbonTrace::constant("B", 300.0, 400),
+            ),
+        ]
+    };
+    let run = |fed: &Federation, source: Option<&mut dyn ArrivalSource>| {
+        let mut a = SparkStandaloneFifo::new();
+        let mut b = SparkStandaloneFifo::new();
+        let mut schedulers: [&mut dyn Scheduler; 2] = [&mut a, &mut b];
+        let mut router = RoundRobinRouter::new();
+        match source {
+            None => fed.run(&mut router, &mut schedulers).unwrap(),
+            Some(src) => fed.run_source(src, &mut router, &mut schedulers).unwrap(),
+        }
+    };
+
+    // Materialized path: merge built vectors, hand them to Federation::new.
+    let merged = merge_streams(vec![
+        tenant(WorkloadKind::TpchMixed, 1).build(),
+        tenant(WorkloadKind::Alibaba, 2).build(),
+    ]);
+    let materialized_fed = Federation::new(
+        members(),
+        merged.into_iter().map(|j| SubmittedJob::at(j.arrival, j.dag)).collect(),
+    );
+    let expected = run(&materialized_fed, None);
+
+    // Streaming path: merge the lazy streams, pull through the engine.
+    let streaming_fed = Federation::streaming(members());
+    let mut source = StreamSource::new(MergedSource::new(vec![
+        tenant(WorkloadKind::TpchMixed, 1).stream(),
+        tenant(WorkloadKind::Alibaba, 2).stream(),
+    ]));
+    let got = run(&streaming_fed, Some(&mut source));
+
+    assert_eq!(got.makespan, expected.makespan);
+    assert_eq!(got.jobs_submitted(), expected.jobs_submitted());
+    for (g, e) in got.members.iter().zip(&expected.members) {
+        assert_eq!(g.result.jobs, e.result.jobs, "member {} diverged", e.label);
+    }
+}
+
+/// (3) The scale guarantee: a streaming run's peak resident job count is
+/// bounded by the system's concurrency, not the workload length.
+#[test]
+fn streaming_keeps_peak_resident_jobs_far_below_the_workload() {
+    let jobs = 600;
+    let sim = Simulator::streaming(
+        ClusterConfig::new(50)
+            .with_time_scale(60.0)
+            .with_profile_mode(ProfileMode::Light),
+        SyntheticTraceGenerator::new(GridRegion::Caiso, 4).generate_days(14),
+    );
+    let mut source = StreamSource::new(
+        WorkloadBuilder::new(WorkloadKind::Alibaba, 4)
+            .jobs(jobs)
+            .mean_interarrival(10.0)
+            .stream(),
+    );
+    let result = sim
+        .run_source(&mut source, &mut SparkStandaloneFifo::new())
+        .unwrap();
+    assert!(result.all_jobs_complete());
+    let peak = result
+        .profile
+        .jobs_in_system
+        .iter()
+        .map(|s| s.count)
+        .max()
+        .unwrap();
+    assert!(
+        peak * 5 < jobs,
+        "peak resident jobs ({peak}) must stay far below the workload size ({jobs})"
+    );
+    // Light mode really did keep per-task series empty.
+    assert!(result.profile.usage.is_empty());
+    assert!(result.profile.segments.is_empty());
+}
+
+/// (4) Contract enforcement: an unsorted source aborts with
+/// `OutOfOrderArrival` naming the offending job.
+#[test]
+fn out_of_order_sources_abort_with_a_descriptive_error() {
+    let dag = |name: &str| {
+        JobDagBuilder::new(name)
+            .stage("s", vec![Task::new(1.0)])
+            .build()
+            .unwrap()
+    };
+    let sim = Simulator::streaming(
+        ClusterConfig::new(2).with_time_scale(1.0),
+        CarbonTrace::constant("flat", 100.0, 48),
+    );
+    let mut source = vec![
+        SubmittedJob::at(50.0, dag("first")),
+        SubmittedJob::at(10.0, dag("backwards")),
+    ]
+    .into_iter();
+    let err = sim
+        .run_source(&mut source, &mut SparkStandaloneFifo::new())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("backwards"), "error must name the job: {msg}");
+    assert!(msg.contains("non-decreasing"), "error must state the contract: {msg}");
+}
