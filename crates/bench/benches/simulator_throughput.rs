@@ -9,6 +9,7 @@ use pcaps_experiments::alibaba_scale::{run_scale_trial, ScaleConfig};
 use pcaps_experiments::multi_region::{
     run_federated_trial, run_federated_trial_with_migration, MigrationSpec, RouterSpec,
 };
+use pcaps_experiments::reliability::{run_reliability_trial, ReliabilityStrategy};
 use runner::{run_trial, BaseScheduler, SchedulerSpec};
 
 fn simulator_throughput(c: &mut Criterion) {
@@ -64,6 +65,29 @@ fn simulator_throughput(c: &mut Criterion) {
                         SchedulerSpec::pcaps_moderate(),
                     )
                     .makespan,
+                )
+            })
+        },
+    );
+    // The routed federated trial again, now under a 40 s-MTBF Poisson
+    // crash process per member with retry recovery — tracks the cost of
+    // the fault layer when it actually fires (crash bookkeeping, epoch
+    // invalidation, retry releases).  The no-fault cost of the layer is
+    // what fed3_cqa_pcaps above must NOT move: an empty schedule is one
+    // Option comparison per event-loop iteration.
+    group.bench_function(
+        BenchmarkId::new("10_jobs_20_exec", "fed3_faults_pcaps"),
+        |b| {
+            let strategy = ReliabilityStrategy {
+                router: RouterSpec::CarbonQueueAware,
+                migration: MigrationSpec::Never,
+                spec: SchedulerSpec::pcaps_moderate(),
+            };
+            b.iter(|| {
+                criterion::black_box(
+                    run_reliability_trial(&fed_cfg, Some(40.0), strategy)
+                        .expect("the generous trial retry policy never aborts")
+                        .makespan,
                 )
             })
         },

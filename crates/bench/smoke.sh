@@ -52,9 +52,12 @@ require_full_suite() {
 # tests/migration.rs pins the engine's never-migrate fingerprints and the
 # cross-member accounting; tests/streaming.rs pins the pull-based intake
 # pipeline bit-for-bit against the materialized path (and the k-way merge
-# against its sort oracle).
+# against its sort oracle); tests/faults.rs pins the fault layer's
+# do-no-harm guarantee (empty schedule ≡ no schedule, bit for bit), replay
+# determinism under injection, and the hand-computed recovery oracles.
 require_full_suite migration "migration conformance suite"
 require_full_suite streaming "streaming-equivalence suite"
+require_full_suite faults "fault-injection conformance suite"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

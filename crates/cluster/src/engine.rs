@@ -48,9 +48,13 @@
 //! [`Federation::new`]: crate::federation::Federation::new
 
 use crate::config::{ClusterConfig, ProfileMode};
-use crate::error::SimError;
+use crate::error::{PartialRunSummary, SimError};
 use crate::event::{Event, EventQueue};
 use crate::executor::ExecutorPool;
+use crate::faults::{
+    CrashVictim, FaultEffect, FaultInjection, FaultKind, FaultPlan, FaultRecord, FaultSchedule,
+    RetryPolicy,
+};
 use crate::federation::{Federation, Member};
 use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
 use crate::source::ArrivalSource;
@@ -66,7 +70,7 @@ use crate::scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, SchedEvent, Scheduler, SchedulingContext,
     WakeupToken,
 };
-use pcaps_carbon::{CarbonSignal, CarbonTrace};
+use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace};
 use pcaps_dag::{JobId, StageId};
 use std::time::Instant;
 
@@ -113,14 +117,25 @@ impl Simulator {
         &self.federation.members()[0].config
     }
 
-    /// The materialized workload (sorted by arrival).
-    #[deprecated(
-        note = "meaningless under streaming intake (a lazy source has no workload to borrow); \
-                use `known_jobs()` for the up-front-known jobs or \
-                `SimulationResult::jobs_submitted` for what a run actually saw"
-    )]
-    pub fn workload(&self) -> &[SubmittedJob] {
-        self.federation.workload()
+    /// Attaches a fault plan, materialising it against this cluster's shape
+    /// (see [`Federation::with_fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: &dyn FaultPlan) -> Self {
+        self.federation = self.federation.with_fault_plan(plan);
+        self
+    }
+
+    /// Attaches an already materialised fault schedule (see
+    /// [`Federation::with_fault_schedule`]).
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.federation = self.federation.with_fault_schedule(schedule);
+        self
+    }
+
+    /// Sets the retry policy applied to crashed tasks (see
+    /// [`Federation::with_retry_policy`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.federation = self.federation.with_retry_policy(retry);
+        self
     }
 
     /// The jobs known up front: the full workload for a materialized
@@ -169,6 +184,26 @@ impl Simulator {
     }
 }
 
+/// What an executor is running right now — the engine-side mirror of an
+/// in-flight [`Event::TaskFinish`], kept so an [`FaultKind::ExecutorCrash`]
+/// can identify its victim in O(1) without scanning the event queue.
+#[derive(Debug, Clone, Copy)]
+struct RunningTask {
+    job: JobId,
+    stage: StageId,
+    /// The task's index within its stage (what a retry must re-run).
+    task: usize,
+    /// Dispatch time (schedule seconds) — wasted work on a crash is
+    /// `crash_time - started`, move delay included.
+    started: f64,
+    /// The task's duration (excluding move delay), for undoing the
+    /// dispatch-time pre-charge of `executor_seconds`.
+    duration: f64,
+    /// The pending finish event's time, for truncating the open profile
+    /// segment on a crash.
+    finish_time: f64,
+}
+
 /// Mutable state of one member cluster during a run.
 struct MemberState<'a> {
     label: &'a str,
@@ -210,6 +245,35 @@ struct MemberState<'a> {
     /// The member's run-scoped decision sink (cleared, never reallocated,
     /// per invocation; token counter is member-scoped).
     sink: DecisionSink,
+
+    // --- Fault-layer state (all inert on fault-free runs) ---
+    /// `running[e]` mirrors the in-flight task on executor `e` (`None`:
+    /// idle).  Sized once at construction — no per-event allocation.
+    running: Vec<Option<RunningTask>>,
+    /// `epochs[e]` counts crashes of executor `e`.  Dispatches stamp the
+    /// current epoch into their [`Event::TaskFinish`]; a finish whose epoch
+    /// is stale belongs to a killed task and is dropped.  All zero (and
+    /// never compared unequal) on fault-free runs.
+    epochs: Vec<u64>,
+    /// False while a [`FaultKind::RegionOutageStart`] window is open: the
+    /// member stops dispatching (its scheduler is not consulted), running
+    /// tasks drain, and routers/migration policies see
+    /// [`MemberView::available`] `== false`.
+    available: bool,
+    /// `Some(intensity)` while a carbon-signal dropout is open: the
+    /// member's [`CarbonView`] freezes there with the staleness flag set.
+    /// The engine's own accounting keeps using the real trace — the dropout
+    /// degrades what *schedulers* see, not physical ground truth.
+    frozen_intensity: Option<f64>,
+    /// Executor-seconds of work lost to crashes (dispatch-to-crash,
+    /// move delay included).
+    wasted_seconds: f64,
+    /// Tasks killed by executor crashes.
+    tasks_failed: usize,
+    /// Crashed tasks re-released for dispatch after their backoff.
+    retries: usize,
+    /// Everything the fault layer did to this member, in firing order.
+    fault_log: Vec<FaultRecord>,
 }
 
 impl<'a> MemberState<'a> {
@@ -232,6 +296,14 @@ impl<'a> MemberState<'a> {
             next_carbon_change: carbon_step_schedule,
             current_intensity: member.carbon.intensity(0.0),
             sink: DecisionSink::new(),
+            running: vec![None; member.config.num_executors],
+            epochs: vec![0; member.config.num_executors],
+            available: true,
+            frozen_intensity: None,
+            wasted_seconds: 0.0,
+            tasks_failed: 0,
+            retries: 0,
+            fault_log: Vec::new(),
         }
     }
 
@@ -241,6 +313,14 @@ impl<'a> MemberState<'a> {
     }
 
     fn carbon_view(&self, time: f64) -> CarbonView {
+        // During a signal dropout the member's view is frozen at the
+        // last-known intensity with the staleness flag set; schedulers and
+        // routers decide on stale data while the engine's accounting (and
+        // `defer_below` resolution, which models grid-side infrastructure)
+        // keeps using the real trace.
+        if let Some(frozen) = self.frozen_intensity {
+            return CarbonView::stale_at(frozen);
+        }
         let ct = self.carbon_time(time);
         let intensity = self.carbon.intensity(ct);
         let (lower_bound, upper_bound) = self.carbon.bounds(ct, self.config.forecast_horizon);
@@ -256,6 +336,7 @@ impl<'a> MemberState<'a> {
             outstanding_work: self.outstanding_work,
             total_executors: self.config.num_executors,
             free_executors: self.executors.free_count(),
+            available: self.available,
         }
     }
 
@@ -399,6 +480,14 @@ pub(crate) struct Engine<'a> {
     migrations: Vec<MigrationRecord>,
     /// The binding time limit: the smallest `max_sim_time` of any member.
     max_sim_time: f64,
+    /// The materialised fault schedule (empty by default), consumed through
+    /// `next_fault`.
+    faults: &'a FaultSchedule,
+    /// Cursor into `faults`: the next injection to fire.  The no-fault hot
+    /// path costs exactly one exhaustion check per loop iteration.
+    next_fault: usize,
+    /// How crashed tasks are retried.
+    retry: RetryPolicy,
     /// Reused buffer for the per-arrival [`RoutingContext`] and the
     /// per-carbon-step [`MigrationContext`] — cleared and refilled per
     /// decision, never reallocated in the steady state.
@@ -432,6 +521,7 @@ fn remaining_state(job: &ActiveJob) -> (f64, f64) {
 enum EventSeed {
     JobArrived(JobId),
     TasksCompleted { job: JobId, stage: StageId, n: usize },
+    TasksFailed { job: JobId, stage: StageId, n: usize },
     CarbonChanged { prev: f64, now: f64 },
     Wakeup(WakeupToken),
     Kick,
@@ -444,8 +534,16 @@ impl<'a> Engine<'a> {
         members: &'a [Member],
         workload: &'a [SubmittedJob],
         transfer: &'a TransferMatrix,
+        faults: &'a FaultSchedule,
+        retry: RetryPolicy,
     ) -> Self {
-        Engine::with_source(members, EngineSource::Slice { jobs: workload, next: 0 }, transfer)
+        Engine::with_source(
+            members,
+            EngineSource::Slice { jobs: workload, next: 0 },
+            transfer,
+            faults,
+            retry,
+        )
     }
 
     /// An engine pulling its workload from an external source.
@@ -453,15 +551,25 @@ impl<'a> Engine<'a> {
         members: &'a [Member],
         source: &'a mut dyn ArrivalSource,
         transfer: &'a TransferMatrix,
+        faults: &'a FaultSchedule,
+        retry: RetryPolicy,
     ) -> Self {
         let validate = !source.prevalidated();
-        Engine::with_source(members, EngineSource::Dyn { source, validate }, transfer)
+        Engine::with_source(
+            members,
+            EngineSource::Dyn { source, validate },
+            transfer,
+            faults,
+            retry,
+        )
     }
 
     fn with_source(
         members: &'a [Member],
         source: EngineSource<'a>,
         transfer: &'a TransferMatrix,
+        faults: &'a FaultSchedule,
+        retry: RetryPolicy,
     ) -> Self {
         let jobs_hint = source.remaining_hint();
         let member_states: Vec<MemberState<'a>> = members
@@ -491,6 +599,9 @@ impl<'a> Engine<'a> {
             stage_counts: Vec::with_capacity(table_hint),
             migrations: Vec::new(),
             max_sim_time,
+            faults,
+            next_fault: 0,
+            retry,
             view_buf,
             candidate_buf: Vec::new(),
             migration_sink: MigrationSink::new(),
@@ -540,10 +651,49 @@ impl<'a> Engine<'a> {
         self.jobs_seen - self.completed_jobs + self.source.remaining_hint()
     }
 
+    /// Builds the time-limit error together with a partial summary of what
+    /// the run accomplished, so sweeps can report a truncated trial instead
+    /// of discarding it.  Cold path (the run is aborting): cloning each
+    /// member's trace into an accountant is fine here.
     fn time_limit_error(&self) -> SimError {
+        let mut completed_jobs = Vec::new();
+        let mut incomplete_jobs = Vec::new();
+        for id in 0..self.jobs_seen {
+            if self.completed[id] {
+                completed_jobs.push(JobId(id as u64));
+            } else {
+                incomplete_jobs.push(JobId(id as u64));
+            }
+        }
+        let mut elapsed_executor_seconds = 0.0;
+        let mut accrued_carbon_grams = 0.0;
+        for m in &self.members {
+            for r in &m.records {
+                elapsed_executor_seconds += r.executor_seconds;
+            }
+            for j in &m.active {
+                elapsed_executor_seconds += j.executor_seconds;
+            }
+            // Usage is empty under ProfileMode::Light, in which case the
+            // carbon figure degrades to 0 (documented on PartialRunSummary).
+            if !m.profile.usage.is_empty() {
+                let accountant = CarbonAccountant::new(m.carbon.clone())
+                    .with_time_scale(m.config.time_scale);
+                accrued_carbon_grams += accountant.footprint_grams(&m.profile.usage, self.time);
+            }
+        }
+        for j in self.in_transit.iter().flatten() {
+            elapsed_executor_seconds += j.executor_seconds;
+        }
         SimError::TimeLimitExceeded {
             limit: self.max_sim_time,
             incomplete_jobs: self.incomplete_jobs(),
+            partial: Box::new(PartialRunSummary {
+                completed_jobs,
+                incomplete_jobs,
+                elapsed_executor_seconds,
+                accrued_carbon_grams,
+            }),
         }
     }
 
@@ -557,6 +707,32 @@ impl<'a> Engine<'a> {
         // migration layer entirely, so the single-cluster `Simulator` and
         // plain routed runs pay nothing for it.
         let consult_migrations = self.members.len() >= 2 && !migration.never_migrates();
+        // A fault schedule naming a member or executor the federation does
+        // not have is a configuration error, reported before any simulation
+        // state exists.
+        for inj in self.faults.injections() {
+            if inj.member >= self.members.len() {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "injection at t={} targets member {}, but the federation has {} member(s)",
+                        inj.time,
+                        inj.member,
+                        self.members.len()
+                    ),
+                });
+            }
+            if let FaultKind::ExecutorCrash { executor } = inj.kind {
+                let pool = self.members[inj.member].config.num_executors;
+                if executor >= pool {
+                    return Err(SimError::InvalidFault {
+                        reason: format!(
+                            "crash at t={} targets executor {} of member {}, which has {} executor(s)",
+                            inj.time, executor, inj.member, pool
+                        ),
+                    });
+                }
+            }
+        }
         // Prime the arrival window.  A source that yields nothing at all is
         // an empty workload (the materialized entry points report this
         // before the engine is even built).
@@ -598,7 +774,30 @@ impl<'a> Engine<'a> {
                 Some(ht) => carbon_time < ht,
                 None => true,
             };
-            if wake_on_carbon {
+            // A pending fault fires only when STRICTLY earlier than every
+            // other event class (carbon steps, arrivals, queue events) — on
+            // a tie the pre-fault event order is preserved exactly, which is
+            // what keeps `FaultSchedule::none()` runs bit-identical (the
+            // cursor is exhausted, so this is one `Option` comparison).
+            // Same-time faults fire one per iteration in schedule order.
+            let fault_fires = match self.faults.injections().get(self.next_fault) {
+                Some(inj) => {
+                    inj.time < carbon_time && next_time.map_or(true, |ht| inj.time < ht)
+                }
+                None => false,
+            };
+            if fault_fires {
+                let inj = self.faults.injections()[self.next_fault];
+                self.next_fault += 1;
+                // A fault scheduled before the current instant (possible
+                // when the plan's horizon outruns a quiet schedule) fires
+                // now rather than turning the clock back.
+                self.time = self.time.max(inj.time);
+                if self.time > self.max_sim_time {
+                    return Err(self.time_limit_error());
+                }
+                self.apply_fault(inj, schedulers)?;
+            } else if wake_on_carbon {
                 self.time = carbon_time;
                 let member = &mut self.members[carbon_member];
                 member.next_carbon_change += member.carbon_step_schedule;
@@ -609,6 +808,13 @@ impl<'a> Engine<'a> {
                 let prev = member.current_intensity;
                 let now = member.carbon.intensity(member.carbon_time(self.time));
                 member.current_intensity = now;
+                // During a signal dropout the scheduler must not observe the
+                // real step — it is told "nothing changed" at the frozen
+                // intensity while the engine's ground truth keeps advancing.
+                let (seen_prev, seen_now) = match member.frozen_intensity {
+                    Some(frozen) => (frozen, frozen),
+                    None => (prev, now),
+                };
                 // Migration first, scheduling second: a member whose grid
                 // just turned dirty ships its idle jobs away *before* its
                 // scheduler gets a chance to pin them down with dispatches.
@@ -618,7 +824,7 @@ impl<'a> Engine<'a> {
                 self.schedule_loop(
                     carbon_member,
                     &mut *schedulers[carbon_member],
-                    EventSeed::CarbonChanged { prev, now },
+                    EventSeed::CarbonChanged { prev: seen_prev, now: seen_now },
                 )?;
             } else if next_is_arrival {
                 let arrival = self.pending.take().expect("next_is_arrival implies a window");
@@ -638,8 +844,11 @@ impl<'a> Engine<'a> {
                 if self.time > self.max_sim_time {
                     return Err(self.time_limit_error());
                 }
-                let (target, seed) = self.handle_event(event)?;
-                self.schedule_loop(target, &mut *schedulers[target], seed)?;
+                // `None`: the event was recognised as stale (a finish whose
+                // executor crashed under it) and dropped without a pass.
+                if let Some((target, seed)) = self.handle_event(event)? {
+                    self.schedule_loop(target, &mut *schedulers[target], seed)?;
+                }
             }
         }
 
@@ -658,6 +867,10 @@ impl<'a> Engine<'a> {
                     invocations: std::mem::take(&mut m.invocations),
                     tasks_dispatched: m.tasks_dispatched,
                     jobs_submitted: m.routed_jobs,
+                    wasted_seconds: m.wasted_seconds,
+                    tasks_failed: m.tasks_failed,
+                    retries: m.retries,
+                    faults: std::mem::take(&mut m.fault_log),
                 },
             });
         }
@@ -731,21 +944,37 @@ impl<'a> Engine<'a> {
 
     /// Applies a queue event's state changes and returns the member to
     /// consult plus the seed of the typed [`SchedEvent`] the scheduling
-    /// pass is invoked with.  (Workload arrivals are not queue events —
-    /// see [`Engine::admit_arrival`].)
-    fn handle_event(&mut self, event: Event) -> Result<(usize, EventSeed), SimError> {
+    /// pass is invoked with, or `None` when the event is stale (a task
+    /// finish whose executor crashed under it) and must be dropped without
+    /// a scheduling pass.  (Workload arrivals are not queue events — see
+    /// [`Engine::admit_arrival`].)
+    fn handle_event(&mut self, event: Event) -> Result<Option<(usize, EventSeed)>, SimError> {
         match event {
-            Event::TaskFinish { member: target, executor, job, stage } => {
+            Event::TaskFinish { member: target, executor, job, stage, epoch } => {
                 let time = self.time;
                 let member = &mut self.members[target];
+                // A crash bumps the executor's epoch, so a finish stamped
+                // with an older one belongs to a killed task: the queue's
+                // deterministic analogue of cancelling the event.  Always
+                // equal on fault-free runs.
+                if epoch != member.epochs[executor] {
+                    return Ok(None);
+                }
                 member.executors.finish(executor);
-                let idx = member
-                    .slot(job)
-                    .expect("task finished for a job that is not active on its member");
+                member.running[executor] = None;
+                let Some(idx) = member.slot(job) else {
+                    return Err(SimError::InvalidAssignment {
+                        reason: format!(
+                            "task of {stage} finished for {job}, which is not active on member {target}"
+                        ),
+                    });
+                };
                 let active = &mut member.active[idx];
                 active.busy_executors = active.busy_executors.saturating_sub(1);
                 let stage_done = active.progress.finish_task(&active.dag, stage);
+                let mut job_completed = false;
                 if stage_done && active.progress.job_complete() {
+                    job_completed = true;
                     let completion = time;
                     active.completion = Some(completion);
                     let done = member.retire_active(idx);
@@ -765,9 +994,49 @@ impl<'a> Engine<'a> {
                         .record_jobs_in_system(time, member.active.len());
                 }
                 member.record_usage_sample(time);
-                Ok((target, EventSeed::TasksCompleted { job, stage, n: 1 }))
+                // An outaged member must not strand work it can no longer
+                // dispatch: once a job's running tasks have drained, it is
+                // evacuated exactly like the idle jobs at outage start.
+                if !member.available && !job_completed {
+                    let idle = {
+                        let j = &self.members[target].active
+                            [self.members[target].slot(job).expect("checked above")];
+                        j.busy_executors == 0 && j.retrying == 0
+                    };
+                    if idle {
+                        if let Some(dest) = self.evacuation_target(target) {
+                            self.apply_migration(job, dest)?;
+                        }
+                    }
+                }
+                Ok(Some((target, EventSeed::TasksCompleted { job, stage, n: 1 })))
             }
-            Event::Wakeup { member, token } => Ok((member, EventSeed::Wakeup(token))),
+            Event::RetryRelease { member: target, job, stage, task } => {
+                let member = &mut self.members[target];
+                // The job cannot have completed (the killed task's stage is
+                // still held open) and cannot have migrated (cooling-down
+                // tasks pin it to this member), so it must be active here —
+                // anything else is an engine bug worth a descriptive error.
+                let Some(idx) = member.slot(job) else {
+                    return Err(SimError::InvalidAssignment {
+                        reason: format!(
+                            "retry release of task {task} of {stage} for {job}, which is not \
+                             active on member {target}"
+                        ),
+                    });
+                };
+                let active = &mut member.active[idx];
+                active.retrying -= 1;
+                active.progress.fail_task(&active.dag, stage, task);
+                member.retries += 1;
+                member.fault_log.push(FaultRecord {
+                    time: self.time,
+                    member: target,
+                    effect: FaultEffect::TaskRetried { job, stage, task },
+                });
+                Ok(Some((target, EventSeed::Kick)))
+            }
+            Event::Wakeup { member, token } => Ok(Some((member, EventSeed::Wakeup(token)))),
             Event::MigrationArrival { member: target, job } => {
                 let state = self.in_transit[job.index()]
                     .take()
@@ -776,16 +1045,35 @@ impl<'a> Engine<'a> {
                 let member = &mut self.members[target];
                 // The destination table stays ordered by arrival *at this
                 // member* — a migrated job joins the back of the queue like
-                // a fresh arrival would, whatever its global id.
+                // a fresh arrival would, whatever its global id.  If the
+                // destination went down while the job was in flight, it
+                // queues here until the outage ends (or a later carbon step
+                // migrates it again) — the transfer was already paid.
                 member.register_active(state);
                 member.routed_jobs += 1;
                 member.outstanding_work += remaining;
                 member
                     .profile
                     .record_jobs_in_system(self.time, member.active.len());
-                Ok((target, EventSeed::JobArrived(job)))
+                Ok(Some((target, EventSeed::JobArrived(job))))
             }
         }
+    }
+
+    /// Where an outaged member's idle jobs go: the available member with the
+    /// least backlog per executor (outstanding work normalised by pool size),
+    /// ties to the lowest index.  `None` when every other member is also
+    /// down — the job then stays where it is until an outage ends.
+    fn evacuation_target(&self, from: usize) -> Option<usize> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(i, m)| *i != from && m.available)
+            .min_by(|(_, a), (_, b)| {
+                let backlog = |m: &MemberState<'_>| m.outstanding_work / m.config.num_executors as f64;
+                backlog(a).total_cmp(&backlog(b))
+            })
+            .map(|(i, _)| i)
     }
 
     /// Consults the migration policy for the member whose carbon intensity
@@ -816,6 +1104,7 @@ impl<'a> Engine<'a> {
                 remaining_work,
                 remaining_gb,
                 busy_executors: job.busy_executors,
+                retrying_tasks: job.retrying,
             });
         }
         let mut sink = std::mem::take(&mut self.migration_sink);
@@ -879,6 +1168,12 @@ impl<'a> Engine<'a> {
                 self.members[src].active[idx].busy_executors
             )));
         }
+        if self.members[src].active[idx].retrying > 0 {
+            return Err(invalid(format!(
+                "the job has {} task(s) in retry backoff on member {src}; they must release first",
+                self.members[src].active[idx].retrying
+            )));
+        }
 
         // Detach from the source and fix its incremental counters.  The
         // remaining work/GB here match what the candidate reported — both
@@ -921,6 +1216,255 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Applies one fault injection.  Dispatched from the run loop when the
+    /// injection is strictly earlier than every other pending event.
+    fn apply_fault(
+        &mut self,
+        inj: FaultInjection,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<(), SimError> {
+        match inj.kind {
+            FaultKind::ExecutorCrash { executor } => {
+                self.apply_crash(inj.member, executor, schedulers)
+            }
+            FaultKind::RegionOutageStart => self.apply_outage_start(inj.member, schedulers),
+            FaultKind::RegionOutageEnd => self.apply_outage_end(inj.member, schedulers),
+            FaultKind::CarbonDropoutStart => self.apply_dropout_start(inj.member),
+            FaultKind::CarbonDropoutEnd => self.apply_dropout_end(inj.member, schedulers),
+        }
+    }
+
+    /// Kills executor `exec` of member `target`.  An idle executor crashes
+    /// harmlessly (logged, nothing lost).  A busy one loses its in-flight
+    /// task: the pre-charged accounting is unwound, the dispatch-to-crash
+    /// interval is booked as wasted work, the finish event is invalidated by
+    /// bumping the executor's epoch, and the task is released for
+    /// re-dispatch after the retry policy's backoff — unless this failure
+    /// exhausts the policy, which aborts the run.
+    fn apply_crash(
+        &mut self,
+        target: usize,
+        exec: usize,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<(), SimError> {
+        let time = self.time;
+        let member = &mut self.members[target];
+        let Some(rt) = member.running[exec].take() else {
+            member.fault_log.push(FaultRecord {
+                time,
+                member: target,
+                effect: FaultEffect::ExecutorCrashed { executor: exec, victim: None },
+            });
+            return Ok(());
+        };
+        // Invalidate the pending finish event and cold-reset the executor
+        // (it comes back immediately, but its warm-start affinity is gone).
+        member.epochs[exec] += 1;
+        member.executors.crash(exec);
+        let Some(idx) = member.slot(rt.job) else {
+            return Err(SimError::InvalidAssignment {
+                reason: format!(
+                    "executor {exec} of member {target} crashed while running a task of {}, \
+                     which is not active on that member",
+                    rt.job
+                ),
+            });
+        };
+        let active = &mut member.active[idx];
+        active.busy_executors = active.busy_executors.saturating_sub(1);
+        // Undo the dispatch-time pre-charge: the work was not done, and the
+        // retry's own dispatch will charge it again.
+        active.executor_seconds -= rt.duration;
+        let attempts = active.record_failure(rt.stage, rt.task);
+        let exhausted = attempts >= self.retry.max_attempts;
+        let job_name = if exhausted { active.dag.name.clone() } else { String::new() };
+        if !exhausted {
+            active.retrying += 1;
+        }
+        member.outstanding_work += rt.duration;
+        let wasted = time - rt.started;
+        member.wasted_seconds += wasted;
+        member.tasks_failed += 1;
+        // Truncate the open profile segment at the crash instant so the
+        // usage series stays an honest record of executor-busy time.
+        if member.config.profile_mode == ProfileMode::Full {
+            for seg in member.profile.segments.iter_mut().rev() {
+                if seg.executor == exec && seg.job == rt.job && seg.end == rt.finish_time {
+                    seg.end = time;
+                    break;
+                }
+            }
+        }
+        member.record_usage_sample(time);
+        if exhausted {
+            return Err(SimError::RetriesExhausted {
+                job: job_name,
+                stage: rt.stage,
+                task: rt.task,
+                attempts,
+            });
+        }
+        member.fault_log.push(FaultRecord {
+            time,
+            member: target,
+            effect: FaultEffect::ExecutorCrashed {
+                executor: exec,
+                victim: Some(CrashVictim {
+                    job: rt.job,
+                    stage: rt.stage,
+                    task: rt.task,
+                    wasted_seconds: wasted,
+                    attempt: attempts,
+                }),
+            },
+        });
+        let backoff = self.retry.backoff_after(attempts);
+        self.events.push(
+            time + backoff,
+            Event::RetryRelease { member: target, job: rt.job, stage: rt.stage, task: rt.task },
+        );
+        // The crash freed an executor, so other work may dispatch right now;
+        // the advisory TasksFailed event tells the scheduler why.
+        self.schedule_loop(
+            target,
+            &mut *schedulers[target],
+            EventSeed::TasksFailed { job: rt.job, stage: rt.stage, n: 1 },
+        )
+    }
+
+    /// Takes member `target` down: dispatching stops (running tasks drain),
+    /// idle jobs are evacuated to the least-loaded available member over the
+    /// transfer-priced migration path, and the member's scheduler is told
+    /// (advisorily) that it went unavailable.  Idempotent: a start inside an
+    /// already open window is a no-op.
+    fn apply_outage_start(
+        &mut self,
+        target: usize,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<(), SimError> {
+        if !self.members[target].available {
+            return Ok(());
+        }
+        self.members[target].available = false;
+        // All evacuees go to the same member, chosen once against the
+        // backlog at outage start — one decision, deterministic order.
+        let evacuees: Vec<JobId> = self.members[target]
+            .active
+            .iter()
+            .filter(|j| j.busy_executors == 0 && j.retrying == 0)
+            .map(|j| j.id)
+            .collect();
+        let mut evacuated = 0;
+        if let Some(dest) = self.evacuation_target(target) {
+            for job in evacuees {
+                self.apply_migration(job, dest)?;
+                evacuated += 1;
+            }
+        }
+        self.members[target].fault_log.push(FaultRecord {
+            time: self.time,
+            member: target,
+            effect: FaultEffect::OutageStarted { evacuated },
+        });
+        self.deliver_availability(target, &mut *schedulers[target], false);
+        Ok(())
+    }
+
+    /// Brings member `target` back up and kicks its scheduler (jobs that
+    /// queued or arrived during the window are now dispatchable again).
+    /// Idempotent: an end without an open window is a no-op.
+    fn apply_outage_end(
+        &mut self,
+        target: usize,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<(), SimError> {
+        if self.members[target].available {
+            return Ok(());
+        }
+        self.members[target].available = true;
+        self.members[target].fault_log.push(FaultRecord {
+            time: self.time,
+            member: target,
+            effect: FaultEffect::OutageEnded,
+        });
+        self.deliver_availability(target, &mut *schedulers[target], true);
+        self.schedule_loop(target, &mut *schedulers[target], EventSeed::Kick)
+    }
+
+    /// Freezes member `target`'s carbon view at the intensity the trace
+    /// reads right now — the last value the member "saw" before the signal
+    /// went silent.  No scheduling pass: nothing observable changed yet (the
+    /// view goes stale from the next consultation on).
+    fn apply_dropout_start(&mut self, target: usize) -> Result<(), SimError> {
+        let member = &mut self.members[target];
+        if member.frozen_intensity.is_some() {
+            return Ok(());
+        }
+        let frozen = member.carbon.intensity(member.carbon_time(self.time));
+        member.frozen_intensity = Some(frozen);
+        member.fault_log.push(FaultRecord {
+            time: self.time,
+            member: target,
+            effect: FaultEffect::DropoutStarted { frozen_intensity: frozen },
+        });
+        Ok(())
+    }
+
+    /// Thaws member `target`'s carbon view and re-invokes its scheduler with
+    /// a `CarbonChanged` from the frozen intensity to the live one — the
+    /// moment the signal returns is exactly a carbon step from the
+    /// scheduler's point of view.
+    fn apply_dropout_end(
+        &mut self,
+        target: usize,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<(), SimError> {
+        let member = &mut self.members[target];
+        let Some(frozen) = member.frozen_intensity.take() else {
+            return Ok(());
+        };
+        let now = member.carbon.intensity(member.carbon_time(self.time));
+        member.fault_log.push(FaultRecord {
+            time: self.time,
+            member: target,
+            effect: FaultEffect::DropoutEnded,
+        });
+        self.schedule_loop(
+            target,
+            &mut *schedulers[target],
+            EventSeed::CarbonChanged { prev: frozen, now },
+        )
+    }
+
+    /// Delivers the advisory [`SchedEvent::MemberAvailability`] event to one
+    /// member's scheduler.  Anything the scheduler emits in response is
+    /// discarded: a member going down cannot dispatch, and a member coming
+    /// back up is immediately re-consulted through the regular
+    /// (verb-honouring) scheduling pass that follows.
+    fn deliver_availability(
+        &mut self,
+        target: usize,
+        scheduler: &mut dyn Scheduler,
+        available: bool,
+    ) {
+        let mut sink = std::mem::take(&mut self.members[target].sink);
+        sink.clear();
+        let member = &self.members[target];
+        let ctx = SchedulingContext::new(
+            self.time,
+            member.carbon_view(self.time),
+            member.config.num_executors,
+            member.executors.free_count(),
+            member.executors.busy_count(),
+            member.config.job_cap(),
+            &member.active,
+            Some(&member.slots),
+        );
+        scheduler.on_event(SchedEvent::MemberAvailability { available }, &ctx, &mut sink);
+        sink.clear();
+        self.members[target].sink = sink;
+    }
+
     /// Repeatedly invokes one member's scheduler until it defers, produces
     /// nothing applicable, or the member is saturated.  The first invocation
     /// carries the typed triggering event; re-invocations at the same
@@ -949,6 +1493,12 @@ impl<'a> Engine<'a> {
     ) -> Result<(), SimError> {
         loop {
             let member = &self.members[target];
+            // An outaged member never dispatches — its scheduler is not even
+            // consulted until the outage ends (running tasks drain on their
+            // own; arrivals and completions still mutate state silently).
+            if !member.available {
+                return Ok(());
+            }
             if member.executors.free_count() == 0 {
                 return Ok(());
             }
@@ -975,6 +1525,9 @@ impl<'a> Engine<'a> {
                 },
                 EventSeed::TasksCompleted { job, stage, n } => {
                     SchedEvent::TasksCompleted { job, stage, n }
+                }
+                EventSeed::TasksFailed { job, stage, n } => {
+                    SchedEvent::TasksFailed { job, stage, n }
                 }
                 EventSeed::CarbonChanged { prev, now } => SchedEvent::CarbonChanged { prev, now },
                 EventSeed::Wakeup(token) => SchedEvent::Wakeup { token },
@@ -1133,6 +1686,14 @@ impl<'a> Engine<'a> {
                 active.busy_executors += 1;
                 active.executor_seconds += task.duration;
                 member.outstanding_work -= task.duration;
+                member.running[exec_idx] = Some(RunningTask {
+                    job: a.job,
+                    stage: a.stage,
+                    task: task_idx,
+                    started: self.time,
+                    duration: task.duration,
+                    finish_time,
+                });
                 self.events.push(
                     finish_time,
                     Event::TaskFinish {
@@ -1140,6 +1701,7 @@ impl<'a> Engine<'a> {
                         executor: exec_idx,
                         job: a.job,
                         stage: a.stage,
+                        epoch: member.epochs[exec_idx],
                     },
                 );
                 if member.config.profile_mode == ProfileMode::Full {
@@ -1471,7 +2033,13 @@ mod tests {
             ],
             vec![SubmittedJob::at(0.0, chain_job("j", 1, 2, 5.0))],
         );
-        let mut engine = Engine::from_slice(fed.members(), fed.workload(), fed.transfer());
+        let mut engine = Engine::from_slice(
+            fed.members(),
+            fed.workload(),
+            fed.transfer(),
+            fed.fault_schedule(),
+            fed.retry_policy(),
+        );
         let mut router = ToOne;
         engine.refill_window().unwrap();
         let arrival = engine.pending.take().expect("one job in the workload");

@@ -1,6 +1,32 @@
 //! Simulator error type.
 
+use pcaps_dag::{JobId, StageId};
 use std::fmt;
+
+/// What a run had accomplished when it was cut short — attached to
+/// [`SimError::TimeLimitExceeded`] so long-running sweeps can *report* a
+/// truncated trial instead of discarding it.
+///
+/// All figures are totals over the federation at the moment the limit was
+/// crossed.  `accrued_carbon_grams` is computed from each member's usage
+/// profile against its own trace, so under
+/// [`ProfileMode::Light`](crate::config::ProfileMode) (which records no
+/// usage samples) it is 0.0.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartialRunSummary {
+    /// Jobs that completed before the limit, ascending by id.
+    pub completed_jobs: Vec<JobId>,
+    /// Jobs that had arrived (or were in transit) but not completed,
+    /// ascending by id.  Jobs the source had not yet yielded are not
+    /// listed.
+    pub incomplete_jobs: Vec<JobId>,
+    /// Executor-seconds of task work dispatched before the limit, including
+    /// in-flight (pre-charged) tasks of incomplete jobs.
+    pub elapsed_executor_seconds: f64,
+    /// Carbon accrued by executor usage up to the limit (grams CO₂eq);
+    /// 0.0 under `ProfileMode::Light`.
+    pub accrued_carbon_grams: f64,
+}
 
 /// Errors that can abort a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,12 +41,17 @@ pub enum SimError {
         reason: String,
     },
     /// The simulation exceeded `max_sim_time` without completing all jobs —
-    /// almost always a scheduler that defers outstanding work forever.
+    /// almost always a scheduler that defers outstanding work indefinitely,
+    /// or an outage window that never ends.  `partial` summarises what the
+    /// run had accomplished so sweeps can report instead of aborting.
     TimeLimitExceeded {
         /// The configured limit (schedule seconds).
         limit: f64,
-        /// Number of jobs that had not completed.
+        /// Number of jobs that had not completed (counting jobs the source
+        /// had not yet yielded, unlike `partial.incomplete_jobs`).
         incomplete_jobs: usize,
+        /// What completed, what did not, and what the run had consumed.
+        partial: Box<PartialRunSummary>,
     },
     /// Internal invariant violation (a bug in the engine or a scheduler that
     /// returned an assignment for a non-existent job/stage).
@@ -61,6 +92,26 @@ pub enum SimError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A fault schedule referenced a member or executor that does not exist
+    /// in the federation it was attached to.
+    InvalidFault {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A task crashed [`RetryPolicy::max_attempts`] times — the workload
+    /// cannot complete under the configured fault plan.
+    ///
+    /// [`RetryPolicy::max_attempts`]: crate::faults::RetryPolicy::max_attempts
+    RetriesExhausted {
+        /// Name of the job whose task kept failing.
+        job: String,
+        /// The stage the task belongs to.
+        stage: StageId,
+        /// The task's index within the stage.
+        task: usize,
+        /// How many times it failed (equals the policy's `max_attempts`).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -70,10 +121,13 @@ impl fmt::Display for SimError {
             SimError::InvalidJob { job, reason } => {
                 write!(f, "job {job:?} failed validation: {reason}")
             }
-            SimError::TimeLimitExceeded { limit, incomplete_jobs } => write!(
+            SimError::TimeLimitExceeded { limit, incomplete_jobs, partial } => write!(
                 f,
-                "simulation exceeded the time limit of {limit} s with {incomplete_jobs} incomplete job(s); \
-                 the scheduler appears to defer work indefinitely"
+                "simulation exceeded the time limit of {limit} s with {incomplete_jobs} incomplete job(s) \
+                 ({} completed, {:.1} executor-seconds dispatched); \
+                 the scheduler appears to defer work indefinitely",
+                partial.completed_jobs.len(),
+                partial.elapsed_executor_seconds,
             ),
             SimError::InvalidAssignment { reason } => {
                 write!(f, "scheduler returned an invalid assignment: {reason}")
@@ -90,6 +144,13 @@ impl fmt::Display for SimError {
             SimError::InvalidMigration { job, reason } => {
                 write!(f, "migration policy emitted an invalid move of {job}: {reason}")
             }
+            SimError::InvalidFault { reason } => {
+                write!(f, "fault schedule is invalid for this federation: {reason}")
+            }
+            SimError::RetriesExhausted { job, stage, task, attempts } => write!(
+                f,
+                "task {task} of {stage} of job {job:?} failed {attempts} time(s), exhausting the retry policy"
+            ),
         }
     }
 }
@@ -103,9 +164,19 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(SimError::EmptyWorkload.to_string().contains("no jobs"));
-        assert!(SimError::TimeLimitExceeded { limit: 10.0, incomplete_jobs: 3 }
-            .to_string()
-            .contains("3 incomplete"));
+        let limited = SimError::TimeLimitExceeded {
+            limit: 10.0,
+            incomplete_jobs: 3,
+            partial: Box::new(PartialRunSummary {
+                completed_jobs: vec![JobId(0), JobId(2)],
+                incomplete_jobs: vec![JobId(1)],
+                elapsed_executor_seconds: 42.5,
+                accrued_carbon_grams: 7.0,
+            }),
+        };
+        assert!(limited.to_string().contains("3 incomplete"));
+        assert!(limited.to_string().contains("2 completed"));
+        assert!(limited.to_string().contains("42.5 executor-seconds"));
         assert!(SimError::InvalidJob { job: "x".into(), reason: "cycle".into() }
             .to_string()
             .contains("cycle"));
@@ -128,5 +199,45 @@ mod tests {
         };
         assert!(migration.to_string().contains("job 4"));
         assert!(migration.to_string().contains("member 7"));
+        let fault = SimError::InvalidFault {
+            reason: "injection targets member 5 of a 2-member federation".into(),
+        };
+        assert!(fault.to_string().contains("member 5"));
+        let exhausted = SimError::RetriesExhausted {
+            job: "q17".into(),
+            stage: StageId(2),
+            task: 4,
+            attempts: 3,
+        };
+        assert!(exhausted.to_string().contains("q17"));
+        assert!(exhausted.to_string().contains("failed 3 time(s)"));
+        assert!(exhausted.to_string().contains("task 4"));
+    }
+
+    #[test]
+    fn partial_summary_travels_with_the_time_limit_error() {
+        let partial = PartialRunSummary {
+            completed_jobs: vec![JobId(1)],
+            incomplete_jobs: vec![JobId(0), JobId(2)],
+            elapsed_executor_seconds: 10.0,
+            accrued_carbon_grams: 0.0,
+        };
+        let err = SimError::TimeLimitExceeded {
+            limit: 100.0,
+            incomplete_jobs: 2,
+            partial: Box::new(partial.clone()),
+        };
+        // Pattern matching with `..` stays compatible with pre-partial code.
+        match &err {
+            SimError::TimeLimitExceeded { incomplete_jobs, .. } => {
+                assert_eq!(*incomplete_jobs, 2)
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match err {
+            SimError::TimeLimitExceeded { partial: p, .. } => assert_eq!(*p, partial),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(PartialRunSummary::default().completed_jobs, Vec::<JobId>::new());
     }
 }

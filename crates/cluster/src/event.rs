@@ -33,6 +33,24 @@ pub enum Event {
         job: JobId,
         /// Stage whose task finished.
         stage: StageId,
+        /// The executor's crash epoch at dispatch time.  A crash bumps the
+        /// executor's epoch, so a finish event stamped with an older epoch
+        /// is recognised as belonging to a killed task and dropped (the
+        /// deterministic-queue analogue of cancelling the event).  Always 0
+        /// on fault-free runs.
+        epoch: u64,
+    },
+    /// A crashed task finishes its retry backoff and is released for
+    /// re-dispatch on its member.
+    RetryRelease {
+        /// Member cluster the task's job lives on.
+        member: usize,
+        /// The job whose task is released.
+        job: JobId,
+        /// The stage the task belongs to.
+        stage: StageId,
+        /// The task's index within the stage.
+        task: usize,
     },
     /// A scheduler-requested wakeup (timer or carbon-threshold crossing)
     /// fires; the token is echoed back to the member's policy.
@@ -211,16 +229,34 @@ mod tests {
                 executor: 3,
                 job: JobId(2),
                 stage: StageId(1),
+                epoch: 4,
             },
         );
         match q.pop().unwrap().1 {
-            Event::TaskFinish { member, executor, job, stage } => {
+            Event::TaskFinish { member, executor, job, stage, epoch } => {
                 assert_eq!(member, 1);
                 assert_eq!(executor, 3);
                 assert_eq!(job, JobId(2));
                 assert_eq!(stage, StageId(1));
+                assert_eq!(epoch, 4);
             }
             _ => panic!("wrong event type"),
+        }
+    }
+
+    #[test]
+    fn retry_release_events_carry_payload() {
+        let mut q = EventQueue::new();
+        q.push(9.0, Event::RetryRelease { member: 2, job: JobId(4), stage: StageId(1), task: 3 });
+        match q.pop().unwrap() {
+            (t, Event::RetryRelease { member, job, stage, task }) => {
+                assert_eq!(t, 9.0);
+                assert_eq!(member, 2);
+                assert_eq!(job, JobId(4));
+                assert_eq!(stage, StageId(1));
+                assert_eq!(task, 3);
+            }
+            other => panic!("wrong event: {other:?}"),
         }
     }
 }

@@ -104,6 +104,20 @@ impl ExecutorPool {
         self.busy -= 1;
     }
 
+    /// Cold-resets a *busy* executor `idx` after a crash: the in-flight
+    /// task is abandoned and the replacement process starts with no
+    /// warm-start affinity (`last_job` is cleared, so its next task pays
+    /// the movement delay like a fresh executor).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the executor is idle — crashing an idle
+    /// executor is a no-op the engine handles before reaching the pool.
+    pub fn crash(&mut self, idx: usize) {
+        debug_assert!(self.states[idx].is_busy(), "crash of an idle executor reached the pool");
+        self.states[idx] = ExecutorState::idle();
+        self.busy -= 1;
+    }
+
     /// State of executor `idx`.
     pub fn get(&self, idx: usize) -> &ExecutorState {
         &self.states[idx]
@@ -189,5 +203,18 @@ mod tests {
     fn iter_enumerates_all() {
         let pool = ExecutorPool::new(4);
         assert_eq!(pool.iter().count(), 4);
+    }
+
+    #[test]
+    fn crash_cold_resets_a_busy_executor() {
+        let mut pool = ExecutorPool::new(2);
+        pool.start(0, JobId(7), 3.0);
+        assert_eq!(pool.busy_count(), 1);
+        pool.crash(0);
+        assert_eq!(pool.busy_count(), 0);
+        let e = pool.get(0);
+        assert!(!e.is_busy());
+        assert_eq!(e.last_job, None, "warm-start affinity is lost on crash");
+        assert!(e.needs_move_delay(JobId(7)));
     }
 }

@@ -52,6 +52,7 @@
 use crate::config::ClusterConfig;
 use crate::engine::Engine;
 use crate::error::SimError;
+use crate::faults::{FaultContext, FaultPlan, FaultSchedule, RetryPolicy};
 use crate::job_state::SubmittedJob;
 use crate::result::FederationResult;
 use crate::routing::{MigrationPolicy, NeverMigrate, Router, TransferMatrix};
@@ -97,6 +98,13 @@ pub struct Federation {
     /// First workload validation failure, if any — detected once at
     /// construction and reported by every [`Federation::run`] call.
     invalid: Option<SimError>,
+    /// The fault injections every run replays.  Defaults to
+    /// [`FaultSchedule::none`], which reproduces the fault-free engine bit
+    /// for bit.
+    faults: FaultSchedule,
+    /// How crashed tasks are retried.  Irrelevant (never consulted) under an
+    /// empty fault schedule.
+    retry: RetryPolicy,
 }
 
 impl Federation {
@@ -117,7 +125,14 @@ impl Federation {
             })
         });
         let transfer = TransferMatrix::zero(members.len());
-        Federation { members, workload, transfer, invalid }
+        Federation {
+            members,
+            workload,
+            transfer,
+            invalid,
+            faults: FaultSchedule::none(),
+            retry: RetryPolicy::default(),
+        }
     }
 
     /// Creates a federation with no materialized workload, for streaming
@@ -166,6 +181,48 @@ impl Federation {
         &self.transfer
     }
 
+    /// Materializes `plan` against this federation's topology and attaches
+    /// the resulting schedule: every subsequent run replays exactly these
+    /// injections.  The plan sees a [`FaultContext`] with one entry per
+    /// member (its executor count) and the earliest member `max_sim_time` as
+    /// the horizon.
+    pub fn with_fault_plan(self, plan: &dyn FaultPlan) -> Self {
+        let ctx = FaultContext {
+            executors: self.members.iter().map(|m| m.config.num_executors).collect(),
+            horizon: self
+                .members
+                .iter()
+                .map(|m| m.config.max_sim_time)
+                .fold(f64::INFINITY, f64::min),
+        };
+        let faults = plan.schedule(&ctx);
+        self.with_fault_schedule(faults)
+    }
+
+    /// Attaches an already materialized fault schedule (see
+    /// [`Federation::with_fault_plan`] for the plan-driven form).  Injections
+    /// are validated against the topology when a run starts.
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry policy applied when an executor crash kills a task.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault schedule every run replays (empty by default).
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// The retry policy applied to crashed tasks.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Runs the federation to completion with the given router and one
     /// scheduler per member.  Placement is final: this is
     /// [`Federation::run_with_migration`] under the [`NeverMigrate`] policy,
@@ -206,7 +263,13 @@ impl Federation {
         if let Some(e) = &self.invalid {
             return Err(e.clone());
         }
-        let mut engine = Engine::from_slice(&self.members, &self.workload, &self.transfer);
+        let mut engine = Engine::from_slice(
+            &self.members,
+            &self.workload,
+            &self.transfer,
+            &self.faults,
+            self.retry,
+        );
         engine.run(router, migration, schedulers)
     }
 
@@ -251,7 +314,13 @@ impl Federation {
             self.members.len(),
             "a federation needs exactly one scheduler per member cluster"
         );
-        let mut engine = Engine::from_source(&self.members, source, &self.transfer);
+        let mut engine = Engine::from_source(
+            &self.members,
+            source,
+            &self.transfer,
+            &self.faults,
+            self.retry,
+        );
         engine.run(router, migration, schedulers)
     }
 }

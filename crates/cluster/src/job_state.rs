@@ -1,6 +1,6 @@
 //! Workload submission and per-job runtime state / completion records.
 
-use pcaps_dag::{JobDag, JobId, JobProgress};
+use pcaps_dag::{JobDag, JobId, JobProgress, StageId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -78,6 +78,15 @@ pub struct ActiveJob {
     /// materialized workload — under streaming intake the submitted form is
     /// dropped once the job is activated.
     pub data_gb: f64,
+    /// Tasks of this job currently in retry backoff after an executor crash
+    /// (failed, not yet released for re-dispatch).  A job with cooling-down
+    /// tasks cannot migrate — the retry timer is anchored to its member.
+    /// Always 0 on fault-free runs.
+    pub retrying: usize,
+    /// Per-task failure counters, sparse: `(stage, task, failures)` entries
+    /// exist only for tasks that have crashed at least once, so fault-free
+    /// jobs carry an empty (unallocated) vector.
+    pub attempts: Vec<(StageId, u32, u32)>,
 }
 
 impl ActiveJob {
@@ -99,6 +108,8 @@ impl ActiveJob {
             busy_executors: 0,
             executor_seconds: 0.0,
             data_gb,
+            retrying: 0,
+            attempts: Vec::new(),
         }
     }
 
@@ -116,12 +127,29 @@ impl ActiveJob {
             busy_executors: 0,
             executor_seconds: 0.0,
             data_gb: job.data_gb,
+            retrying: 0,
+            attempts: Vec::new(),
         }
     }
 
     /// True once every stage has completed.
     pub fn is_complete(&self) -> bool {
         self.completion.is_some()
+    }
+
+    /// Records one more failure of `(stage, task)` and returns the task's
+    /// total failure count (1-based).  O(task's failed siblings): the
+    /// counter table is sparse and empty until a task actually crashes.
+    pub fn record_failure(&mut self, stage: StageId, task: usize) -> u32 {
+        let task = task as u32;
+        for entry in &mut self.attempts {
+            if entry.0 == stage && entry.1 == task {
+                entry.2 += 1;
+                return entry.2;
+            }
+        }
+        self.attempts.push((stage, task, 1));
+        1
     }
 }
 
@@ -193,6 +221,17 @@ mod tests {
         assert!(!a.is_complete());
         a.completion = Some(10.0);
         assert!(a.is_complete());
+    }
+
+    #[test]
+    fn failure_counters_are_sparse_and_per_task() {
+        let mut a = ActiveJob::new(JobId(0), Arc::new(dag()), 0.0);
+        assert!(a.attempts.is_empty(), "fault-free jobs allocate no counters");
+        assert_eq!(a.record_failure(StageId(0), 0), 1);
+        assert_eq!(a.record_failure(StageId(0), 0), 2);
+        assert_eq!(a.record_failure(StageId(0), 1), 1, "counters are per task");
+        assert_eq!(a.record_failure(StageId(0), 0), 3);
+        assert_eq!(a.attempts.len(), 2);
     }
 
     #[test]

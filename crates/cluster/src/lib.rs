@@ -135,6 +135,22 @@
 //!   routing alike) are served by each trace's sparse-table index; linear
 //!   walks over the forecast horizon belong in trace construction, never in
 //!   the event loop.
+//! * **Fault layer.**  Failures are *scheduled data*, not randomness at run
+//!   time: a [`FaultPlan`] materialises into a sorted [`FaultSchedule`]
+//!   attached to the federation, and the event loop interleaves injections
+//!   with the queue by time (an injection fires only when strictly earlier
+//!   than every queued event and carbon step, so the empty schedule — the
+//!   default — reproduces the fault-free engine bit for bit at one `Option`
+//!   comparison per iteration).  An executor crash kills the in-flight task
+//!   by bumping the executor's *epoch* (the stale finish event is dropped on
+//!   pop — no queue surgery), books the dispatch-to-crash interval as wasted
+//!   work, and re-releases the task after the [`RetryPolicy`] backoff; a
+//!   region outage stops a member's dispatching, drains its running tasks,
+//!   and evacuates its idle jobs over the priced migration path; a
+//!   carbon-signal dropout freezes the member's [`CarbonView`] at the last
+//!   seen intensity with [`CarbonView::stale`] set.  Recovery bookkeeping is
+//!   O(affected member), allocation-free on the no-fault path, and fully
+//!   deterministic: same schedule, same seeds, same run.
 //! * **Opt-in instrumentation.**  Wall-clock invocation sampling costs a
 //!   syscall plus a heap push per event and is disabled unless
 //!   [`ClusterConfig::with_invocation_sampling`] turns it on (per member).
@@ -163,6 +179,10 @@
 //!
 //! [`Federation`]: federation::Federation
 //! [`Federation::new`]: federation::Federation::new
+//! [`FaultPlan`]: faults::FaultPlan
+//! [`FaultSchedule`]: faults::FaultSchedule
+//! [`RetryPolicy`]: faults::RetryPolicy
+//! [`CarbonView::stale`]: scheduler_api::CarbonView::stale
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -172,6 +192,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod executor;
+pub mod faults;
 pub mod federation;
 pub mod job_state;
 pub mod profile;
@@ -183,7 +204,12 @@ pub mod source;
 
 pub use config::{ClusterConfig, ProfileMode};
 pub use engine::Simulator;
-pub use error::SimError;
+pub use error::{PartialRunSummary, SimError};
+pub use faults::{
+    CarbonSignalDropout, CrashVictim, FaultContext, FaultEffect, FaultInjection, FaultKind,
+    FaultPlan, FaultRecord, FaultSchedule, NoFaults, PoissonCrashes, RegionOutage, RetryPolicy,
+    ScriptedFaults,
+};
 pub use federation::{Federation, Member};
 pub use job_state::{JobRecord, SubmittedJob};
 pub use profile::{ExecutorSegment, UsageProfile};

@@ -1,5 +1,6 @@
 //! Output of a simulation run.
 
+use crate::faults::FaultRecord;
 use crate::job_state::JobRecord;
 use crate::profile::UsageProfile;
 use pcaps_dag::JobId;
@@ -34,6 +35,20 @@ pub struct SimulationResult {
     pub tasks_dispatched: usize,
     /// Number of jobs submitted in the workload.
     pub jobs_submitted: usize,
+    /// Executor-seconds of work lost to executor crashes: for every killed
+    /// task, the dispatch-to-crash interval.  0.0 on fault-free runs.
+    pub wasted_seconds: f64,
+    /// Number of tasks killed by executor crashes (each later retry that
+    /// also crashes counts again).
+    pub tasks_failed: usize,
+    /// Number of crashed tasks re-released for dispatch after their retry
+    /// backoff.  `tasks_failed - retries` is the number of in-flight
+    /// cooldowns at the end of the run (0 when the run completes).
+    pub retries: usize,
+    /// What the fault layer actually did to this member, in event order:
+    /// crashes (with their victims), outage windows, carbon-signal dropout
+    /// windows, retry releases.  Empty on fault-free runs.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl SimulationResult {
@@ -59,6 +74,18 @@ impl SimulationResult {
     /// Total executor-seconds consumed by all jobs.
     pub fn total_executor_seconds(&self) -> f64 {
         self.jobs.iter().map(|j| j.executor_seconds).sum()
+    }
+
+    /// Goodput as a fraction of all executor-seconds spent: useful work over
+    /// useful plus wasted.  1.0 on fault-free runs (and on empty runs, where
+    /// no work was spent at all).
+    pub fn goodput(&self) -> f64 {
+        let useful = self.total_executor_seconds();
+        let spent = useful + self.wasted_seconds;
+        if spent <= 0.0 {
+            return 1.0;
+        }
+        useful / spent
     }
 
     /// Mean scheduler invocation latency in seconds (0 if never invoked).
@@ -150,6 +177,35 @@ impl FederationResult {
         self.migrations.len()
     }
 
+    /// Executor-seconds lost to crashes across all members.
+    pub fn wasted_seconds(&self) -> f64 {
+        self.members.iter().fold(0.0, |acc, m| acc + m.result.wasted_seconds)
+    }
+
+    /// Tasks killed by crashes across all members.
+    pub fn tasks_failed(&self) -> usize {
+        self.members.iter().map(|m| m.result.tasks_failed).sum()
+    }
+
+    /// Crashed tasks re-released for dispatch across all members.
+    pub fn retries(&self) -> usize {
+        self.members.iter().map(|m| m.result.retries).sum()
+    }
+
+    /// Federation-wide goodput: useful executor-seconds over useful plus
+    /// wasted, job-weighted across members.  1.0 when nothing was wasted.
+    pub fn goodput(&self) -> f64 {
+        let useful: f64 = self
+            .members
+            .iter()
+            .fold(0.0, |acc, m| acc + m.result.total_executor_seconds());
+        let spent = useful + self.wasted_seconds();
+        if spent <= 0.0 {
+            return 1.0;
+        }
+        useful / spent
+    }
+
     /// Total schedule seconds jobs spent in cross-region transfer.
     /// (Folded from `+0.0` so an empty log reports positive zero — `f64`'s
     /// `Sum` yields `-0.0` for empty iterators, which formats as `-0`.)
@@ -233,6 +289,10 @@ mod tests {
             ],
             tasks_dispatched: 4,
             jobs_submitted: 2,
+            wasted_seconds: 0.0,
+            tasks_failed: 0,
+            retries: 0,
+            faults: Vec::new(),
         }
     }
 
@@ -244,6 +304,18 @@ mod tests {
         assert!((r.average_jct() - 15.0).abs() < 1e-12);
         assert!((r.total_executor_seconds() - 20.0).abs() < 1e-12);
         assert!((r.mean_invocation_latency() - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_counts_wasted_work() {
+        let mut r = result();
+        assert_eq!(r.goodput(), 1.0, "fault-free runs have perfect goodput");
+        r.wasted_seconds = 5.0;
+        // 20 useful executor-seconds vs 5 wasted.
+        assert!((r.goodput() - 0.8).abs() < 1e-12);
+        r.jobs.clear();
+        r.wasted_seconds = 0.0;
+        assert_eq!(r.goodput(), 1.0, "an empty run wastes nothing");
     }
 
     #[test]

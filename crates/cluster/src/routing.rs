@@ -70,6 +70,13 @@ pub struct MemberView {
     pub total_executors: usize,
     /// Currently idle executors in the member cluster.
     pub free_executors: usize,
+    /// False while the member is in a region outage: it is not dispatching
+    /// and routers must treat it as unroutable.  Routing a job to an
+    /// unavailable member is not an error — the job simply queues until the
+    /// outage ends — but every built-in router filters unavailable members
+    /// out (falling back to all members only if the whole federation is
+    /// down).
+    pub available: bool,
 }
 
 impl MemberView {
@@ -297,13 +304,17 @@ pub struct MigrationCandidate {
     pub remaining_gb: f64,
     /// Executors currently running tasks of this job on the member.
     pub busy_executors: usize,
+    /// Tasks of this job in retry backoff after an executor crash.  A job
+    /// with cooling-down tasks cannot migrate: the retry timer is anchored
+    /// to the member that owns the job.  Always 0 on fault-free runs.
+    pub retrying_tasks: usize,
 }
 
 impl MigrationCandidate {
-    /// True if the job may be migrated right now (no running tasks on the
-    /// source member).
+    /// True if the job may be migrated right now (no running tasks and no
+    /// tasks in retry backoff on the source member).
     pub fn migratable(&self) -> bool {
-        self.busy_executors == 0
+        self.busy_executors == 0 && self.retrying_tasks == 0
     }
 }
 
@@ -478,6 +489,7 @@ mod tests {
             outstanding_work: outstanding,
             total_executors: 4,
             free_executors: 4,
+            available: true,
         }
     }
 
@@ -585,10 +597,13 @@ mod tests {
             remaining_work: 10.0,
             remaining_gb: 0.1,
             busy_executors: 0,
+            retrying_tasks: 0,
         };
         let busy = MigrationCandidate { busy_executors: 2, ..idle };
+        let cooling = MigrationCandidate { retrying_tasks: 1, ..idle };
         assert!(idle.migratable());
         assert!(!busy.migratable());
+        assert!(!cooling.migratable(), "tasks in retry backoff pin the job");
     }
 
     #[test]

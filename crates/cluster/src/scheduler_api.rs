@@ -70,6 +70,12 @@ pub struct CarbonView {
     pub lower_bound: f64,
     /// Forecast upper bound `U` over the lookahead window.
     pub upper_bound: f64,
+    /// True if the carbon signal has dropped out and this view is frozen at
+    /// the last-known intensity (with `L = c = U`, since no forecast is
+    /// available either).  Carbon-aware policies may fall back to
+    /// carbon-agnostic behaviour while the signal is stale; ignoring the
+    /// flag degrades gracefully to scheduling against the frozen value.
+    pub stale: bool,
 }
 
 impl CarbonView {
@@ -89,6 +95,7 @@ impl CarbonView {
             intensity,
             lower_bound,
             upper_bound,
+            stale: false,
         }
     }
 
@@ -96,6 +103,12 @@ impl CarbonView {
     /// tests and for carbon-agnostic runs.
     pub fn flat(intensity: f64) -> Self {
         CarbonView::new(intensity, intensity, intensity)
+    }
+
+    /// The view of a member whose carbon signal has dropped out: frozen
+    /// flat at the last-known `intensity` with [`CarbonView::stale`] set.
+    pub fn stale_at(intensity: f64) -> Self {
+        CarbonView { intensity, lower_bound: intensity, upper_bound: intensity, stale: true }
     }
 }
 
@@ -335,6 +348,26 @@ pub enum SchedEvent<'a> {
     Wakeup {
         /// The token the verb returned when the wakeup was requested.
         token: WakeupToken,
+    },
+    /// `n` task(s) of `stage` of `job` were lost to an executor crash and
+    /// will be re-dispatched after their retry backoff.  Advisory, like the
+    /// rest of the stream: delivered only when the member still has
+    /// something to decide at the crash instant.
+    TasksFailed {
+        /// Job whose task(s) were lost.
+        job: JobId,
+        /// Stage whose task(s) were lost.
+        stage: StageId,
+        /// How many tasks were lost in this event.
+        n: usize,
+    },
+    /// This member's availability changed: `false` when a region outage
+    /// starts (the member stops dispatching and drains), `true` when it
+    /// ends.  Advisory and lossy — a policy that needs exact availability
+    /// must reconcile against the context like any other derived state.
+    MemberAvailability {
+        /// Whether the member is dispatching from now on.
+        available: bool,
     },
     /// The engine is re-invoking the policy at the same instant after
     /// applying its previous assignments, because free executors remain.
@@ -600,6 +633,14 @@ mod tests {
         let c = CarbonView::flat(123.0);
         assert_eq!(c.intensity, 123.0);
         assert_eq!(c.lower_bound, c.upper_bound);
+        assert!(!c.stale, "live views are not stale");
+    }
+
+    #[test]
+    fn stale_carbon_view_is_frozen_flat() {
+        let c = CarbonView::stale_at(321.0);
+        assert!(c.stale);
+        assert_eq!((c.intensity, c.lower_bound, c.upper_bound), (321.0, 321.0, 321.0));
     }
 
     #[test]

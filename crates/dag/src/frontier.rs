@@ -139,6 +139,14 @@ pub struct JobProgress {
     /// Incrementally maintained set of stages that are runnable *and* still
     /// have undispatched tasks, ascending by stage id.
     dispatchable: Vec<StageId>,
+    /// Failed tasks released for re-dispatch: `(stage, task index)` pairs in
+    /// failure order.  Empty on every fault-free run — the retry path costs
+    /// a single `is_empty` check until a task actually fails.
+    retry: Vec<(StageId, u32)>,
+    /// Executor-seconds of work queued in `retry` (kept incrementally so
+    /// `remaining_work` stays O(stages); clamped back to exactly 0.0 when
+    /// the queue empties so fault-free arithmetic is untouched).
+    retry_work: f64,
 }
 
 impl JobProgress {
@@ -161,6 +169,8 @@ impl JobProgress {
             running_tasks: vec![0; job.num_stages()],
             finished_tasks: vec![0; job.num_stages()],
             dispatchable,
+            retry: Vec::new(),
+            retry_work: 0.0,
         }
     }
 
@@ -182,9 +192,15 @@ impl JobProgress {
         !self.dispatchable.is_empty()
     }
 
-    /// Number of undispatched tasks of `stage`.
+    /// Number of undispatched tasks of `stage`, counting failed tasks that
+    /// have been released for re-dispatch.
     pub fn pending_tasks(&self, stage: StageId) -> usize {
-        self.pending_tasks[stage.index()]
+        let retries = if self.retry.is_empty() {
+            0
+        } else {
+            self.retry.iter().filter(|&&(s, _)| s == stage).count()
+        };
+        self.pending_tasks[stage.index()] + retries
     }
 
     /// Number of in-flight tasks of `stage`.
@@ -197,9 +213,15 @@ impl JobProgress {
         self.finished_tasks[stage.index()]
     }
 
-    /// Total undispatched tasks over all runnable and future stages.
+    /// Total undispatched tasks over all runnable and future stages,
+    /// counting failed tasks queued for re-dispatch.
     pub fn total_pending_tasks(&self) -> usize {
-        self.pending_tasks.iter().sum()
+        self.pending_tasks.iter().sum::<usize>() + self.retry.len()
+    }
+
+    /// Number of failed tasks currently queued for re-dispatch.
+    pub fn queued_retries(&self) -> usize {
+        self.retry.len()
     }
 
     /// Remaining work (executor-seconds) of undispatched tasks, an input to
@@ -211,21 +233,51 @@ impl JobProgress {
     pub fn remaining_work(&self, job: &JobDag) -> f64 {
         let (offsets, sums) = job.duration_suffix_sums();
         debug_assert_eq!(job.num_stages() + 1, offsets.len());
-        (0..self.pending_tasks.len())
+        let fresh: f64 = (0..self.pending_tasks.len())
             .map(|s| {
                 let offset = offsets[s] as usize;
                 let tasks = (offsets[s + 1] as usize - offset) - 1;
                 let done_or_running = tasks - self.pending_tasks[s];
                 sums[offset + done_or_running]
             })
-            .sum()
+            .sum();
+        // Failed tasks awaiting re-dispatch are neither pending (above) nor
+        // running; add their tracked work back.  The guard keeps fault-free
+        // arithmetic bit-identical (no `+ 0.0` term on the hot path).
+        if self.retry_work != 0.0 {
+            fresh + self.retry_work
+        } else {
+            fresh
+        }
     }
 
     /// Marks one task of `stage` as dispatched, returning the index of the
-    /// task within the stage (tasks are dispatched in order).  Returns `None`
-    /// if the stage is not runnable or has no pending tasks.
+    /// task within the stage.  Failed tasks queued for re-dispatch go first
+    /// (in failure order, keeping their original indices); fresh tasks are
+    /// dispatched in order after them.  Returns `None` if the stage is not
+    /// runnable or has no pending tasks.
     pub fn dispatch_task(&mut self, job: &JobDag, stage: StageId) -> Option<usize> {
-        if !self.frontier.is_runnable(stage) || self.pending_tasks[stage.index()] == 0 {
+        if !self.frontier.is_runnable(stage) {
+            return None;
+        }
+        if !self.retry.is_empty() {
+            if let Some(pos) = self.retry.iter().position(|&(s, _)| s == stage) {
+                let (_, task) = self.retry.remove(pos);
+                if self.retry.is_empty() {
+                    self.retry_work = 0.0;
+                } else {
+                    self.retry_work -= job.stage(stage).tasks[task as usize].duration;
+                }
+                self.running_tasks[stage.index()] += 1;
+                if self.pending_tasks[stage.index()] == 0
+                    && !self.retry.iter().any(|&(s, _)| s == stage)
+                {
+                    sorted_remove(&mut self.dispatchable, stage);
+                }
+                return Some(task as usize);
+            }
+        }
+        if self.pending_tasks[stage.index()] == 0 {
             return None;
         }
         let total = job.stage(stage).num_tasks();
@@ -233,9 +285,35 @@ impl JobProgress {
         self.pending_tasks[stage.index()] -= 1;
         self.running_tasks[stage.index()] += 1;
         if self.pending_tasks[stage.index()] == 0 {
+            // No retry entries can exist for this stage here: the retry
+            // branch above consumes them before any fresh task is taken.
             sorted_remove(&mut self.dispatchable, stage);
         }
         Some(idx)
+    }
+
+    /// Marks one running task of `stage` as failed and queues it for
+    /// re-dispatch: the task leaves the running count, rejoins the
+    /// dispatchable work of the stage (`stage` re-enters the dispatchable
+    /// set), and will be handed out again by [`JobProgress::dispatch_task`]
+    /// before any fresh task.  `task` is the task's index within the stage,
+    /// as returned by the dispatch that started it.
+    ///
+    /// # Panics
+    /// Panics if no task of `stage` is currently running.
+    pub fn fail_task(&mut self, job: &JobDag, stage: StageId, task: usize) {
+        assert!(
+            self.running_tasks[stage.index()] > 0,
+            "fail_task called for {stage} with no running tasks"
+        );
+        debug_assert!(
+            self.frontier.is_runnable(stage),
+            "a stage with a running task must be runnable"
+        );
+        self.running_tasks[stage.index()] -= 1;
+        self.retry.push((stage, task as u32));
+        self.retry_work += job.stage(stage).tasks[task].duration;
+        sorted_insert(&mut self.dispatchable, stage);
     }
 
     /// Marks one running task of `stage` as finished.  Returns `true` if this
@@ -443,5 +521,59 @@ mod tests {
         let job = diamond();
         let mut p = JobProgress::new(&job);
         p.finish_task(&job, StageId(0));
+    }
+
+    #[test]
+    fn failed_tasks_are_redispatched_first_with_original_indices() {
+        let job = diamond();
+        let mut p = JobProgress::new(&job);
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(0));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(1));
+        assert!(!p.has_dispatchable_work(), "stage fully dispatched");
+        let w_before = p.remaining_work(&job);
+        // Task 0 fails: the stage becomes dispatchable again, the retry is
+        // visible in the pending counts, and its work is accounted for.
+        p.fail_task(&job, StageId(0), 0);
+        assert_eq!(p.dispatchable_stages(), vec![StageId(0)]);
+        assert_eq!(p.queued_retries(), 1);
+        assert_eq!(p.pending_tasks(StageId(0)), 1);
+        assert_eq!(p.running_tasks(StageId(0)), 1);
+        assert_eq!(p.total_pending_tasks(), 4);
+        assert!((p.remaining_work(&job) - (w_before + 1.0)).abs() < 1e-12);
+        // Re-dispatch hands back the *same* task index, ahead of nothing
+        // fresh (the stage has no fresh tasks left).
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(0));
+        assert_eq!(p.queued_retries(), 0);
+        assert_eq!(p.remaining_work(&job), w_before, "retry work drained exactly");
+        assert!(!p.has_dispatchable_work());
+        // Both tasks finish; the stage completes as if nothing happened.
+        assert!(!p.finish_task(&job, StageId(0)));
+        assert!(p.finish_task(&job, StageId(0)));
+        assert_eq!(p.dispatchable_stages(), vec![StageId(1), StageId(2)]);
+    }
+
+    #[test]
+    fn retries_go_before_fresh_tasks_of_the_same_stage() {
+        let job = JobDagBuilder::new("wide")
+            .stage("a", vec![Task::new(1.0); 4])
+            .build()
+            .unwrap();
+        let mut p = JobProgress::new(&job);
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(0));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(1));
+        p.fail_task(&job, StageId(0), 0);
+        // The failed task 0 is re-handed before fresh task 2.
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(0));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(2));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), Some(3));
+        assert_eq!(p.dispatch_task(&job, StageId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no running tasks")]
+    fn fail_without_dispatch_panics() {
+        let job = diamond();
+        let mut p = JobProgress::new(&job);
+        p.fail_task(&job, StageId(0), 0);
     }
 }

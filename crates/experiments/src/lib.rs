@@ -25,10 +25,13 @@
 //! Beyond the paper, the [`multi_region`] module sweeps *federated*
 //! configurations — one arrival stream routed across several grids,
 //! comparing routing × scheduling policies (binary: `multi_region`, CSV:
-//! `results/multi_region.csv`) — and the [`alibaba_scale`] module sweeps
+//! `results/multi_region.csv`) — the [`alibaba_scale`] module sweeps
 //! trace-scale streaming workloads (1k–100k Alibaba-style jobs pulled
 //! lazily through the [`streaming`] bridge; binary: `alibaba_scale`, CSV:
-//! `results/alibaba_scale.csv`).
+//! `results/alibaba_scale.csv`) — and the [`reliability`] module sweeps
+//! crash rates × strategies under deterministic fault injection, reporting
+//! wasted work, wasted carbon, and goodput (binary: `reliability`, CSV:
+//! `results/reliability.csv`).
 //!
 //! The `repro_all` binary runs everything back to back (pass `--quick` for a
 //! reduced-trial smoke run).
@@ -53,6 +56,7 @@ pub mod format;
 pub mod headline;
 pub mod multi_region;
 pub mod per_grid;
+pub mod reliability;
 pub mod runner;
 pub mod streaming;
 pub mod sweeps;
@@ -62,6 +66,9 @@ pub use format::TextTable;
 pub use multi_region::{
     FederatedTrialOutput, FederationExperimentConfig, RouterSpec, multi_region_sweep,
     run_federated_trial,
+};
+pub use reliability::{
+    ReliabilityStrategy, ReliabilityTrialOutput, reliability_sweep, run_reliability_trial,
 };
 pub use runner::{
     BaseScheduler, ExperimentConfig, SchedulerSpec, TrialOutput, run_trial, run_trials,

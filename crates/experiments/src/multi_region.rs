@@ -161,7 +161,7 @@ impl FederationExperimentConfig {
     /// independent streams.
     ///
     /// [`run_trial`]: crate::runner::run_trial
-    fn member_seed(&self, member: usize) -> u64 {
+    pub(crate) fn member_seed(&self, member: usize) -> u64 {
         (self.seed ^ 0x5EED).wrapping_add(member as u64 * 0x9E37_79B9)
     }
 }

@@ -12,18 +12,21 @@
 //!
 //! [`footprint`] computes absolute and per-job carbon footprints from
 //! simulation results, [`summary`] turns a result into an
-//! [`ExperimentSummary`] and normalises it against a baseline, and [`stats`]
+//! [`ExperimentSummary`] and normalises it against a baseline, [`stats`]
 //! provides the small statistical toolbox the figures need (means, standard
 //! deviations, percentiles, polynomial fits for the trade-off curves of
-//! Fig. 13).
+//! Fig. 13), and [`reliability`] prices fault-injected runs: wasted work,
+//! wasted carbon, retries and goodput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod footprint;
+pub mod reliability;
 pub mod stats;
 pub mod summary;
 
 pub use footprint::{job_footprints, total_footprint};
+pub use reliability::ReliabilitySummary;
 pub use stats::{mean, percentile, polyfit, std_dev, Series};
 pub use summary::{ExperimentSummary, NormalizedSummary};

@@ -56,9 +56,25 @@ use pcaps_cluster::routing::{
 };
 use pcaps_dag::JobId;
 
-/// Returns the index of the member minimising `score` (first minimum wins,
-/// so ties deterministically favour the lower member index).
+/// Returns the index of the *available* member minimising `score` (first
+/// minimum wins, so ties deterministically favour the lower member index).
+/// Members in a region outage are skipped; only when the whole federation is
+/// down does the argmin fall back to all members — placing a job on a downed
+/// member is legal (it queues until the outage ends), just never preferred.
 fn argmin_by(members: &[MemberView], mut score: impl FnMut(&MemberView) -> f64) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, m) in members.iter().enumerate() {
+        if !m.available {
+            continue;
+        }
+        let s = score(m);
+        if best.map_or(true, |(_, b)| s.total_cmp(&b).is_lt()) {
+            best = Some((i, s));
+        }
+    }
+    if let Some((i, _)) = best {
+        return i;
+    }
     let mut best = 0;
     let mut best_score = score(&members[0]);
     for (i, m) in members.iter().enumerate().skip(1) {
@@ -91,8 +107,19 @@ impl Router for RoundRobinRouter {
     }
 
     fn route(&mut self, _id: JobId, _job: &SubmittedJob, ctx: &RoutingContext<'_>) -> usize {
-        let target = self.next % ctx.num_members();
-        self.next = (target + 1) % ctx.num_members();
+        let n = ctx.num_members();
+        // Skip members that are in a region outage (at most one full turn of
+        // the rotation); if the whole federation is down the blind rotation
+        // stands and the job queues where it lands.
+        let mut target = self.next % n;
+        for offset in 0..n {
+            let i = (self.next + offset) % n;
+            if ctx.members()[i].available {
+                target = i;
+                break;
+            }
+        }
+        self.next = (target + 1) % n;
         target
     }
 }
@@ -392,7 +419,9 @@ impl MigrationPolicy for CarbonDeltaMigrator {
     ) {
         let src = ctx.member;
         let greenest = argmin_by(ctx.members(), |m| m.carbon.intensity);
-        if greenest == src {
+        // argmin_by prefers available members; if it still landed on an
+        // unavailable one the whole federation is down — nowhere to move to.
+        if greenest == src || !ctx.members()[greenest].available {
             return;
         }
         let c_src = ctx.members()[src].carbon.intensity;
@@ -445,7 +474,12 @@ mod tests {
             outstanding_work: outstanding,
             total_executors: 10,
             free_executors: 10,
+            available: true,
         }
+    }
+
+    fn down(view: MemberView) -> MemberView {
+        MemberView { available: false, ..view }
     }
 
     fn route_once(router: &mut dyn Router, views: &[MemberView]) -> usize {
@@ -518,6 +552,33 @@ mod tests {
     }
 
     #[test]
+    fn routers_avoid_members_in_outage() {
+        let views = [
+            down(view(0, CarbonView::flat(100.0), 0.0)),
+            view(1, CarbonView::flat(400.0), 50.0),
+            view(2, CarbonView::flat(500.0), 100.0),
+        ];
+        // Member 0 is greenest, emptiest — and down.  Everyone skips it.
+        assert_eq!(route_once(&mut CarbonGreedyRouter::new(), &views), 1);
+        assert_eq!(route_once(&mut LeastOutstandingWorkRouter::new(), &views), 1);
+        assert_eq!(route_once(&mut CarbonQueueAwareRouter::new(), &views), 1);
+        let mut rr = RoundRobinRouter::new();
+        let picks: Vec<usize> = (0..4).map(|_| route_once(&mut rr, &views)).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2], "the rotation skips the downed member");
+    }
+
+    #[test]
+    fn routers_fall_back_to_the_rotation_when_all_members_are_down() {
+        let views = [
+            down(view(0, CarbonView::flat(100.0), 0.0)),
+            down(view(1, CarbonView::flat(400.0), 0.0)),
+        ];
+        // Jobs queue wherever the policy lands — routing never fails.
+        assert_eq!(route_once(&mut CarbonGreedyRouter::new(), &views), 0);
+        assert_eq!(route_once(&mut RoundRobinRouter::new(), &views), 0);
+    }
+
+    #[test]
     fn router_names_are_stable() {
         assert_eq!(RoundRobinRouter::new().name(), "round-robin");
         assert_eq!(LeastOutstandingWorkRouter::new().name(), "least-work");
@@ -547,6 +608,7 @@ mod tests {
                 remaining_work,
                 remaining_gb,
                 busy_executors: busy,
+                retrying_tasks: 0,
             }
         }
 
@@ -656,6 +718,19 @@ mod tests {
                 vec![(0, 1)],
                 "any strictly greener grid attracts idle work when moving is free"
             );
+        }
+
+        #[test]
+        fn migrator_never_moves_jobs_to_a_downed_grid() {
+            // Member 1 is far greener but in an outage — the job stays put.
+            let views = [
+                view(0, CarbonView::flat(500.0), 0.0),
+                down(view(1, CarbonView::flat(100.0), 0.0)),
+            ];
+            let transfer = TransferMatrix::zero(2);
+            let mut p = CarbonDeltaMigrator::aggressive();
+            assert!(consult(&mut p, 0.0, 0, &views, &transfer, &[candidate(0, 600.0, 1.0, 0)])
+                .is_empty());
         }
 
         #[test]

@@ -63,11 +63,14 @@ pub mod prelude {
     pub use pcaps_carbon::synth::SyntheticTraceGenerator;
     pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion, TraceSet};
     pub use pcaps_cluster::{
-        ArrivalSource, Assignment, ClusterConfig, DecisionSink, Federation, FederationResult,
-        MaterializedJobs, Member, MemberResult, MemberView, Migration, MigrationCandidate,
-        MigrationContext, MigrationPolicy, MigrationRecord, MigrationSink, NeverMigrate,
-        ProfileMode, Router, RoutingContext, SchedEvent, Scheduler, SchedulingContext,
-        SimulationResult, Simulator, StaticRouter, SubmittedJob, TransferMatrix, WakeupToken,
+        ArrivalSource, Assignment, CarbonSignalDropout, ClusterConfig, CrashVictim, DecisionSink,
+        FaultEffect, FaultInjection, FaultKind, FaultPlan, FaultRecord, FaultSchedule, Federation,
+        FederationResult, MaterializedJobs, Member, MemberResult, MemberView, Migration,
+        MigrationCandidate, MigrationContext, MigrationPolicy, MigrationRecord, MigrationSink,
+        NeverMigrate, NoFaults, PartialRunSummary, PoissonCrashes, ProfileMode, RegionOutage,
+        RetryPolicy, Router, RoutingContext, SchedEvent, Scheduler, SchedulingContext,
+        ScriptedFaults, SimulationResult, Simulator, StaticRouter, SubmittedJob, TransferMatrix,
+        WakeupToken,
     };
     #[allow(deprecated)]
     pub use pcaps_cluster::LegacyScheduler;

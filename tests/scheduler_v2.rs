@@ -247,6 +247,9 @@ fn typed_event_stream_is_coherent() {
                 }
                 SchedEvent::Kick => self.kicks += 1,
                 SchedEvent::Wakeup { .. } => self.wakeups += 1,
+                SchedEvent::TasksFailed { .. } | SchedEvent::MemberAvailability { .. } => {
+                    panic!("fault events cannot fire on a fault-free run")
+                }
             }
             // Dispatch one task per invocation so completions and kicks both
             // occur.
