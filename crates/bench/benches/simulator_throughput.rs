@@ -10,6 +10,7 @@ use pcaps_experiments::multi_region::{
     run_federated_trial, run_federated_trial_with_migration, MigrationSpec, RouterSpec,
 };
 use pcaps_experiments::reliability::{run_reliability_trial, ReliabilityStrategy};
+use pcaps_experiments::steady_state::{run_steady_trial, AdmissionSpec, SteadyStateConfig};
 use runner::{run_trial, BaseScheduler, SchedulerSpec};
 
 fn simulator_throughput(c: &mut Criterion) {
@@ -105,6 +106,29 @@ fn simulator_throughput(c: &mut Criterion) {
                 criterion::black_box(
                     run_scale_trial(&cfg, 10_000, SchedulerSpec::Baseline(BaseScheduler::Fifo))
                         .makespan,
+                )
+            })
+        },
+    );
+    // Open-loop serving: one trace-hour-per-minute diurnal day and a half
+    // (3600 schedule seconds) of unbounded TPC-H arrivals served by PCAPS
+    // under bounded-queue admission, sampled every window — tracks the
+    // steady-state mode's full stack (horizon gate, serve-mode compaction,
+    // admission checks, per-window drains) against the finite-trial specs.
+    group.bench_function(
+        BenchmarkId::new("steady_1h", "steady_1h_pcaps"),
+        |b| {
+            let mut cfg = SteadyStateConfig::standard(pcaps_carbon::GridRegion::Germany, 42);
+            cfg.horizon = 3600.0;
+            b.iter(|| {
+                criterion::black_box(
+                    run_steady_trial(
+                        &cfg,
+                        1.0,
+                        SchedulerSpec::pcaps_moderate(),
+                        AdmissionSpec::Bounded(4 * cfg.executors),
+                    )
+                    .completed,
                 )
             })
         },

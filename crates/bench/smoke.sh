@@ -54,10 +54,14 @@ require_full_suite() {
 # pipeline bit-for-bit against the materialized path (and the k-way merge
 # against its sort oracle); tests/faults.rs pins the fault layer's
 # do-no-harm guarantee (empty schedule ≡ no schedule, bit for bit), replay
-# determinism under injection, and the hand-computed recovery oracles.
+# determinism under injection, and the hand-computed recovery oracles;
+# tests/steady_state.rs pins the serving mode (snapshot/restore
+# bit-identity across policies and seeds, windowed-percentile oracle,
+# admission conservation, open-loop determinism, bounded residency).
 require_full_suite migration "migration conformance suite"
 require_full_suite streaming "streaming-equivalence suite"
 require_full_suite faults "fault-injection conformance suite"
+require_full_suite steady_state "steady-state serving suite"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

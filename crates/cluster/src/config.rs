@@ -2,6 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The default [`ClusterConfig::max_sim_time`]: a ceiling so far out it is
+/// effectively "no time limit" for finite trials.  Layers that need a *real*
+/// horizon (Poisson fault plans, open-loop serving runs) treat a federation
+/// horizon at or beyond this sentinel as unset and demand an explicit one.
+pub const NO_TIME_LIMIT: f64 = 1.0e9;
+
 /// How much of the run's activity the engine records in its
 /// [`UsageProfile`].
 ///
@@ -83,7 +89,7 @@ impl ClusterConfig {
             executor_move_delay: 0.5,
             time_scale: 60.0,
             forecast_horizon: 48.0 * 3600.0,
-            max_sim_time: 1.0e9,
+            max_sim_time: NO_TIME_LIMIT,
             sample_invocation_latency: false,
             profile_mode: ProfileMode::Full,
         }

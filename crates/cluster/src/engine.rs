@@ -47,6 +47,7 @@
 //! [`Federation`]: crate::federation::Federation
 //! [`Federation::new`]: crate::federation::Federation::new
 
+use crate::admission::{AdmissionDecision, AdmissionPolicy};
 use crate::config::{ClusterConfig, ProfileMode};
 use crate::error::{PartialRunSummary, SimError};
 use crate::event::{Event, EventQueue};
@@ -72,6 +73,7 @@ use crate::scheduler_api::{
 };
 use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace};
 use pcaps_dag::{JobId, StageId};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// A configured single-cluster simulation, ready to be run against a
@@ -216,11 +218,18 @@ struct MemberState<'a> {
     /// borrows; arrival pushes to the back, completion removes in place — no
     /// per-invocation rebuild.
     active: Vec<ActiveJob>,
-    /// `slots[id]` is the job's index in `active` (`None`: not arrived, not
-    /// routed here, or already complete — the engine's global `completed`
-    /// table disambiguates).  Grows as jobs are seen (streaming intake has
-    /// no up-front workload length); ids past the end read as `None`.
+    /// `slots[id - slot_base]` is the job's index in `active` (`None`: not
+    /// arrived, not routed here, or already complete — the engine's global
+    /// job table disambiguates).  Grows as jobs are seen (streaming intake
+    /// has no up-front workload length); ids past the end read as `None`.
     slots: Vec<Option<u32>>,
+    /// Ids below this base were retired by serve-mode compaction and their
+    /// slot entries dropped; such jobs are settled everywhere, so their
+    /// slots were already `None`.  Always 0 on finite runs.
+    slot_base: usize,
+    /// Arrivals turned away by the run's [`AdmissionPolicy`] after the
+    /// router chose this member.  Always 0 without a policy.
+    jobs_rejected: usize,
     profile: UsageProfile,
     records: Vec<JobRecord>,
     invocations: Vec<InvocationSample>,
@@ -286,6 +295,8 @@ impl<'a> MemberState<'a> {
             executors: ExecutorPool::new(member.config.num_executors),
             active: Vec::with_capacity(jobs_hint.min(1024)),
             slots: Vec::with_capacity(jobs_hint.min(1024)),
+            slot_base: 0,
+            jobs_rejected: 0,
             profile: UsageProfile::new(),
             records: Vec::new(),
             invocations: Vec::new(),
@@ -341,21 +352,41 @@ impl<'a> MemberState<'a> {
     }
 
     /// Index of `job` in `active`, if it is active on this member.  Ids
-    /// beyond the slots table (jobs this member never registered) read as
-    /// not-active.
+    /// beyond the slots table (jobs this member never registered) or below
+    /// the compaction base (retired, hence settled) read as not-active.
     fn slot(&self, job: JobId) -> Option<usize> {
-        self.slots.get(job.index()).copied().flatten().map(|i| i as usize)
+        let idx = job.index().checked_sub(self.slot_base)?;
+        self.slots.get(idx).copied().flatten().map(|i| i as usize)
     }
 
     /// Registers `job` at the back of the active table (fresh or migration
-    /// arrival), growing the slots table as needed.
+    /// arrival), growing the slots table as needed.  Retired ids never
+    /// re-register (retirement requires settlement), so the base offset
+    /// cannot underflow.
     fn register_active(&mut self, job: ActiveJob) {
-        let idx = job.id.index();
+        debug_assert!(
+            job.id.index() >= self.slot_base,
+            "a retired job cannot become active again"
+        );
+        let idx = job.id.index() - self.slot_base;
         if self.slots.len() <= idx {
             self.slots.resize(idx + 1, None);
         }
         self.slots[idx] = Some(self.active.len() as u32);
         self.active.push(job);
+    }
+
+    /// Drops slot entries for ids retired by engine compaction (all `None`
+    /// already: retirement requires global settlement, and settled jobs hold
+    /// no slot anywhere).  Amortised O(1) per retired job — each entry is
+    /// drained exactly once over the life of the run.
+    fn compact_slots(&mut self, new_base: usize) {
+        let k = new_base.saturating_sub(self.slot_base).min(self.slots.len());
+        if k > 0 {
+            debug_assert!(self.slots[..k].iter().all(Option::is_none));
+            self.slots.drain(..k);
+        }
+        self.slot_base = new_base;
     }
 
     /// Records a busy-executor sample unless the profile mode omits the
@@ -372,9 +403,9 @@ impl<'a> MemberState<'a> {
     /// O(active jobs) overall.
     fn retire_active(&mut self, idx: usize) -> ActiveJob {
         let done = self.active.remove(idx);
-        self.slots[done.id.index()] = None;
+        self.slots[done.id.index() - self.slot_base] = None;
         for (i, job) in self.active.iter().enumerate().skip(idx) {
-            self.slots[job.id.index()] = Some(i as u32);
+            self.slots[job.id.index() - self.slot_base] = Some(i as u32);
         }
         done
     }
@@ -431,6 +462,104 @@ struct PendingArrival {
     job: SubmittedJob,
 }
 
+/// Engine-global bookkeeping for one pulled job.
+#[derive(Debug, Clone)]
+struct JobSlot {
+    /// Member the job currently belongs to (`None` before its arrival was
+    /// processed; updated when a migration is applied — during the transfer
+    /// the entry already names the destination, and `in_transit`
+    /// disambiguates).
+    routed: Option<u32>,
+    /// True once the job's last task finished (global — a job completes on
+    /// exactly one member).
+    completed: bool,
+    /// True if an [`AdmissionPolicy`] turned the arrival away — the job was
+    /// never activated anywhere and counts as settled.
+    rejected: bool,
+    /// True once the job has left its original member at least once — stale
+    /// assignments from a former owner are then forgiven as no-ops, while
+    /// cross-member assignments to never-migrated jobs stay hard errors.
+    migrated: bool,
+    /// The job's stage count, kept so stale assignments to *completed* jobs
+    /// retain their historical validation (out-of-range stage = hard error)
+    /// without keeping the DAG alive after completion.
+    stage_count: u32,
+    /// Detached runtime state of a job currently migrating between members
+    /// (on no member's active table); its [`Event::MigrationArrival`]
+    /// re-registers it.
+    in_transit: Option<ActiveJob>,
+}
+
+impl JobSlot {
+    /// The job needs no further simulation: completed or rejected.
+    fn settled(&self) -> bool {
+        self.completed || self.rejected
+    }
+}
+
+/// The engine's per-job table, indexed by id with a retirement base.
+///
+/// Finite runs keep `base == 0` and the table is exactly the old parallel
+/// per-job vectors.  Serve-mode compaction pops settled, non-transit slots
+/// off the front and advances `base`, so resident bookkeeping grows with
+/// jobs *in system*, never with total jobs seen — the open-loop bounded-
+/// memory invariant.  A retired id reads as "settled history": migrations
+/// to it no-op and stale assignments are forgiven unconditionally (the
+/// stage-count validation is the only thing compaction costs).
+#[derive(Debug, Clone, Default)]
+struct JobTable {
+    base: usize,
+    slots: VecDeque<JobSlot>,
+}
+
+impl JobTable {
+    fn with_capacity(hint: usize) -> Self {
+        JobTable { base: 0, slots: VecDeque::with_capacity(hint) }
+    }
+
+    fn push(&mut self, stage_count: u32) {
+        self.slots.push_back(JobSlot {
+            routed: None,
+            completed: false,
+            rejected: false,
+            migrated: false,
+            stage_count,
+            in_transit: None,
+        });
+    }
+
+    /// The slot for `id`, or `None` if the id was retired by compaction.
+    /// Ids never pushed panic on the callers' index arithmetic by design —
+    /// every caller bound-checks against `jobs_seen` first.
+    fn get(&self, id: usize) -> Option<&JobSlot> {
+        self.slots.get(id.checked_sub(self.base)?)
+    }
+
+    fn get_mut(&mut self, id: usize) -> Option<&mut JobSlot> {
+        let idx = id.checked_sub(self.base)?;
+        self.slots.get_mut(idx)
+    }
+
+    /// Resident (non-retired) slots — what serve-mode memory is bounded by.
+    fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pops settled, non-transit slots off the front and returns the new
+    /// base.  Amortised O(1) per job over the life of the run.
+    fn compact(&mut self) -> usize {
+        while let Some(front) = self.slots.front() {
+            if front.settled() && front.in_transit.is_none() {
+                self.slots.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+        self.base
+    }
+}
+
 /// Mutable state of one federated run.
 pub(crate) struct Engine<'a> {
     members: Vec<MemberState<'a>>,
@@ -452,30 +581,22 @@ pub(crate) struct Engine<'a> {
     /// Latest arrival time pulled, for enforcing the source's
     /// ascending-arrival contract.
     last_arrival: f64,
-    /// `routed[id]` is the member the job currently belongs to (`None`
-    /// before its arrival was processed; updated when a migration is
-    /// applied — during the transfer the entry already names the
-    /// destination, and `in_transit` disambiguates).
-    routed: Vec<Option<u32>>,
-    /// `completed[id]` is true once the job's last task finished (global —
-    /// a job completes on exactly one member).
-    completed: Vec<bool>,
+    /// Per-job bookkeeping (routing, settlement, migration, transit state),
+    /// indexed by id with a serve-mode retirement base.
+    jobs: JobTable,
     completed_jobs: usize,
-    /// `in_transit[id]` holds the detached runtime state of a job that is
-    /// currently migrating between members (on no member's active table);
-    /// its [`Event::MigrationArrival`] re-registers it.
-    in_transit: Vec<Option<ActiveJob>>,
-    /// `migrated[id]` is true once the job has left its original member at
-    /// least once — stale assignments from a former owner are then forgiven
-    /// as no-ops (the scheduler had no event through which to learn the job
-    /// left), while cross-member assignments to never-migrated jobs stay
-    /// hard errors (a scheduler can only name those by bug).
-    migrated: Vec<bool>,
-    /// `stage_counts[id]` is the seen job's stage count, kept so stale
-    /// assignments to *completed* jobs retain their historical validation
-    /// (out-of-range stage = hard error) without keeping the DAG alive
-    /// after completion.
-    stage_counts: Vec<u32>,
+    /// Arrivals turned away by the run's [`AdmissionPolicy`] (counted per
+    /// member too).  A rejected job is settled: it never activates and the
+    /// termination condition treats it like a completion.
+    jobs_rejected: usize,
+    /// True once [`Engine::preflight`] ran — serve sessions call it once
+    /// and keep stepping the same engine.
+    primed: bool,
+    /// Serve-mode flag: retire settled front slots of the job table (and
+    /// every member's slot prefix) as arrivals come in.  Finite runs leave
+    /// this off, so their per-job tables are bit-identical to the
+    /// pre-compaction engine.
+    compact: bool,
     /// Every migration applied so far, in application order.
     migrations: Vec<MigrationRecord>,
     /// The binding time limit: the smallest `max_sim_time` of any member.
@@ -591,12 +712,11 @@ impl<'a> Engine<'a> {
             pending: None,
             jobs_seen: 0,
             last_arrival: 0.0,
-            routed: Vec::with_capacity(table_hint),
-            completed: Vec::with_capacity(table_hint),
+            jobs: JobTable::with_capacity(table_hint),
             completed_jobs: 0,
-            in_transit: Vec::with_capacity(table_hint),
-            migrated: Vec::with_capacity(table_hint),
-            stage_counts: Vec::with_capacity(table_hint),
+            jobs_rejected: 0,
+            primed: false,
+            compact: false,
             migrations: Vec::new(),
             max_sim_time,
             faults,
@@ -614,6 +734,15 @@ impl<'a> Engine<'a> {
     /// per-job tables.  A no-op once the source is drained.
     fn refill_window(&mut self) -> Result<(), SimError> {
         debug_assert!(self.pending.is_none(), "the window holds at most one arrival");
+        // Serve-mode compaction rides the arrival cadence: settled front
+        // slots retire here, once per pull, so resident bookkeeping stays
+        // O(jobs in system + 1) however many jobs the source has produced.
+        if self.compact {
+            let base = self.jobs.compact();
+            for m in &mut self.members {
+                m.compact_slots(base);
+            }
+        }
         let Some(job) = self.source.pull() else {
             return Ok(());
         };
@@ -636,19 +765,18 @@ impl<'a> Engine<'a> {
         self.last_arrival = job.arrival;
         let id = JobId(self.jobs_seen as u64);
         self.jobs_seen += 1;
-        self.routed.push(None);
-        self.completed.push(false);
-        self.in_transit.push(None);
-        self.migrated.push(false);
-        self.stage_counts.push(job.dag.num_stages() as u32);
+        self.jobs.push(job.dag.num_stages() as u32);
         self.pending = Some(PendingArrival { id, job });
         Ok(())
     }
 
-    /// Incomplete jobs = pulled-but-incomplete plus (a lower bound on) the
-    /// jobs still inside the source; exact for materialized workloads.
+    /// Incomplete jobs = pulled-but-unsettled plus (a lower bound on) the
+    /// jobs still inside the source; exact for materialized workloads.  The
+    /// saturating add keeps unbounded sources (which hint `usize::MAX`)
+    /// from overflowing.
     fn incomplete_jobs(&self) -> usize {
-        self.jobs_seen - self.completed_jobs + self.source.remaining_hint()
+        (self.jobs_seen - self.completed_jobs - self.jobs_rejected)
+            .saturating_add(self.source.remaining_hint())
     }
 
     /// Builds the time-limit error together with a partial summary of what
@@ -659,7 +787,9 @@ impl<'a> Engine<'a> {
         let mut completed_jobs = Vec::new();
         let mut incomplete_jobs = Vec::new();
         for id in 0..self.jobs_seen {
-            if self.completed[id] {
+            // A retired id (serve-mode compaction) is settled by definition.
+            let settled = self.jobs.get(id).map_or(true, JobSlot::settled);
+            if settled {
                 completed_jobs.push(JobId(id as u64));
             } else {
                 incomplete_jobs.push(JobId(id as u64));
@@ -682,7 +812,7 @@ impl<'a> Engine<'a> {
                 accrued_carbon_grams += accountant.footprint_grams(&m.profile.usage, self.time);
             }
         }
-        for j in self.in_transit.iter().flatten() {
+        for j in self.jobs.slots.iter().filter_map(|s| s.in_transit.as_ref()) {
             elapsed_executor_seconds += j.executor_seconds;
         }
         SimError::TimeLimitExceeded {
@@ -703,10 +833,19 @@ impl<'a> Engine<'a> {
         migration: &mut dyn MigrationPolicy,
         schedulers: &mut [&mut dyn Scheduler],
     ) -> Result<FederationResult, SimError> {
-        // Single-member federations (and declared-inert policies) skip the
-        // migration layer entirely, so the single-cluster `Simulator` and
-        // plain routed runs pay nothing for it.
-        let consult_migrations = self.members.len() >= 2 && !migration.never_migrates();
+        self.preflight()?;
+        self.step_until(None, router, migration, schedulers, None)?;
+        let names: Vec<String> = schedulers.iter().map(|s| s.name().to_string()).collect();
+        Ok(self.assemble(router.name(), migration.name(), &names))
+    }
+
+    /// One-time run preparation: validates the fault schedule against the
+    /// federation's shape and primes the arrival window.  Idempotent — a
+    /// serve session calls it once and keeps stepping the same engine.
+    pub(crate) fn preflight(&mut self) -> Result<(), SimError> {
+        if self.primed {
+            return Ok(());
+        }
         // A fault schedule naming a member or executor the federation does
         // not have is a configuration error, reported before any simulation
         // state exists.
@@ -740,14 +879,48 @@ impl<'a> Engine<'a> {
         if self.pending.is_none() && self.jobs_seen == 0 {
             return Err(SimError::EmptyWorkload);
         }
+        self.primed = true;
+        Ok(())
+    }
+
+    /// The event loop.  With `stop_at == None` this runs to drain: every
+    /// pulled job settled (completed or rejected) and the source exhausted —
+    /// the classic finite-trial semantics, bit-identical to the
+    /// pre-serving engine.  With `stop_at == Some(h)` the loop additionally
+    /// stops *before* processing the first thing scheduled after `h` and
+    /// advances the clock to exactly `h`: the unprocessed event stays
+    /// queued (and the unprocessed arrival stays in the window, the fault
+    /// cursor unadvanced), so a later call — on this engine or on one
+    /// restored from a snapshot of it — continues bit-identically to a run
+    /// that never stopped.
+    ///
+    /// Returns `true` when the run drained, `false` when it stopped at the
+    /// horizon.
+    pub(crate) fn step_until(
+        &mut self,
+        stop_at: Option<f64>,
+        router: &mut dyn Router,
+        migration: &mut dyn MigrationPolicy,
+        schedulers: &mut [&mut dyn Scheduler],
+        mut admission: Option<&mut dyn AdmissionPolicy>,
+    ) -> Result<bool, SimError> {
+        // Single-member federations (and declared-inert policies) skip the
+        // migration layer entirely, so the single-cluster `Simulator` and
+        // plain routed runs pay nothing for it.
+        let consult_migrations = self.members.len() >= 2 && !migration.never_migrates();
         loop {
-            // Completion is the sole termination condition: a non-empty
-            // arrival window or pending task finishes imply incomplete
-            // jobs, and stray wakeups for times past the last completion
-            // must not keep the clock running.  (The window is refilled
-            // eagerly, so `pending == None` means the source is drained.)
-            if self.pending.is_none() && self.completed_jobs == self.jobs_seen {
-                break;
+            // Settlement is the sole drain condition: a non-empty arrival
+            // window or pending task finishes imply unsettled jobs, and
+            // stray wakeups for times past the last completion must not
+            // keep the clock running.  (The window is refilled eagerly, so
+            // `pending == None` means the source is drained.)
+            if self.pending.is_none()
+                && self.completed_jobs + self.jobs_rejected == self.jobs_seen
+            {
+                if let Some(stop) = stop_at {
+                    self.time = self.time.max(stop);
+                }
+                return Ok(true);
             }
             // The earliest member carbon step (ties broken by member index,
             // so multi-member runs stay deterministic).
@@ -786,6 +959,26 @@ impl<'a> Engine<'a> {
                 }
                 None => false,
             };
+            // The horizon gate: peek at the firing branch's time *before*
+            // any side effect.  Nothing past the horizon is processed — it
+            // stays queued / in the window / behind the fault cursor — so a
+            // later `step_until` continues exactly where an uninterrupted
+            // run would have been.  The finite path (`stop_at == None`)
+            // skips this entirely and is bit-identical to the pre-serving
+            // loop.
+            if let Some(stop) = stop_at {
+                let next = if fault_fires {
+                    self.faults.injections()[self.next_fault].time.max(self.time)
+                } else if wake_on_carbon {
+                    carbon_time
+                } else {
+                    next_time.expect("no carbon wake implies a pending event or arrival")
+                };
+                if next > stop {
+                    self.time = self.time.max(stop);
+                    return Ok(false);
+                }
+            }
             if fault_fires {
                 let inj = self.faults.injections()[self.next_fault];
                 self.next_fault += 1;
@@ -832,12 +1025,16 @@ impl<'a> Engine<'a> {
                 if self.time > self.max_sim_time {
                     return Err(self.time_limit_error());
                 }
-                let (target, seed) = self.admit_arrival(arrival, router)?;
+                let admitted = self.admit_arrival(arrival, router, admission.as_deref_mut())?;
                 // Refill before the scheduling pass: the window never holds
                 // more than one job, and the pass must observe the same
                 // engine state it did when arrivals came off the queue.
+                // Rejected arrivals (`None`) trigger no pass — the member
+                // state they would have touched never changed.
                 self.refill_window()?;
-                self.schedule_loop(target, &mut *schedulers[target], seed)?;
+                if let Some((target, seed)) = admitted {
+                    self.schedule_loop(target, &mut *schedulers[target], seed)?;
+                }
             } else {
                 let (t, event) = self.events.pop().expect("peeked time implies non-empty");
                 self.time = t;
@@ -851,7 +1048,17 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
 
+    /// Drains the engine's recorded state into a [`FederationResult`].
+    /// Names are passed in (rather than read off live policy objects) so a
+    /// serve session can assemble after its policies went out of scope.
+    pub(crate) fn assemble(
+        &mut self,
+        router_name: &str,
+        migration_name: &str,
+        scheduler_names: &[String],
+    ) -> FederationResult {
         let mut members_out = Vec::with_capacity(self.members.len());
         for (i, m) in self.members.iter_mut().enumerate() {
             let makespan = m.records.iter().map(|r| r.completion).fold(0.0_f64, f64::max);
@@ -860,13 +1067,14 @@ impl<'a> Engine<'a> {
                 member: i,
                 label: m.label.to_string(),
                 result: SimulationResult {
-                    scheduler: schedulers[i].name().to_string(),
+                    scheduler: scheduler_names[i].clone(),
                     jobs: std::mem::take(&mut m.records),
                     profile: std::mem::take(&mut m.profile),
                     makespan,
                     invocations: std::mem::take(&mut m.invocations),
                     tasks_dispatched: m.tasks_dispatched,
                     jobs_submitted: m.routed_jobs,
+                    jobs_rejected: m.jobs_rejected,
                     wasted_seconds: m.wasted_seconds,
                     tasks_failed: m.tasks_failed,
                     retries: m.retries,
@@ -878,13 +1086,13 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|m| m.result.makespan)
             .fold(0.0_f64, f64::max);
-        Ok(FederationResult {
-            router: router.name().to_string(),
-            migration_policy: migration.name().to_string(),
+        FederationResult {
+            router: router_name.to_string(),
+            migration_policy: migration_name.to_string(),
             members: members_out,
             migrations: std::mem::take(&mut self.migrations),
             makespan,
-        })
+        }
     }
 
     /// Consults the router for the arriving job, validating the returned
@@ -913,20 +1121,61 @@ impl<'a> Engine<'a> {
         Ok(target)
     }
 
-    /// Admits the arrival pulled from the source: routes it, activates it on
-    /// the chosen member (the source contract makes this a push to the back
-    /// of the member's ascending-id active table) and fixes the member's
-    /// incremental counters.  Returns the member to consult plus the typed
-    /// event seed, exactly like [`Engine::handle_event`] does for queue
-    /// events.
+    /// Admits the arrival pulled from the source: routes it, consults the
+    /// admission policy (if any), activates it on the chosen member (the
+    /// source contract makes this a push to the back of the member's
+    /// ascending-id active table) and fixes the member's incremental
+    /// counters.  Returns the member to consult plus the typed event seed,
+    /// exactly like [`Engine::handle_event`] does for queue events — or
+    /// `None` when the policy rejected the arrival (the job settles
+    /// immediately, counted on the routed member, and no one is consulted).
     fn admit_arrival(
         &mut self,
         arrival: PendingArrival,
         router: &mut dyn Router,
-    ) -> Result<(usize, EventSeed), SimError> {
+        // `+ '_` decouples the trait object's lifetime from the reborrow's,
+        // so the loop in `step_until` can hand out a fresh short reborrow of
+        // its long-lived policy reference on every arrival.
+        admission: Option<&mut (dyn AdmissionPolicy + '_)>,
+    ) -> Result<Option<(usize, EventSeed)>, SimError> {
         let PendingArrival { id, job } = arrival;
-        let target = self.route(router, id, &job)?;
-        self.routed[id.index()] = Some(target as u32);
+        let mut target = self.route(router, id, &job)?;
+        if let Some(policy) = admission {
+            // The policy sees the same per-member views the router saw
+            // (rebuilt: routing may have consumed the buffer's content, the
+            // state is unchanged).
+            let mut views = std::mem::take(&mut self.view_buf);
+            views.clear();
+            for (i, m) in self.members.iter().enumerate() {
+                views.push(m.view(i, self.time));
+            }
+            let ctx = RoutingContext::new(self.time, &views);
+            let decision = policy.admit(&job, target, &ctx);
+            self.view_buf = views;
+            match decision {
+                AdmissionDecision::Accept => {}
+                AdmissionDecision::Reject => {
+                    let slot = self.jobs.get_mut(id.index()).expect("window jobs are resident");
+                    slot.routed = Some(target as u32);
+                    slot.rejected = true;
+                    self.jobs_rejected += 1;
+                    self.members[target].jobs_rejected += 1;
+                    return Ok(None);
+                }
+                AdmissionDecision::ShedTo(member) => {
+                    if member >= self.members.len() {
+                        return Err(SimError::InvalidRoute {
+                            job: id.to_string(),
+                            member,
+                            members: self.members.len(),
+                        });
+                    }
+                    target = member;
+                }
+            }
+        }
+        self.jobs.get_mut(id.index()).expect("window jobs are resident").routed =
+            Some(target as u32);
         let member = &mut self.members[target];
         debug_assert!(
             member.active.last().map_or(true, |last| last.id < id),
@@ -939,7 +1188,7 @@ impl<'a> Engine<'a> {
         member
             .profile
             .record_jobs_in_system(self.time, member.active.len());
-        Ok((target, EventSeed::JobArrived(id)))
+        Ok(Some((target, EventSeed::JobArrived(id))))
     }
 
     /// Applies a queue event's state changes and returns the member to
@@ -978,13 +1227,17 @@ impl<'a> Engine<'a> {
                     let completion = time;
                     active.completion = Some(completion);
                     let done = member.retire_active(idx);
-                    self.completed[done.id.index()] = true;
+                    self.jobs
+                        .get_mut(done.id.index())
+                        .expect("a completing job is resident")
+                        .completed = true;
                     self.completed_jobs += 1;
                     member.records.push(JobRecord {
                         id: done.id,
                         name: done.dag.name.clone(),
                         arrival: done.arrival,
                         completion,
+                        first_start: done.first_start.unwrap_or(completion),
                         executor_seconds: done.executor_seconds,
                         total_work: done.dag.total_work(),
                         num_stages: done.dag.num_stages(),
@@ -1038,7 +1291,11 @@ impl<'a> Engine<'a> {
             }
             Event::Wakeup { member, token } => Ok(Some((member, EventSeed::Wakeup(token)))),
             Event::MigrationArrival { member: target, job } => {
-                let state = self.in_transit[job.index()]
+                let state = self
+                    .jobs
+                    .get_mut(job.index())
+                    .expect("in-transit jobs are never retired")
+                    .in_transit
                     .take()
                     .expect("migration arrival for a job that is not in transit");
                 let remaining = state.progress.remaining_work(&state.dag);
@@ -1139,9 +1396,14 @@ impl<'a> Engine<'a> {
         if job.index() >= self.jobs_seen {
             return Err(invalid("the job does not exist in the workload".into()));
         }
-        // A completed job is history — moving it is a no-op, exactly like a
+        // A retired id (serve-mode compaction) is settled history — moving
+        // it is a no-op, exactly like a completed job below.
+        let Some(slot) = self.jobs.get(job.index()) else {
+            return Ok(());
+        };
+        // A settled job is history — moving it is a no-op, exactly like a
         // stale assignment to it.
-        if self.completed[job.index()] {
+        if slot.settled() {
             return Ok(());
         }
         if to >= self.members.len() {
@@ -1150,10 +1412,10 @@ impl<'a> Engine<'a> {
                 self.members.len()
             )));
         }
-        if self.in_transit[job.index()].is_some() {
+        if slot.in_transit.is_some() {
             return Err(invalid("the job is already migrating between members".into()));
         }
-        let Some(src) = self.routed[job.index()].map(|m| m as usize) else {
+        let Some(src) = slot.routed.map(|m| m as usize) else {
             return Err(invalid("the job has not arrived yet".into()));
         };
         if src == to {
@@ -1199,9 +1461,10 @@ impl<'a> Engine<'a> {
         let transfer_carbon_grams = self.transfer.transfer_carbon_grams(gb, c_src, c_to);
         let arrived = self.time + transfer_seconds;
 
-        self.routed[job.index()] = Some(to as u32);
-        self.migrated[job.index()] = true;
-        self.in_transit[job.index()] = Some(state);
+        let slot = self.jobs.get_mut(job.index()).expect("checked resident above");
+        slot.routed = Some(to as u32);
+        slot.migrated = true;
+        slot.in_transit = Some(state);
         self.events.push(arrived, Event::MigrationArrival { member: to, job });
         self.migrations.push(MigrationRecord {
             job,
@@ -1459,7 +1722,8 @@ impl<'a> Engine<'a> {
             member.config.job_cap(),
             &member.active,
             Some(&member.slots),
-        );
+        )
+        .with_slot_base(member.slot_base);
         scheduler.on_event(SchedEvent::MemberAvailability { available }, &ctx, &mut sink);
         sink.clear();
         self.members[target].sink = sink;
@@ -1512,7 +1776,8 @@ impl<'a> Engine<'a> {
                 member.config.job_cap(),
                 &member.active,
                 Some(&member.slots),
-            );
+            )
+            .with_slot_base(member.slot_base);
             if !ctx.has_dispatchable_work() {
                 return Ok(());
             }
@@ -1615,19 +1880,25 @@ impl<'a> Engine<'a> {
                 });
             }
             let Some(idx) = member.slot(a.job) else {
-                if self.completed[a.job.index()] {
-                    // An assignment to an already finished job is a harmless
-                    // no-op — but an out-of-range stage is still a scheduler
-                    // bug and keeps being reported (the retained stage count
-                    // outlives the retired job's DAG).
-                    if a.stage.index() >= self.stage_counts[a.job.index()] as usize {
+                let Some(slot) = self.jobs.get(a.job.index()) else {
+                    // Retired by serve-mode compaction: settled history;
+                    // the stale assignment is forgiven unconditionally (the
+                    // stage-count validation retired with the slot).
+                    continue;
+                };
+                if slot.settled() {
+                    // An assignment to an already finished (or rejected) job
+                    // is a harmless no-op — but an out-of-range stage is
+                    // still a scheduler bug and keeps being reported (the
+                    // retained stage count outlives the retired job's DAG).
+                    if a.stage.index() >= slot.stage_count as usize {
                         return Err(SimError::InvalidAssignment {
                             reason: format!("{} has no {}", a.job, a.stage),
                         });
                     }
                     continue;
                 }
-                // Not completed and not active here: mid-migration, routed
+                // Not settled and not active here: mid-migration, routed
                 // to a different member, or not arrived at all.  A job that
                 // has migrated at least once gets the same forgiveness as a
                 // completed one — its former member's scheduler had no event
@@ -1635,10 +1906,10 @@ impl<'a> Engine<'a> {
                 // advisory), so a stale assignment is a harmless no-op.  A
                 // *never*-migrated job on another member stays a hard error:
                 // a scheduler can only name such a job by bug.
-                if self.migrated[a.job.index()] {
+                if slot.migrated {
                     continue;
                 }
-                if let Some(other) = self.routed[a.job.index()] {
+                if let Some(other) = slot.routed {
                     return Err(SimError::InvalidAssignment {
                         reason: format!(
                             "{} is routed to member {}, not this member",
@@ -1683,6 +1954,7 @@ impl<'a> Engine<'a> {
                 };
                 let finish_time = self.time + move_delay + task.duration;
                 member.executors.start(exec_idx, a.job, self.time);
+                active.first_start.get_or_insert(self.time);
                 active.busy_executors += 1;
                 active.executor_seconds += task.duration;
                 member.outstanding_work -= task.duration;
@@ -1722,6 +1994,266 @@ impl<'a> Engine<'a> {
         }
         Ok(dispatched)
     }
+
+    // --- Serve-mode surface (used by `crate::serve`) ---
+
+    /// Turns on serve-mode compaction of the per-job tables (see
+    /// [`JobTable`]).  Finite runs never enable this, so their bookkeeping
+    /// is bit-identical to the pre-compaction engine.
+    pub(crate) fn enable_compaction(&mut self) {
+        self.compact = true;
+    }
+
+    /// The engine clock (schedule seconds).
+    pub(crate) fn now(&self) -> f64 {
+        self.time
+    }
+
+    pub(crate) fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Jobs pulled from the source so far (including the one in the
+    /// lookahead window, if any).
+    pub(crate) fn jobs_seen_count(&self) -> usize {
+        self.jobs_seen
+    }
+
+    pub(crate) fn completed_count(&self) -> usize {
+        self.completed_jobs
+    }
+
+    pub(crate) fn rejected_count(&self) -> usize {
+        self.jobs_rejected
+    }
+
+    pub(crate) fn rejected_on(&self, member: usize) -> usize {
+        self.members[member].jobs_rejected
+    }
+
+    /// Jobs currently occupying simulation state: active on some member or
+    /// migrating between members.
+    pub(crate) fn resident_jobs(&self) -> usize {
+        let active: usize = self.members.iter().map(|m| m.active.len()).sum();
+        let transit = self.jobs.slots.iter().filter(|s| s.in_transit.is_some()).count();
+        active + transit
+    }
+
+    /// Resident per-job bookkeeping slots — what serve-mode compaction
+    /// bounds (the long-run residency assertion pins this).
+    pub(crate) fn resident_table_len(&self) -> usize {
+        self.jobs.resident()
+    }
+
+    /// Takes every member's accumulated completion records (merged, ordered
+    /// by completion time then id) and clears the per-window recorded state
+    /// (profile series, invocation samples) so an open-loop run's memory is
+    /// bounded by the drain cadence, never by total jobs seen.
+    pub(crate) fn drain_completions(&mut self) -> Vec<JobRecord> {
+        let mut out = Vec::new();
+        for m in &mut self.members {
+            out.append(&mut m.records);
+            m.profile = UsageProfile::new();
+            m.invocations.clear();
+        }
+        out.sort_by(|a, b| a.completion.total_cmp(&b.completion).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Captures the engine's full dynamic state.  Together with a source
+    /// re-attached at the same pull position (see [`Engine::restore`]) and
+    /// equivalently-warmed policy objects, the snapshot continues
+    /// bit-identically to a run that never stopped: every field that feeds
+    /// the event loop — clock, event queue with its sequence counter, the
+    /// arrival window, per-job and per-member tables, the fault cursor —
+    /// is copied; the scratch buffers (views, candidates, migration sink)
+    /// are not, because they are cleared before every use.
+    pub(crate) fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            time: self.time,
+            jobs_seen: self.jobs_seen,
+            last_arrival: self.last_arrival,
+            completed_jobs: self.completed_jobs,
+            jobs_rejected: self.jobs_rejected,
+            next_fault: self.next_fault,
+            events: self.events.clone(),
+            pending: self.pending.as_ref().map(|p| (p.id, p.job.clone())),
+            jobs: self.jobs.clone(),
+            migrations: self.migrations.clone(),
+            members: self
+                .members
+                .iter()
+                .map(|m| MemberSnapshot {
+                    executors: m.executors.clone(),
+                    active: m.active.clone(),
+                    slots: m.slots.clone(),
+                    slot_base: m.slot_base,
+                    jobs_rejected: m.jobs_rejected,
+                    profile: m.profile.clone(),
+                    records: m.records.clone(),
+                    invocations: m.invocations.clone(),
+                    tasks_dispatched: m.tasks_dispatched,
+                    routed_jobs: m.routed_jobs,
+                    outstanding_work: m.outstanding_work,
+                    next_carbon_change: m.next_carbon_change,
+                    current_intensity: m.current_intensity,
+                    sink: m.sink.clone(),
+                    running: m.running.clone(),
+                    epochs: m.epochs.clone(),
+                    available: m.available,
+                    frozen_intensity: m.frozen_intensity,
+                    wasted_seconds: m.wasted_seconds,
+                    tasks_failed: m.tasks_failed,
+                    retries: m.retries,
+                    fault_log: m.fault_log.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Installs a snapshot into this engine, re-attaching the source.
+    ///
+    /// The snapshot is RNG-free: it does not capture the source.  Instead,
+    /// the engine discards pulls from its *own* (freshly constructed,
+    /// deterministic) source until it reaches the snapshot's pull position —
+    /// the discarded jobs are exactly the ones the snapshotted run already
+    /// consumed, and the snapshot's lookahead window carries the last pull's
+    /// content.  A session that has already pulled past the snapshot cannot
+    /// rewind its source and is rejected.
+    pub(crate) fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), SimError> {
+        if snap.members.len() != self.members.len() {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "the snapshot covers {} member(s), this federation has {}",
+                    snap.members.len(),
+                    self.members.len()
+                ),
+            });
+        }
+        if self.jobs_seen > snap.jobs_seen {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "this session has pulled {} job(s), past the snapshot's {} — restore \
+                     onto a fresh session over a fresh source",
+                    self.jobs_seen, snap.jobs_seen
+                ),
+            });
+        }
+        for _ in self.jobs_seen..snap.jobs_seen {
+            if self.source.pull().is_none() {
+                return Err(SimError::SnapshotMismatch {
+                    reason: format!(
+                        "the source drained before reaching the snapshot's position \
+                         ({} jobs pulled)",
+                        snap.jobs_seen
+                    ),
+                });
+            }
+        }
+        self.time = snap.time;
+        self.jobs_seen = snap.jobs_seen;
+        self.last_arrival = snap.last_arrival;
+        self.completed_jobs = snap.completed_jobs;
+        self.jobs_rejected = snap.jobs_rejected;
+        self.next_fault = snap.next_fault;
+        self.events = snap.events.clone();
+        self.pending = snap.pending.clone().map(|(id, job)| PendingArrival { id, job });
+        self.jobs = snap.jobs.clone();
+        self.migrations = snap.migrations.clone();
+        for (m, s) in self.members.iter_mut().zip(&snap.members) {
+            m.executors = s.executors.clone();
+            m.active = s.active.clone();
+            m.slots = s.slots.clone();
+            m.slot_base = s.slot_base;
+            m.jobs_rejected = s.jobs_rejected;
+            m.profile = s.profile.clone();
+            m.records = s.records.clone();
+            m.invocations = s.invocations.clone();
+            m.tasks_dispatched = s.tasks_dispatched;
+            m.routed_jobs = s.routed_jobs;
+            m.outstanding_work = s.outstanding_work;
+            m.next_carbon_change = s.next_carbon_change;
+            m.current_intensity = s.current_intensity;
+            m.sink = s.sink.clone();
+            m.running = s.running.clone();
+            m.epochs = s.epochs.clone();
+            m.available = s.available;
+            m.frozen_intensity = s.frozen_intensity;
+            m.wasted_seconds = s.wasted_seconds;
+            m.tasks_failed = s.tasks_failed;
+            m.retries = s.retries;
+            m.fault_log = s.fault_log.clone();
+        }
+        self.primed = true;
+        Ok(())
+    }
+}
+
+/// A point-in-time copy of a serving engine's full dynamic state, produced
+/// by [`ServeSession::snapshot`] and installed by [`ServeSession::restore`].
+///
+/// The snapshot is *RNG-free and source-free*: arrival sources and policy
+/// objects (schedulers, routers, admission) live outside the engine and
+/// travel outside the snapshot.  Restoring re-attaches a deterministic
+/// source by discarding the pulls the snapshotted run already consumed;
+/// callers warm their policy objects equivalently (e.g. by driving a twin
+/// session to the same horizon, or by using stateless policies).
+///
+/// [`ServeSession::snapshot`]: crate::serve::ServeSession::snapshot
+/// [`ServeSession::restore`]: crate::serve::ServeSession::restore
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    time: f64,
+    jobs_seen: usize,
+    last_arrival: f64,
+    completed_jobs: usize,
+    jobs_rejected: usize,
+    next_fault: usize,
+    events: EventQueue,
+    pending: Option<(JobId, SubmittedJob)>,
+    jobs: JobTable,
+    migrations: Vec<MigrationRecord>,
+    members: Vec<MemberSnapshot>,
+}
+
+impl EngineSnapshot {
+    /// The schedule time the snapshot was taken at.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Jobs the snapshotted run had pulled from its source (the pull
+    /// position a restore re-attaches at).
+    pub fn jobs_seen(&self) -> usize {
+        self.jobs_seen
+    }
+}
+
+/// One member's share of an [`EngineSnapshot`].
+#[derive(Debug, Clone)]
+struct MemberSnapshot {
+    executors: ExecutorPool,
+    active: Vec<ActiveJob>,
+    slots: Vec<Option<u32>>,
+    slot_base: usize,
+    jobs_rejected: usize,
+    profile: UsageProfile,
+    records: Vec<JobRecord>,
+    invocations: Vec<InvocationSample>,
+    tasks_dispatched: usize,
+    routed_jobs: usize,
+    outstanding_work: f64,
+    next_carbon_change: f64,
+    current_intensity: f64,
+    sink: DecisionSink,
+    running: Vec<Option<RunningTask>>,
+    epochs: Vec<u64>,
+    available: bool,
+    frozen_intensity: Option<f64>,
+    wasted_seconds: f64,
+    tasks_failed: usize,
+    retries: usize,
+    fault_log: Vec<FaultRecord>,
 }
 
 #[cfg(test)]
@@ -1971,23 +2503,24 @@ mod tests {
 
     /// A scheduler that keeps assigning to job 0 / stage 0 forever; once the
     /// job completes the engine must treat the stale assignment as a no-op
-    /// (historical behaviour), ending the run normally.  Deliberately
-    /// implemented against the deprecated v1 trait so the blanket adapter is
-    /// exercised through a full engine run.
+    /// (historical behaviour), ending the run normally.
     struct StaleAssigner;
-    #[allow(deprecated)]
-    impl crate::scheduler_api::LegacyScheduler for StaleAssigner {
+    impl Scheduler for StaleAssigner {
         fn name(&self) -> &str {
             "stale"
         }
-        fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
-            let mut out = vec![Assignment::new(JobId(0), StageId(0), 1)];
+        fn on_event(
+            &mut self,
+            _event: SchedEvent<'_>,
+            ctx: &SchedulingContext<'_>,
+            out: &mut DecisionSink,
+        ) {
+            out.dispatch(JobId(0), StageId(0), 1);
             for job in ctx.jobs() {
                 for &stage in job.dispatchable_stages() {
-                    out.push(Assignment::new(job.id, stage, 1));
+                    out.dispatch(job.id, stage, 1);
                 }
             }
-            out
         }
     }
 
@@ -2043,7 +2576,10 @@ mod tests {
         let mut router = ToOne;
         engine.refill_window().unwrap();
         let arrival = engine.pending.take().expect("one job in the workload");
-        let (target, _) = engine.admit_arrival(arrival, &mut router).unwrap();
+        let (target, _) = engine
+            .admit_arrival(arrival, &mut router, None)
+            .unwrap()
+            .expect("no admission policy, so the job is admitted");
         assert_eq!(target, 1, "the router placed the job on member 1");
         // Member 0 now tries to dispatch member 1's job.
         let err = engine

@@ -98,6 +98,14 @@ pub enum SimError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A serve-session snapshot cannot be installed: the engine shape or
+    /// source position does not line up with what the snapshot captured
+    /// (different member count, a source that drained before reaching the
+    /// snapshot's pull position, or a session that already pulled past it).
+    SnapshotMismatch {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
     /// A task crashed [`RetryPolicy::max_attempts`] times — the workload
     /// cannot complete under the configured fault plan.
     ///
@@ -146,6 +154,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidFault { reason } => {
                 write!(f, "fault schedule is invalid for this federation: {reason}")
+            }
+            SimError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot cannot be restored into this session: {reason}")
             }
             SimError::RetriesExhausted { job, stage, task, attempts } => write!(
                 f,
@@ -203,6 +214,11 @@ mod tests {
             reason: "injection targets member 5 of a 2-member federation".into(),
         };
         assert!(fault.to_string().contains("member 5"));
+        let snapshot = SimError::SnapshotMismatch {
+            reason: "the snapshot covers 2 member(s), this federation has 3".into(),
+        };
+        assert!(snapshot.to_string().contains("cannot be restored"));
+        assert!(snapshot.to_string().contains("2 member(s)"));
         let exhausted = SimError::RetriesExhausted {
             job: "q17".into(),
             stage: StageId(2),

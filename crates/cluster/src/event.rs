@@ -105,7 +105,11 @@ impl PartialOrd for Scheduled {
 }
 
 /// Deterministic min-priority event queue.
-#[derive(Debug, Default)]
+///
+/// `Clone` is part of the engine's snapshot/restore contract: a cloned queue
+/// (entries plus the sequence counter) replays bit-identically, because
+/// ordering depends only on `(time, seq)` pairs, which the clone preserves.
+#[derive(Debug, Clone, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,

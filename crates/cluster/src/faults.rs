@@ -29,6 +29,8 @@
 //! [`CarbonView::stale`]: crate::scheduler_api::CarbonView::stale
 //! [`SimulationResult`]: crate::result::SimulationResult
 
+use crate::config::NO_TIME_LIMIT;
+use crate::error::SimError;
 use pcaps_dag::{JobId, StageId};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -148,8 +150,10 @@ pub trait FaultPlan {
     fn name(&self) -> &str;
 
     /// Materialises the plan into a time-sorted schedule for a federation
-    /// of shape `ctx`.
-    fn schedule(&self, ctx: &FaultContext) -> FaultSchedule;
+    /// of shape `ctx`, or a descriptive [`SimError::InvalidFault`] when the
+    /// context cannot support the plan (e.g. an open-ended Poisson process
+    /// against a federation with no real horizon).
+    fn schedule(&self, ctx: &FaultContext) -> Result<FaultSchedule, SimError>;
 }
 
 /// The no-op plan: a perfect world.  Equivalent to [`FaultSchedule::none`].
@@ -161,8 +165,8 @@ impl FaultPlan for NoFaults {
         "no-faults"
     }
 
-    fn schedule(&self, _ctx: &FaultContext) -> FaultSchedule {
-        FaultSchedule::none()
+    fn schedule(&self, _ctx: &FaultContext) -> Result<FaultSchedule, SimError> {
+        Ok(FaultSchedule::none())
     }
 }
 
@@ -186,8 +190,8 @@ impl FaultPlan for ScriptedFaults {
         "scripted"
     }
 
-    fn schedule(&self, _ctx: &FaultContext) -> FaultSchedule {
-        FaultSchedule::new(self.injections.clone())
+    fn schedule(&self, _ctx: &FaultContext) -> Result<FaultSchedule, SimError> {
+        Ok(FaultSchedule::new(self.injections.clone()))
     }
 }
 
@@ -240,8 +244,28 @@ impl FaultPlan for PoissonCrashes {
         "poisson-crashes"
     }
 
-    fn schedule(&self, ctx: &FaultContext) -> FaultSchedule {
-        let horizon = self.horizon.unwrap_or(ctx.horizon);
+    fn schedule(&self, ctx: &FaultContext) -> Result<FaultSchedule, SimError> {
+        // An open-ended crash process needs a real stopping point.  The
+        // engine's default `max_sim_time` is a no-limit sentinel, not a
+        // horizon — materialising against it would either generate ~10⁶+
+        // injections or (with an infinite fold result) silently generate
+        // nothing.  Callers MUST either bound the federation's members with
+        // `with_max_sim_time` or bound the plan with `with_horizon`.
+        let horizon = match self.horizon {
+            Some(h) => h,
+            None if ctx.horizon >= NO_TIME_LIMIT => {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "PoissonCrashes (MTBF {} s) materialised against a federation with no \
+                         real time horizon (context horizon {} >= the no-limit sentinel {}); \
+                         bound the plan with `with_horizon` or the members with \
+                         `with_max_sim_time`",
+                        self.mean_seconds_between, ctx.horizon, NO_TIME_LIMIT
+                    ),
+                });
+            }
+            None => ctx.horizon,
+        };
         let mut injections = Vec::new();
         for (member, &executors) in ctx.executors.iter().enumerate() {
             if executors == 0 {
@@ -268,7 +292,7 @@ impl FaultPlan for PoissonCrashes {
                 });
             }
         }
-        FaultSchedule::new(injections)
+        Ok(FaultSchedule::new(injections))
     }
 }
 
@@ -303,15 +327,15 @@ impl FaultPlan for RegionOutage {
         "region-outage"
     }
 
-    fn schedule(&self, _ctx: &FaultContext) -> FaultSchedule {
-        FaultSchedule::new(vec![
+    fn schedule(&self, _ctx: &FaultContext) -> Result<FaultSchedule, SimError> {
+        Ok(FaultSchedule::new(vec![
             FaultInjection {
                 time: self.start,
                 member: self.member,
                 kind: FaultKind::RegionOutageStart,
             },
             FaultInjection { time: self.end, member: self.member, kind: FaultKind::RegionOutageEnd },
-        ])
+        ]))
     }
 }
 
@@ -346,8 +370,8 @@ impl FaultPlan for CarbonSignalDropout {
         "carbon-dropout"
     }
 
-    fn schedule(&self, _ctx: &FaultContext) -> FaultSchedule {
-        FaultSchedule::new(vec![
+    fn schedule(&self, _ctx: &FaultContext) -> Result<FaultSchedule, SimError> {
+        Ok(FaultSchedule::new(vec![
             FaultInjection {
                 time: self.start,
                 member: self.member,
@@ -358,7 +382,7 @@ impl FaultPlan for CarbonSignalDropout {
                 member: self.member,
                 kind: FaultKind::CarbonDropoutEnd,
             },
-        ])
+        ]))
     }
 }
 
@@ -477,7 +501,7 @@ mod tests {
         assert!(FaultSchedule::none().is_empty());
         assert_eq!(FaultSchedule::none(), FaultSchedule::default());
         assert_eq!(FaultSchedule::none().len(), 0);
-        assert!(NoFaults.schedule(&ctx(vec![4], 100.0)).is_empty());
+        assert!(NoFaults.schedule(&ctx(vec![4], 100.0)).unwrap().is_empty());
         assert_eq!(NoFaults.name(), "no-faults");
     }
 
@@ -511,15 +535,15 @@ mod tests {
         let inj = FaultInjection { time: 3.0, member: 0, kind: FaultKind::CarbonDropoutStart };
         let plan = ScriptedFaults::new(vec![inj]);
         assert_eq!(plan.name(), "scripted");
-        assert_eq!(plan.schedule(&ctx(vec![2], 10.0)).injections(), &[inj]);
+        assert_eq!(plan.schedule(&ctx(vec![2], 10.0)).unwrap().injections(), &[inj]);
     }
 
     #[test]
     fn poisson_is_deterministic_and_bounded() {
         let plan = PoissonCrashes::new(42, 500.0);
         let c = ctx(vec![8, 8, 8], 100_000.0);
-        let a = plan.schedule(&c);
-        let b = plan.schedule(&c);
+        let a = plan.schedule(&c).unwrap();
+        let b = plan.schedule(&c).unwrap();
         assert_eq!(a, b, "same seed + context must replay the same schedule");
         assert!(!a.is_empty(), "100k s at MTBF 500 s should produce crashes");
         let mut last = 0.0;
@@ -545,11 +569,12 @@ mod tests {
     #[test]
     fn poisson_seeds_and_members_are_independent() {
         let c = ctx(vec![4, 4], 50_000.0);
-        let a = PoissonCrashes::new(1, 1000.0).schedule(&c);
-        let b = PoissonCrashes::new(2, 1000.0).schedule(&c);
+        let a = PoissonCrashes::new(1, 1000.0).schedule(&c).unwrap();
+        let b = PoissonCrashes::new(2, 1000.0).schedule(&c).unwrap();
         assert_ne!(a, b, "different seeds must produce different crash histories");
         // Adding a member must not perturb existing members' histories.
-        let wider = PoissonCrashes::new(1, 1000.0).schedule(&ctx(vec![4, 4, 4], 50_000.0));
+        let wider =
+            PoissonCrashes::new(1, 1000.0).schedule(&ctx(vec![4, 4, 4], 50_000.0)).unwrap();
         let only = |s: &FaultSchedule, m: usize| -> Vec<FaultInjection> {
             s.injections().iter().copied().filter(|i| i.member == m).collect()
         };
@@ -560,18 +585,42 @@ mod tests {
     #[test]
     fn poisson_honours_horizon_override() {
         let c = ctx(vec![4], 1_000_000.0);
-        let s = PoissonCrashes::new(7, 100.0).with_horizon(1000.0).schedule(&c);
+        let s = PoissonCrashes::new(7, 100.0).with_horizon(1000.0).schedule(&c).unwrap();
         assert!(s.injections().iter().all(|i| i.time < 1000.0));
     }
 
     #[test]
+    fn poisson_rejects_the_no_limit_sentinel_horizon() {
+        // A federation whose members keep the default `max_sim_time` has no
+        // real horizon; materialising an open-ended crash process against it
+        // must error descriptively rather than silently misbehave.
+        for horizon in [NO_TIME_LIMIT, NO_TIME_LIMIT * 10.0, f64::INFINITY] {
+            let err = PoissonCrashes::new(7, 100.0)
+                .schedule(&ctx(vec![4], horizon))
+                .expect_err("the sentinel horizon must be rejected");
+            match err {
+                SimError::InvalidFault { reason } => {
+                    assert!(reason.contains("with_horizon"), "unhelpful reason: {reason}")
+                }
+                other => panic!("expected InvalidFault, got {other:?}"),
+            }
+        }
+        // An explicit override keeps working no matter the context horizon.
+        let s = PoissonCrashes::new(7, 100.0)
+            .with_horizon(1000.0)
+            .schedule(&ctx(vec![4], f64::INFINITY))
+            .unwrap();
+        assert!(!s.is_empty());
+    }
+
+    #[test]
     fn outage_and_dropout_expand_to_window_pairs() {
-        let o = RegionOutage::new(1, 10.0, 20.0).schedule(&ctx(vec![2, 2], 100.0));
+        let o = RegionOutage::new(1, 10.0, 20.0).schedule(&ctx(vec![2, 2], 100.0)).unwrap();
         assert_eq!(o.len(), 2);
         assert_eq!(o.injections()[0].kind, FaultKind::RegionOutageStart);
         assert_eq!(o.injections()[1].kind, FaultKind::RegionOutageEnd);
         assert_eq!((o.injections()[0].time, o.injections()[1].time), (10.0, 20.0));
-        let d = CarbonSignalDropout::new(0, 5.0, 6.0).schedule(&ctx(vec![2], 100.0));
+        let d = CarbonSignalDropout::new(0, 5.0, 6.0).schedule(&ctx(vec![2], 100.0)).unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d.injections()[0].kind, FaultKind::CarbonDropoutStart);
         assert_eq!(d.injections()[1].kind, FaultKind::CarbonDropoutEnd);

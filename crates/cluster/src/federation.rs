@@ -186,7 +186,13 @@ impl Federation {
     /// injections.  The plan sees a [`FaultContext`] with one entry per
     /// member (its executor count) and the earliest member `max_sim_time` as
     /// the horizon.
-    pub fn with_fault_plan(self, plan: &dyn FaultPlan) -> Self {
+    ///
+    /// A plan the context cannot support (e.g. an open-ended
+    /// [`PoissonCrashes`](crate::faults::PoissonCrashes) process against a
+    /// federation with no real horizon) poisons the federation the same way
+    /// an invalid workload does: the builder chain stays infallible, and the
+    /// first run reports the descriptive [`SimError::InvalidFault`].
+    pub fn with_fault_plan(mut self, plan: &dyn FaultPlan) -> Self {
         let ctx = FaultContext {
             executors: self.members.iter().map(|m| m.config.num_executors).collect(),
             horizon: self
@@ -195,8 +201,15 @@ impl Federation {
                 .map(|m| m.config.max_sim_time)
                 .fold(f64::INFINITY, f64::min),
         };
-        let faults = plan.schedule(&ctx);
-        self.with_fault_schedule(faults)
+        match plan.schedule(&ctx) {
+            Ok(faults) => self.with_fault_schedule(faults),
+            Err(e) => {
+                if self.invalid.is_none() {
+                    self.invalid = Some(e);
+                }
+                self.with_fault_schedule(FaultSchedule::none())
+            }
+        }
     }
 
     /// Attaches an already materialized fault schedule (see
@@ -221,6 +234,12 @@ impl Federation {
     /// The retry policy applied to crashed tasks.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// The construction-time poison (invalid workload or fault plan), if
+    /// any, reported by every run entry point including the serving mode.
+    pub(crate) fn invalid(&self) -> Option<&SimError> {
+        self.invalid.as_ref()
     }
 
     /// Runs the federation to completion with the given router and one
@@ -314,6 +333,9 @@ impl Federation {
             self.members.len(),
             "a federation needs exactly one scheduler per member cluster"
         );
+        if let Some(e) = &self.invalid {
+            return Err(e.clone());
+        }
         let mut engine = Engine::from_source(
             &self.members,
             source,

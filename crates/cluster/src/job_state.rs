@@ -68,6 +68,12 @@ pub struct ActiveJob {
     pub arrival: f64,
     /// Completion time, set when the last task finishes.
     pub completion: Option<f64>,
+    /// Time the job's *first* task was dispatched (`None` while it is still
+    /// queued).  `first_start - arrival` is the job's queueing delay, the
+    /// steady-state serving mode's figure of merit.  Set once and carried
+    /// through migrations and crash refunds — a retry re-dispatch does not
+    /// reset it.
+    pub first_start: Option<f64>,
     /// Number of executors currently running tasks of this job.
     pub busy_executors: usize,
     /// Executor-seconds of task work dispatched so far (excluding executor
@@ -105,6 +111,7 @@ impl ActiveJob {
             progress,
             arrival,
             completion: None,
+            first_start: None,
             busy_executors: 0,
             executor_seconds: 0.0,
             data_gb,
@@ -124,6 +131,7 @@ impl ActiveJob {
             progress,
             arrival: job.arrival,
             completion: None,
+            first_start: None,
             busy_executors: 0,
             executor_seconds: 0.0,
             data_gb: job.data_gb,
@@ -164,6 +172,11 @@ pub struct JobRecord {
     pub arrival: f64,
     /// Completion time (schedule seconds).
     pub completion: f64,
+    /// Time the job's first task was dispatched (schedule seconds).  Equals
+    /// `completion` in the degenerate case of a job that completed without
+    /// dispatching (impossible for validated DAGs, but the record stays
+    /// total).
+    pub first_start: f64,
     /// Total executor-seconds consumed by the job's tasks (excluding
     /// movement delays).
     pub executor_seconds: f64,
@@ -177,6 +190,12 @@ impl JobRecord {
     /// Job completion time: completion minus arrival.
     pub fn jct(&self) -> f64 {
         self.completion - self.arrival
+    }
+
+    /// Queueing delay: how long the job waited before its first task was
+    /// dispatched.
+    pub fn queue_delay(&self) -> f64 {
+        self.first_start - self.arrival
     }
 }
 
@@ -241,10 +260,12 @@ mod tests {
             name: "x".into(),
             arrival: 5.0,
             completion: 30.0,
+            first_start: 8.0,
             executor_seconds: 12.0,
             total_work: 12.0,
             num_stages: 3,
         };
         assert_eq!(r.jct(), 25.0);
+        assert_eq!(r.queue_delay(), 3.0);
     }
 }

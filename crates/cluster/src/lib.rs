@@ -109,9 +109,24 @@
 //!   invocation.
 //! * **Push-based decisions.**  Each member owns one [`DecisionSink`] per
 //!   run; the engine clears (never drops) its buffers between invocations.
-//!   Only the deprecated [`LegacyScheduler`] adapter still pays a per-event
-//!   allocation.  Policies that need scratch buffers (sorting, scoring)
-//!   must own and reuse them.
+//!   Policies that need scratch buffers (sorting, scoring) must own and
+//!   reuse them.  (The deprecated v1 `LegacyScheduler` trait and its
+//!   per-event-allocating blanket adapter were removed after one
+//!   deprecation cycle; every policy implements [`Scheduler`] natively.)
+//! * **Steady-state serving.**  The open-arrival mode ([`serve`]) advances
+//!   the same engine in caller-controlled time slices instead of to
+//!   completion: a [`ServeSession`] stops *before* applying any event past
+//!   the horizon, so slicing is invisible to the simulation, and finite
+//!   runs (`stop_at = None`) take the untouched historical loop.  Serving
+//!   sessions compact retired jobs off the front of the per-job tables
+//!   (resident state scales with jobs in system, never jobs ever seen —
+//!   the slot maps carry a compaction base so id lookups stay O(1)), an
+//!   [`AdmissionPolicy`] consulted once per arrival keeps queues bounded
+//!   under overload (`accepted + rejected == arrivals`, counted per
+//!   member in [`SimulationResult::jobs_rejected`]), and
+//!   [`EngineSnapshot`]s capture the full dynamic state for bit-identical
+//!   stop/restore across sessions.  New engine features must keep the
+//!   horizon check side-effect-free and the snapshot exhaustive.
 //! * **Typed events, engine-managed timers.**  Policies learn *why* they run
 //!   from [`SchedEvent`] and resume from deferral through engine-scheduled
 //!   wakeups: `defer_until` enqueues a timer event at an exact instant
@@ -187,6 +202,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -200,10 +216,13 @@ pub mod result;
 pub mod routing;
 pub mod scheduler_api;
 pub mod schedulers;
+pub mod serve;
 pub mod source;
 
+pub use admission::{AdmissionDecision, AdmissionPolicy, BoundedQueue};
 pub use config::{ClusterConfig, ProfileMode};
-pub use engine::Simulator;
+pub use engine::{EngineSnapshot, Simulator};
+pub use serve::ServeSession;
 pub use error::{PartialRunSummary, SimError};
 pub use faults::{
     CarbonSignalDropout, CrashVictim, FaultContext, FaultEffect, FaultInjection, FaultKind,
@@ -223,5 +242,3 @@ pub use scheduler_api::{
     Assignment, CarbonView, DecisionSink, DeferRequest, JobView, SchedEvent, Scheduler,
     SchedulingContext, WakeupToken,
 };
-#[allow(deprecated)]
-pub use scheduler_api::LegacyScheduler;

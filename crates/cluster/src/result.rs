@@ -35,6 +35,16 @@ pub struct SimulationResult {
     pub tasks_dispatched: usize,
     /// Number of jobs submitted in the workload.
     pub jobs_submitted: usize,
+    /// Jobs turned away by an [`AdmissionPolicy`] while routed to this
+    /// member.  Always 0 without a policy (finite runs never consult one),
+    /// so `jobs_submitted` keeps its meaning: rejected jobs are *not*
+    /// submitted — `accepted + rejected == arrivals seen` holds per member.
+    /// Defaults to 0 when deserializing results recorded before admission
+    /// control existed.
+    ///
+    /// [`AdmissionPolicy`]: crate::admission::AdmissionPolicy
+    #[serde(default)]
+    pub jobs_rejected: usize,
     /// Executor-seconds of work lost to executor crashes: for every killed
     /// task, the dispatch-to-crash interval.  0.0 on fault-free runs.
     pub wasted_seconds: f64,
@@ -271,6 +281,7 @@ mod tests {
             name: format!("j{id}"),
             arrival,
             completion,
+            first_start: arrival,
             executor_seconds: 10.0,
             total_work: 10.0,
             num_stages: 2,
@@ -289,6 +300,7 @@ mod tests {
             ],
             tasks_dispatched: 4,
             jobs_submitted: 2,
+            jobs_rejected: 0,
             wasted_seconds: 0.0,
             tasks_failed: 0,
             retries: 0,

@@ -53,9 +53,9 @@
 //! * [`SchedEvent`] is a `Copy` view assembled from borrows.
 //!
 //! Schedulers that need scratch space (to sort or score stages) keep
-//! policy-owned buffers.  The deprecated v1 path ([`LegacyScheduler`], which
-//! returns a fresh `Vec<Assignment>` per invocation) still works through a
-//! blanket adapter, at the cost of that one allocation per event.
+//! policy-owned buffers.  (The v1 `LegacyScheduler` trait — return a fresh
+//! `Vec<Assignment>` per invocation — and its blanket adapter were removed
+//! after one deprecation cycle; implement [`Scheduler::on_event`] directly.)
 
 use crate::job_state::ActiveJob;
 use pcaps_dag::{JobDag, JobId, JobProgress, StageId};
@@ -171,10 +171,15 @@ pub struct SchedulingContext<'a> {
     pub per_job_cap: usize,
     /// Active jobs, ordered by arrival time (FIFO order).
     active: &'a [ActiveJob],
-    /// `slots[id] = index into `active``, for O(1) lookup by job id.  `None`
-    /// for contexts assembled outside the engine (lookup falls back to a
-    /// linear scan).
+    /// `slots[id - slot_base] = index into `active``, for O(1) lookup by job
+    /// id.  `None` for contexts assembled outside the engine (lookup falls
+    /// back to a linear scan).
     slots: Option<&'a [Option<u32>]>,
+    /// Id of the first job the slot table still covers.  Open-loop serving
+    /// runs compact retired jobs off the front of the engine's tables; the
+    /// base keeps id lookups O(1) without the table growing with every job
+    /// ever seen.  Always 0 for finite runs and hand-built contexts.
+    slot_base: usize,
 }
 
 impl<'a> SchedulingContext<'a> {
@@ -202,7 +207,16 @@ impl<'a> SchedulingContext<'a> {
             per_job_cap,
             active,
             slots,
+            slot_base: 0,
         }
+    }
+
+    /// Sets the id offset of the slot table (see the `slot_base` field).
+    /// The engine threads its compaction base through here; hand-built
+    /// contexts can ignore it.
+    pub fn with_slot_base(mut self, base: usize) -> Self {
+        self.slot_base = base;
+        self
     }
 
     /// Iterates over the active jobs in arrival (FIFO) order.  Views are
@@ -250,7 +264,8 @@ impl<'a> SchedulingContext<'a> {
     pub fn job(&self, id: JobId) -> Option<JobView<'a>> {
         match self.slots {
             Some(slots) => {
-                let slot = *slots.get(id.index())?;
+                let idx = id.index().checked_sub(self.slot_base)?;
+                let slot = *slots.get(idx)?;
                 slot.map(|i| JobView::of(&self.active[i as usize]))
             }
             None => self
@@ -504,45 +519,6 @@ pub trait Scheduler {
     );
 }
 
-/// The v1 scheduling interface: return a fresh `Vec<Assignment>` per
-/// invocation.
-///
-/// Any `LegacyScheduler` automatically implements [`Scheduler`] through a
-/// blanket adapter, so out-of-tree v1 policies keep working after switching
-/// their `impl Scheduler for …` line to `impl LegacyScheduler for …`.  The
-/// adapter discards the typed event and copies the returned vector into the
-/// sink — one heap allocation per event that native v2 policies do not pay.
-#[deprecated(
-    since = "0.2.0",
-    note = "v1 scheduling API; implement `Scheduler::on_event` with a `DecisionSink` instead"
-)]
-pub trait LegacyScheduler {
-    /// Human-readable policy name used in result tables.
-    fn name(&self) -> &str;
-
-    /// Called at every scheduling event.  Returning an empty vector idles
-    /// the free executors until the next event.
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment>;
-}
-
-#[allow(deprecated)]
-impl<T: LegacyScheduler + ?Sized> Scheduler for T {
-    fn name(&self) -> &str {
-        LegacyScheduler::name(self)
-    }
-
-    fn on_event(
-        &mut self,
-        _event: SchedEvent<'_>,
-        ctx: &SchedulingContext<'_>,
-        out: &mut DecisionSink,
-    ) {
-        for assignment in self.schedule(ctx) {
-            out.assign(assignment);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,45 +681,28 @@ mod tests {
         let _ = sink.defer_below(f64::INFINITY);
     }
 
-    /// A v1 policy implemented against the deprecated trait: the blanket
-    /// adapter must surface its assignments through the sink unchanged.
+    /// A slot table carried with a non-zero base (serve-mode compaction)
+    /// must still resolve ids O(1) and reject ids below the base.
     #[test]
-    fn legacy_adapter_copies_assignments_into_sink() {
-        #[allow(deprecated)]
-        struct OldSchool;
-        #[allow(deprecated)]
-        impl LegacyScheduler for OldSchool {
-            fn name(&self) -> &str {
-                "old-school"
-            }
-            fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
-                ctx.dispatchable_iter()
-                    .map(|(job, stage)| Assignment::new(job, stage, 1))
-                    .collect()
-            }
-        }
-
+    fn slot_lookup_honours_compaction_base() {
         let dag = Arc::new(make_dag());
-        let active = vec![ActiveJob::new(JobId(0), dag, 0.0)];
+        let active = vec![ActiveJob::new(JobId(101), dag, 1.0)];
+        // Jobs 0..100 retired and compacted away; the table starts at 100.
+        let slots = vec![None, Some(0u32)];
         let ctx = SchedulingContext::new(
-            0.0,
-            CarbonView::flat(300.0),
+            5.0,
+            CarbonView::flat(100.0),
             4,
             4,
             0,
             4,
             &active,
-            None,
-        );
-        let mut sink = DecisionSink::new();
-        let mut old = OldSchool;
-        let scheduler: &mut dyn Scheduler = &mut old;
-        assert_eq!(scheduler.name(), "old-school");
-        scheduler.on_event(SchedEvent::Kick, &ctx, &mut sink);
-        assert_eq!(
-            sink.assignments(),
-            &[Assignment::new(JobId(0), StageId(0), 1)]
-        );
-        assert!(sink.deferrals().is_empty());
+            Some(&slots),
+        )
+        .with_slot_base(100);
+        assert_eq!(ctx.job(JobId(101)).unwrap().arrival, 1.0);
+        assert!(ctx.job(JobId(100)).is_none(), "retired slot");
+        assert!(ctx.job(JobId(7)).is_none(), "below the base");
+        assert!(ctx.job(JobId(400)).is_none(), "past the table");
     }
 }

@@ -249,6 +249,7 @@ mod tests {
             invocations: Vec::new(),
             tasks_dispatched: 0,
             jobs_submitted: 0,
+            jobs_rejected: 0,
             wasted_seconds: 0.0,
             tasks_failed: 0,
             retries: 0,

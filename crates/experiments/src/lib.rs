@@ -31,7 +31,11 @@
 //! `results/alibaba_scale.csv`) — and the [`reliability`] module sweeps
 //! crash rates × strategies under deterministic fault injection, reporting
 //! wasted work, wasted carbon, and goodput (binary: `reliability`, CSV:
-//! `results/reliability.csv`).
+//! `results/reliability.csv`) — and the [`steady_state`] module sweeps
+//! open-arrival serving load (unbounded diurnal streams at several rate
+//! multipliers × {FIFO, PCAPS} × admission arms), reporting windowed
+//! queueing-delay percentiles, throughput, and carbon per executor-hour
+//! (binary: `steady_state`, CSV: `results/steady_state.csv`).
 //!
 //! The `repro_all` binary runs everything back to back (pass `--quick` for a
 //! reduced-trial smoke run).
@@ -58,6 +62,7 @@ pub mod multi_region;
 pub mod per_grid;
 pub mod reliability;
 pub mod runner;
+pub mod steady_state;
 pub mod streaming;
 pub mod sweeps;
 pub mod table1;
@@ -72,6 +77,9 @@ pub use reliability::{
 };
 pub use runner::{
     BaseScheduler, ExperimentConfig, SchedulerSpec, TrialOutput, run_trial, run_trials,
+};
+pub use steady_state::{
+    AdmissionSpec, SteadyStateConfig, SteadyTrialOutput, run_steady_trial, steady_state_sweep,
 };
 
 /// Directory (relative to the workspace root) where CSV outputs are written.

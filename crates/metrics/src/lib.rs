@@ -15,8 +15,12 @@
 //! [`ExperimentSummary`] and normalises it against a baseline, [`stats`]
 //! provides the small statistical toolbox the figures need (means, standard
 //! deviations, percentiles, polynomial fits for the trade-off curves of
-//! Fig. 13), and [`reliability`] prices fault-injected runs: wasted work,
-//! wasted carbon, retries and goodput.
+//! Fig. 13), [`reliability`] prices fault-injected runs: wasted work,
+//! wasted carbon, retries and goodput, and [`windowed`] provides the
+//! steady-state observability layer — ring-buffer windows over completion
+//! events emitting periodic [`SteadyStateSample`]s (queueing-delay
+//! percentiles, carbon per job-hour, sustained throughput) for open-arrival
+//! serving runs that never produce an end-of-run summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +29,10 @@ pub mod footprint;
 pub mod reliability;
 pub mod stats;
 pub mod summary;
+pub mod windowed;
 
 pub use footprint::{job_footprints, total_footprint};
 pub use reliability::ReliabilitySummary;
 pub use stats::{mean, percentile, polyfit, std_dev, Series};
 pub use summary::{ExperimentSummary, NormalizedSummary};
+pub use windowed::{CompletionEvent, SteadyStateSample, WindowedMetrics};

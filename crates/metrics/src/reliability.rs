@@ -94,6 +94,7 @@ mod tests {
                 name: "j".into(),
                 arrival: 0.0,
                 completion: 130.0,
+                first_start: 0.0,
                 executor_seconds: 100.0,
                 total_work: 100.0,
                 num_stages: 1,
@@ -103,6 +104,7 @@ mod tests {
             invocations: vec![],
             tasks_dispatched: 2,
             jobs_submitted: 1,
+            jobs_rejected: 0,
             wasted_seconds: 25.0,
             tasks_failed: 1,
             retries: 1,

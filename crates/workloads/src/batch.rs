@@ -125,17 +125,12 @@ impl WorkloadBuilder {
     /// `tests/streaming.rs`.
     pub fn stream(&self) -> WorkloadStream {
         WorkloadStream {
-            kind: self.kind,
-            duration_scale: self.duration_scale,
-            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            sampler: self.sampler(),
             arrivals: Box::new(PoissonArrivals::new(
                 self.mean_interarrival,
                 self.seed ^ 0xA11CE,
             )),
             first_at_zero: true,
-            alibaba: AlibabaGenerator::new(self.seed ^ 0xBEEF),
-            queries: TpchQuery::all(),
-            next_index: 0,
             remaining: self.num_jobs,
         }
     }
@@ -147,16 +142,73 @@ impl WorkloadBuilder {
     /// from the start rather than pinning job 0 to time 0.
     pub fn stream_with_arrivals<A: ArrivalProcess + 'static>(&self, process: A) -> WorkloadStream {
         WorkloadStream {
+            sampler: self.sampler(),
+            arrivals: Box::new(process),
+            first_at_zero: false,
+            remaining: self.num_jobs,
+        }
+    }
+
+    /// The open-arrival form: a stream that never ends, spacing arrivals
+    /// with the given process (every gap sampled, like
+    /// [`WorkloadBuilder::stream_with_arrivals`]).  The builder's job count
+    /// is ignored — the consumer decides when to stop pulling, which for
+    /// the simulation engine means an open-loop run bounded by a time
+    /// horizon rather than by workload exhaustion.  The DAG stream is the
+    /// same as the bounded forms': pulling the first `n` jobs of an
+    /// unbounded stream yields exactly `stream_with_arrivals(process)`
+    /// limited to `n`.
+    pub fn stream_unbounded<A: ArrivalProcess + 'static>(&self, process: A) -> UnboundedStream {
+        UnboundedStream {
+            sampler: self.sampler(),
+            arrivals: Box::new(process),
+        }
+    }
+
+    /// The per-job DAG sampler shared by every stream form (bounded,
+    /// custom-arrival, unbounded), so they are draw-for-draw identical.
+    fn sampler(&self) -> JobSampler {
+        JobSampler {
             kind: self.kind,
             duration_scale: self.duration_scale,
             rng: ChaCha8Rng::seed_from_u64(self.seed),
-            arrivals: Box::new(process),
-            first_at_zero: false,
             alibaba: AlibabaGenerator::new(self.seed ^ 0xBEEF),
             queries: TpchQuery::all(),
             next_index: 0,
-            remaining: self.num_jobs,
         }
+    }
+}
+
+/// The DAG-sampling half of a workload stream: kind selection, duration
+/// scaling and unique `name#index` renaming, independent of how arrivals
+/// are spaced.
+struct JobSampler {
+    kind: WorkloadKind,
+    duration_scale: f64,
+    rng: ChaCha8Rng,
+    alibaba: AlibabaGenerator,
+    /// The TPC-H query list, built once — `next_dag()` is the pull hot path.
+    queries: Vec<TpchQuery>,
+    next_index: usize,
+}
+
+impl JobSampler {
+    fn next_dag(&mut self) -> JobDag {
+        let i = self.next_index;
+        self.next_index += 1;
+        let dag = match self.kind {
+            WorkloadKind::TpchMixed => {
+                let q = *self.queries.choose(&mut self.rng).expect("non-empty query list");
+                let scale = *TpchScale::ALL.choose(&mut self.rng).expect("non-empty scales");
+                q.job(scale, self.rng.gen())
+            }
+            WorkloadKind::TpchAtScale(scale) => {
+                let q = *self.queries.choose(&mut self.rng).expect("non-empty query list");
+                q.job(scale, self.rng.gen())
+            }
+            WorkloadKind::Alibaba => self.alibaba.next_job(),
+        };
+        dag.scaled(self.duration_scale).renamed(format!("{}#{}", dag.name, i))
     }
 }
 
@@ -167,25 +219,19 @@ impl WorkloadBuilder {
 /// through the blanket impl — arrivals are non-decreasing by construction
 /// (the arrival process is monotone), satisfying the source contract.
 pub struct WorkloadStream {
-    kind: WorkloadKind,
-    duration_scale: f64,
-    rng: ChaCha8Rng,
+    sampler: JobSampler,
     arrivals: Box<dyn ArrivalProcess>,
     /// `build()` semantics: the first job arrives at time 0 (the batch
     /// starts immediately); custom arrival processes sample every gap.
     first_at_zero: bool,
-    alibaba: AlibabaGenerator,
-    /// The TPC-H query list, built once — `next()` is the pull hot path.
-    queries: Vec<TpchQuery>,
-    next_index: usize,
     remaining: usize,
 }
 
 impl std::fmt::Debug for WorkloadStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkloadStream")
-            .field("kind", &self.kind)
-            .field("next_index", &self.next_index)
+            .field("kind", &self.sampler.kind)
+            .field("next_index", &self.sampler.next_index)
             .field("remaining", &self.remaining)
             .finish_non_exhaustive()
     }
@@ -199,33 +245,51 @@ impl Iterator for WorkloadStream {
             return None;
         }
         self.remaining -= 1;
-        let i = self.next_index;
-        self.next_index += 1;
-        let arrival = if self.first_at_zero && i == 0 {
+        let arrival = if self.first_at_zero && self.sampler.next_index == 0 {
             0.0
         } else {
             self.arrivals.next_arrival()
         };
-        let dag = match self.kind {
-            WorkloadKind::TpchMixed => {
-                let q = *self.queries.choose(&mut self.rng).expect("non-empty query list");
-                let scale = *TpchScale::ALL.choose(&mut self.rng).expect("non-empty scales");
-                q.job(scale, self.rng.gen())
-            }
-            WorkloadKind::TpchAtScale(scale) => {
-                let q = *self.queries.choose(&mut self.rng).expect("non-empty query list");
-                q.job(scale, self.rng.gen())
-            }
-            WorkloadKind::Alibaba => self.alibaba.next_job(),
-        };
-        let dag = dag
-            .scaled(self.duration_scale)
-            .renamed(format!("{}#{}", dag.name, i));
-        Some(ArrivingJob { arrival, dag })
+        Some(ArrivingJob { arrival, dag: self.sampler.next_dag() })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         (self.remaining, Some(self.remaining))
+    }
+}
+
+/// An arrival stream that never ends (see
+/// [`WorkloadBuilder::stream_unbounded`]): every pull samples the next gap
+/// from the arrival process and the next DAG from the workload kind, forever.
+///
+/// Like [`WorkloadStream`] it implements [`Iterator`] and is therefore a
+/// [`JobSource`] through the blanket impl, with the infinite-iterator size
+/// hint `(usize::MAX, None)`.  Consumers must bound their own pulls — the
+/// engine's open-loop serving mode does so with a time horizon.
+pub struct UnboundedStream {
+    sampler: JobSampler,
+    arrivals: Box<dyn ArrivalProcess>,
+}
+
+impl std::fmt::Debug for UnboundedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnboundedStream")
+            .field("kind", &self.sampler.kind)
+            .field("next_index", &self.sampler.next_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Iterator for UnboundedStream {
+    type Item = ArrivingJob;
+
+    fn next(&mut self) -> Option<ArrivingJob> {
+        let arrival = self.arrivals.next_arrival();
+        Some(ArrivingJob { arrival, dag: self.sampler.next_dag() })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::MAX, None)
     }
 }
 
@@ -382,6 +446,34 @@ mod tests {
         let poisson = builder.build();
         for (a, b) in jobs.iter().zip(&poisson) {
             assert_eq!(a.dag, b.dag);
+        }
+    }
+
+    #[test]
+    fn unbounded_prefix_matches_the_bounded_stream() {
+        use crate::arrivals::DiurnalArrivals;
+        let builder = WorkloadBuilder::new(WorkloadKind::TpchMixed, 21).jobs(40);
+        let bounded: Vec<ArrivingJob> = builder
+            .stream_with_arrivals(DiurnalArrivals::new(30.0, 0.5, 1440.0, 21))
+            .collect();
+        let unbounded: Vec<ArrivingJob> = builder
+            .stream_unbounded(DiurnalArrivals::new(30.0, 0.5, 1440.0, 21))
+            .take(40)
+            .collect();
+        assert_eq!(bounded, unbounded, "the unbounded stream must be the same draw stream");
+    }
+
+    #[test]
+    fn unbounded_stream_keeps_yielding_past_any_job_count() {
+        let mut stream = WorkloadBuilder::new(WorkloadKind::Alibaba, 3)
+            .jobs(1)
+            .stream_unbounded(PoissonArrivals::new(10.0, 3));
+        assert_eq!(Iterator::size_hint(&stream), (usize::MAX, None));
+        let mut last = 0.0;
+        for _ in 0..500 {
+            let job = stream.next().expect("an unbounded stream never ends");
+            assert!(job.arrival >= last, "arrivals must be non-decreasing");
+            last = job.arrival;
         }
     }
 

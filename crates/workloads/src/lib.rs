@@ -48,7 +48,9 @@ pub mod tpch;
 
 pub use alibaba::AlibabaGenerator;
 pub use arrivals::{ArrivalProcess, DiurnalArrivals, PoissonArrivals};
-pub use batch::{merge_streams, ArrivingJob, WorkloadBuilder, WorkloadKind, WorkloadStream};
+pub use batch::{
+    merge_streams, ArrivingJob, UnboundedStream, WorkloadBuilder, WorkloadKind, WorkloadStream,
+};
 pub use source::{JobSource, MaterializedSource, MergedSource};
 pub use tpch::{TpchQuery, TpchScale};
 

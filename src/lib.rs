@@ -63,17 +63,16 @@ pub mod prelude {
     pub use pcaps_carbon::synth::SyntheticTraceGenerator;
     pub use pcaps_carbon::{CarbonAccountant, CarbonSignal, CarbonTrace, GridRegion, TraceSet};
     pub use pcaps_cluster::{
-        ArrivalSource, Assignment, CarbonSignalDropout, ClusterConfig, CrashVictim, DecisionSink,
+        AdmissionDecision, AdmissionPolicy, ArrivalSource, Assignment, BoundedQueue,
+        CarbonSignalDropout, ClusterConfig, CrashVictim, DecisionSink, EngineSnapshot,
         FaultEffect, FaultInjection, FaultKind, FaultPlan, FaultRecord, FaultSchedule, Federation,
         FederationResult, MaterializedJobs, Member, MemberResult, MemberView, Migration,
         MigrationCandidate, MigrationContext, MigrationPolicy, MigrationRecord, MigrationSink,
         NeverMigrate, NoFaults, PartialRunSummary, PoissonCrashes, ProfileMode, RegionOutage,
         RetryPolicy, Router, RoutingContext, SchedEvent, Scheduler, SchedulingContext,
-        ScriptedFaults, SimulationResult, Simulator, StaticRouter, SubmittedJob, TransferMatrix,
-        WakeupToken,
+        ScriptedFaults, ServeSession, SimulationResult, Simulator, StaticRouter, SubmittedJob,
+        TransferMatrix, WakeupToken,
     };
-    #[allow(deprecated)]
-    pub use pcaps_cluster::LegacyScheduler;
     pub use pcaps_core::{Cap, CapConfig, Pcaps, PcapsConfig};
     pub use pcaps_dag::{JobDag, JobDagBuilder, StageId, Task};
     pub use pcaps_metrics::{ExperimentSummary, NormalizedSummary};

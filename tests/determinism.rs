@@ -2,8 +2,8 @@
 //! synthesis, simulation, scheduling, accounting) is deterministic given its
 //! seeds, and different seeds genuinely change the outcome — and the v2
 //! scheduler API (typed events + decision sink) reproduces the v1 seed's
-//! `run_trial` results bit for bit, both for the natively ported policies
-//! and for policies routed through the deprecated `LegacyScheduler` adapter.
+//! `run_trial` results bit for bit, both on the finite run path and through
+//! the open-arrival serving mode driven over the same workload.
 
 use carbon_aware_dag_sched::prelude::*;
 use pcaps_experiments::runner::{
@@ -103,75 +103,53 @@ fn v2_run_trial_fingerprints_match_the_v1_seed() {
     }
 }
 
-/// Routes a native v2 policy through the deprecated v1 surface: `schedule`
-/// collects the policy's sink output into a `Vec`, which the blanket
-/// `LegacyScheduler → Scheduler` adapter then copies back into the engine's
-/// sink.  If the adapter loses or reorders anything, the fingerprints below
-/// diverge.
-struct ViaLegacy<S> {
-    inner: S,
-    scratch: DecisionSink,
-}
-
-impl<S: Scheduler> ViaLegacy<S> {
-    fn new(inner: S) -> Self {
-        ViaLegacy { inner, scratch: DecisionSink::new() }
-    }
-}
-
-#[allow(deprecated)]
-impl<S: Scheduler> LegacyScheduler for ViaLegacy<S> {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Assignment> {
-        self.scratch.clear();
-        // The v1 surface has no typed event; every built-in policy ignores
-        // it (deferral verbs are not exercised on this path).
-        self.inner.on_event(SchedEvent::Kick, ctx, &mut self.scratch);
-        self.scratch.assignments().to_vec()
-    }
-}
-
+/// Drives each spec through the open-arrival serving path instead of the
+/// finite `run`: the same workload fed from a source into
+/// `Simulator::run_until` with a horizon past the last completion.  The
+/// serving engine's horizon gate and compaction must be invisible here — a
+/// drained open-loop run is the finite run, bit for bit.
 #[test]
-fn legacy_adapted_policies_match_the_v1_seed() {
+fn open_loop_serving_matches_the_v1_seed() {
     // Reconstruct each spec's scheduler exactly as `run_trial` does (same
-    // seed derivation), but run it through the LegacyScheduler adapter.
+    // seed derivation), but run it through the serving-mode entry point.
     let cfg = reference_config();
     let seed = cfg.seed ^ 0x5EED;
     for (name, spec, expected) in V1_FINGERPRINTS {
         let sim = cfg.simulator_instance();
         let mut scheduler: Box<dyn Scheduler> = match spec {
             SchedulerSpec::Baseline(BaseScheduler::Fifo) => {
-                Box::new(ViaLegacy::new(SparkStandaloneFifo::new()))
+                Box::new(SparkStandaloneFifo::new())
             }
             SchedulerSpec::Baseline(BaseScheduler::KubeDefault) => {
-                Box::new(ViaLegacy::new(KubeDefaultFifo::new()))
+                Box::new(KubeDefaultFifo::new())
             }
             SchedulerSpec::Baseline(BaseScheduler::WeightedFair) => {
-                Box::new(ViaLegacy::new(WeightedFair::new()))
+                Box::new(WeightedFair::new())
             }
             SchedulerSpec::Baseline(BaseScheduler::Decima) => {
-                Box::new(ViaLegacy::new(DecimaLike::new(seed)))
+                Box::new(DecimaLike::new(seed))
             }
-            SchedulerSpec::GreenHadoop { theta } => Box::new(ViaLegacy::new(
+            SchedulerSpec::GreenHadoop { theta } => Box::new(
                 GreenHadoop::with_theta(sim.carbon().clone(), 60.0, theta),
-            )),
-            SchedulerSpec::Cap { b, .. } => Box::new(ViaLegacy::new(Cap::new(
+            ),
+            SchedulerSpec::Cap { b, .. } => Box::new(Cap::new(
                 SparkStandaloneFifo::new(),
                 CapConfig::with_minimum_quota(b),
-            ))),
-            SchedulerSpec::Pcaps { gamma } => Box::new(ViaLegacy::new(Pcaps::new(
+            )),
+            SchedulerSpec::Pcaps { gamma } => Box::new(Pcaps::new(
                 DecimaLike::new(seed),
                 PcapsConfig::with_gamma(gamma).with_seed(seed),
-            ))),
+            )),
         };
-        let result = sim.run(scheduler.as_mut()).unwrap();
+        let workload = sim.federation().workload().to_vec();
+        let mut source = MaterializedJobs::new(workload).unwrap();
+        let result = sim
+            .run_until(&mut source, 1.0e8, scheduler.as_mut(), None)
+            .unwrap();
         assert_eq!(
             fingerprint(&result),
             expected,
-            "{name}: the LegacyScheduler adapter changed the schedule"
+            "{name}: the open-loop serving path changed the schedule"
         );
     }
 }
