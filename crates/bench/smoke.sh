@@ -9,9 +9,11 @@
 #
 # The default output is BENCH_<n>.json at the repo root, where <n> is one
 # past the highest existing snapshot number (BENCH_1.json for the first run).
-# Quick mode (PCAPS_BENCH_QUICK=1) cuts sample counts to 3 per benchmark, so
+# Quick mode (PCAPS_BENCH_QUICK=1) cuts sample counts to 5 per benchmark, so
 # the whole smoke run takes well under a minute; drop the variable in the
-# commands below for tighter statistics.
+# commands below for tighter statistics.  Cross-snapshot comparisons should
+# use each benchmark's `min_ns` — the minimum per-batch mean is robust to
+# one-off scheduler noise, where the overall mean is not.
 set -euo pipefail
 cd "$(dirname "$0")/../.."
 
@@ -57,11 +59,15 @@ require_full_suite() {
 # determinism under injection, and the hand-computed recovery oracles;
 # tests/steady_state.rs pins the serving mode (snapshot/restore
 # bit-identity across policies and seeds, windowed-percentile oracle,
-# admission conservation, open-loop determinism, bounded residency).
+# admission conservation, open-loop determinism, bounded residency);
+# tests/parallel.rs pins the execution modes (batched ≡ sequential bit for
+# bit on every spec, parallel results invariant to worker count across
+# schedulers × migration × faults × seeds).
 require_full_suite migration "migration conformance suite"
 require_full_suite streaming "streaming-equivalence suite"
 require_full_suite faults "fault-injection conformance suite"
 require_full_suite steady_state "steady-state serving suite"
+require_full_suite parallel "execution-mode determinism suite"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

@@ -140,6 +140,15 @@ impl Simulator {
         self
     }
 
+    /// Selects how runs advance the event loop (see
+    /// [`Federation::with_execution_mode`]).  [`ExecutionMode::Parallel`]
+    /// degrades to [`ExecutionMode::Batched`] on a single-member simulator —
+    /// windows need at least two members to decouple.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.federation = self.federation.with_execution_mode(mode);
+        self
+    }
+
     /// The jobs known up front: the full workload for a materialized
     /// simulator ([`Simulator::new`]), empty for a streaming one
     /// ([`Simulator::streaming`], where jobs exist only as a run pulls them
@@ -618,6 +627,15 @@ pub(crate) struct Engine<'a> {
     /// The run-scoped migration sink (cleared, never reallocated, per
     /// consultation).
     migration_sink: MigrationSink,
+    /// How the event loop advances (see [`ExecutionMode`]).
+    mode: ExecutionMode,
+    /// Jobs currently migrating between members.  A conservative window can
+    /// only open at zero: a queued [`Event::MigrationArrival`] re-registers
+    /// state on another member, which no member-local advance may observe.
+    in_transit: usize,
+    /// Reused buffer for batched-mode `(member, seed)` pairs (cleared per
+    /// burst, never reallocated in the steady state).
+    seed_buf: Vec<(usize, EventSeed)>,
 }
 
 /// A job's migratable remainder: `(remaining executor-seconds of
@@ -646,6 +664,543 @@ enum EventSeed {
     CarbonChanged { prev: f64, now: f64 },
     Wakeup(WakeupToken),
     Kick,
+}
+
+/// How the engine advances its event loop.
+///
+/// The default reproduces the historical engine exactly; the other modes
+/// trade bit-identity with it for throughput while staying fully
+/// deterministic in their own right (same seed + same mode ⇒ same result,
+/// and for [`ExecutionMode::Parallel`] the same result for *any* worker
+/// count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One queue event at a time, one scheduler invocation per event —
+    /// bit-identical to the pre-batching engine.
+    #[default]
+    Sequential,
+    /// Same-instant queue events are drained together: all side effects
+    /// apply first (in queue order), then each touched member's scheduler
+    /// is invoked once per instant with a coalesced event — equal
+    /// `(job, stage)` task finishes sum their `n`, heterogeneous bursts
+    /// degrade to one `Kick`.  The [`SchedEvent`] stream is advisory
+    /// (lossy) by contract, so policies reading only the context behave
+    /// identically.
+    Batched,
+    /// Batched, plus: between cross-member interaction points, federation
+    /// members advance independently on a `std::thread::scope` worker
+    /// pool, synchronizing at conservative window barriers (next arrival,
+    /// next fault injection, any member's next carbon step, the serve
+    /// horizon, the time limit).  Results are identical for any `workers`
+    /// value, including 1.
+    Parallel {
+        /// Worker threads the member partition is spread across (clamped
+        /// to at least 1; capped by the member count).
+        workers: usize,
+    },
+}
+
+/// Coalesces two same-instant event seeds destined for one member: equal
+/// provenance task finishes sum their counts, anything heterogeneous
+/// degrades to a single advisory `Kick` (the context carries the truth).
+#[inline]
+fn merge_seeds(a: EventSeed, b: EventSeed) -> EventSeed {
+    match (a, b) {
+        (
+            EventSeed::TasksCompleted { job: ja, stage: sa, n: na },
+            EventSeed::TasksCompleted { job: jb, stage: sb, n: nb },
+        ) if ja == jb && sa == sb => EventSeed::TasksCompleted { job: ja, stage: sa, n: na + nb },
+        _ => EventSeed::Kick,
+    }
+}
+
+/// Outcome of one member-scoped queue event (everything except migration
+/// arrivals, which re-register state across members and stay engine-level).
+/// Job completion is *reported*, not applied: the caller owns the global
+/// job table, so the sequential path applies it inline while the windowed
+/// path defers it to the barrier merge.
+enum LocalOutcome {
+    /// A stale finish (crashed executor) — dropped without a pass.
+    Stale,
+    /// A regular event; the member's scheduler is consulted with this seed.
+    Seed(EventSeed),
+    /// The event completed `job`; the caller must mark it settled.
+    Completed {
+        /// The job that finished.
+        job: JobId,
+        /// The seed for the completing member's scheduling pass.
+        seed: EventSeed,
+    },
+}
+
+/// What one member's conservative-window advance produced, merged back into
+/// the engine at the barrier in member-index order.
+struct WindowOutcome {
+    /// Events at or past the barrier, in deterministic local-queue order.
+    leftovers: Vec<(f64, Event)>,
+    /// Jobs that completed inside the window, in completion order.
+    completions: Vec<JobId>,
+    /// The member's local clock after its last in-window event.
+    end_time: f64,
+}
+
+/// Applies one member-scoped queue event to its member's state.  This is
+/// the single implementation behind both paths: the engine's sequential
+/// loop (which then applies the reported completion to the global job table
+/// inline) and the parallel window (which defers it to the barrier merge).
+#[inline]
+fn member_handle_event(
+    member: &mut MemberState<'_>,
+    target: usize,
+    time: f64,
+    event: Event,
+) -> Result<LocalOutcome, SimError> {
+    match event {
+        Event::TaskFinish { member: _, executor, job, stage, epoch } => {
+            // A crash bumps the executor's epoch, so a finish stamped
+            // with an older one belongs to a killed task: the queue's
+            // deterministic analogue of cancelling the event.  Always
+            // equal on fault-free runs.
+            if epoch != member.epochs[executor] {
+                return Ok(LocalOutcome::Stale);
+            }
+            member.executors.finish(executor);
+            member.running[executor] = None;
+            let Some(idx) = member.slot(job) else {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!(
+                        "task of {stage} finished for {job}, which is not active on member {target}"
+                    ),
+                });
+            };
+            let active = &mut member.active[idx];
+            active.busy_executors = active.busy_executors.saturating_sub(1);
+            let stage_done = active.progress.finish_task(&active.dag, stage);
+            let mut completed = None;
+            if stage_done && active.progress.job_complete() {
+                let completion = time;
+                active.completion = Some(completion);
+                let done = member.retire_active(idx);
+                completed = Some(done.id);
+                member.records.push(JobRecord {
+                    id: done.id,
+                    name: done.dag.name.clone(),
+                    arrival: done.arrival,
+                    completion,
+                    first_start: done.first_start.unwrap_or(completion),
+                    executor_seconds: done.executor_seconds,
+                    total_work: done.dag.total_work(),
+                    num_stages: done.dag.num_stages(),
+                });
+                member
+                    .profile
+                    .record_jobs_in_system(time, member.active.len());
+            }
+            member.record_usage_sample(time);
+            let seed = EventSeed::TasksCompleted { job, stage, n: 1 };
+            Ok(match completed {
+                Some(job) => LocalOutcome::Completed { job, seed },
+                None => LocalOutcome::Seed(seed),
+            })
+        }
+        Event::RetryRelease { member: _, job, stage, task } => {
+            // The job cannot have completed (the killed task's stage is
+            // still held open) and cannot have migrated (cooling-down
+            // tasks pin it to this member), so it must be active here —
+            // anything else is an engine bug worth a descriptive error.
+            let Some(idx) = member.slot(job) else {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!(
+                        "retry release of task {task} of {stage} for {job}, which is not \
+                         active on member {target}"
+                    ),
+                });
+            };
+            let active = &mut member.active[idx];
+            active.retrying -= 1;
+            active.progress.fail_task(&active.dag, stage, task);
+            member.retries += 1;
+            member.fault_log.push(FaultRecord {
+                time,
+                member: target,
+                effect: FaultEffect::TaskRetried { job, stage, task },
+            });
+            Ok(LocalOutcome::Seed(EventSeed::Kick))
+        }
+        Event::Wakeup { member: _, token } => Ok(LocalOutcome::Seed(EventSeed::Wakeup(token))),
+        Event::MigrationArrival { .. } => {
+            unreachable!("migration arrivals are engine-level (handled before delegation)")
+        }
+    }
+}
+
+/// One member's scheduling pass: consults the policy, resolves control
+/// verbs, applies assignments, and repeats with a `Kick` while dispatches
+/// land.  Shared verbatim between the engine's sequential loop (which
+/// passes the shared event queue and an empty `window_completed`) and the
+/// parallel window (which passes the member's local queue and the jobs
+/// completed so far inside the window, whose global-table settlement is
+/// deferred to the barrier).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn member_schedule_pass(
+    member: &mut MemberState<'_>,
+    target: usize,
+    time: f64,
+    jobs_seen: usize,
+    jobs: &JobTable,
+    window_completed: &[JobId],
+    events: &mut EventQueue,
+    scheduler: &mut dyn Scheduler,
+    sink: &mut DecisionSink,
+    mut seed: EventSeed,
+) -> Result<(), SimError> {
+    loop {
+        // An outaged member never dispatches — its scheduler is not even
+        // consulted until the outage ends (running tasks drain on their
+        // own; arrivals and completions still mutate state silently).
+        if !member.available {
+            return Ok(());
+        }
+        if member.executors.free_count() == 0 {
+            return Ok(());
+        }
+        let carbon = member.carbon_view(time);
+        let ctx = SchedulingContext::new(
+            time,
+            carbon,
+            member.config.num_executors,
+            member.executors.free_count(),
+            member.executors.busy_count(),
+            member.config.job_cap(),
+            &member.active,
+            Some(&member.slots),
+        )
+        .with_slot_base(member.slot_base);
+        if !ctx.has_dispatchable_work() {
+            return Ok(());
+        }
+        let event = match seed {
+            EventSeed::JobArrived(id) => match ctx.job(id) {
+                Some(job) => SchedEvent::JobArrived { job },
+                // Unreachable in practice: an arrival is active when its
+                // scheduling pass starts.  Degrade to a kick, never skip.
+                None => SchedEvent::Kick,
+            },
+            EventSeed::TasksCompleted { job, stage, n } => {
+                SchedEvent::TasksCompleted { job, stage, n }
+            }
+            EventSeed::TasksFailed { job, stage, n } => {
+                SchedEvent::TasksFailed { job, stage, n }
+            }
+            EventSeed::CarbonChanged { prev, now } => SchedEvent::CarbonChanged { prev, now },
+            EventSeed::Wakeup(token) => SchedEvent::Wakeup { token },
+            EventSeed::Kick => SchedEvent::Kick,
+        };
+        sink.clear();
+        if member.config.sample_invocation_latency {
+            let queue_length = ctx.queue_length();
+            let started = Instant::now();
+            scheduler.on_event(event, &ctx, sink);
+            let latency_seconds = started.elapsed().as_secs_f64();
+            member.invocations.push(InvocationSample {
+                time,
+                queue_length,
+                latency_seconds,
+            });
+        } else {
+            scheduler.on_event(event, &ctx, sink);
+        }
+        apply_deferrals_for(member, target, time, events, sink.deferrals());
+        if sink.assignments().is_empty() {
+            return Ok(());
+        }
+        let dispatched = apply_assignments_for(
+            member,
+            target,
+            time,
+            jobs_seen,
+            jobs,
+            window_completed,
+            events,
+            sink.assignments(),
+        )?;
+        if dispatched == 0 {
+            return Ok(());
+        }
+        seed = EventSeed::Kick;
+    }
+}
+
+/// Resolves one member's control verbs into real events on the given
+/// queue: `defer_until` becomes a timer wakeup at the requested instant
+/// (which may pierce the carbon-step granularity), `defer_below` becomes
+/// a wakeup at the first future step of *that member's* carbon trace at
+/// or below the threshold (resolved in O(log trace) against the trace's
+/// range-min index).
+#[inline]
+fn apply_deferrals_for(
+    member: &MemberState<'_>,
+    target: usize,
+    time: f64,
+    events: &mut EventQueue,
+    deferrals: &[DeferRequest],
+) {
+    for request in deferrals {
+        match *request {
+            DeferRequest::Until { time: at, token } => {
+                // Requests at or before the current instant are dropped:
+                // the policy is being invoked right now.
+                if at > time {
+                    events.push(at, Event::Wakeup { member: target, token });
+                }
+            }
+            DeferRequest::Below { intensity, token } => {
+                // Search strictly future steps — if the current step
+                // already qualified the policy would not be deferring.
+                let from = member.carbon.next_change(member.carbon_time(time));
+                if let Some(ct) = member.carbon.next_time_at_or_below(from, intensity) {
+                    let at = ct / member.config.time_scale;
+                    // Same future-time guard as the Until arm: when the
+                    // carbon→schedule conversion is inexact in f64, a
+                    // wakeup popped just below a step boundary can
+                    // resolve its re-request back to the current
+                    // instant; re-pushing it would freeze the clock.
+                    // Dropping it is safe — the next regular carbon-step
+                    // event re-invokes the policy anyway.
+                    if at > time {
+                        events.push(at, Event::Wakeup { member: target, token });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies one member's assignments, returning the number of tasks
+/// actually dispatched.  Task-finish events go to the given queue (the
+/// shared one sequentially, the member's local one inside a window).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn apply_assignments_for(
+    member: &mut MemberState<'_>,
+    target: usize,
+    time: f64,
+    jobs_seen: usize,
+    jobs: &JobTable,
+    window_completed: &[JobId],
+    events: &mut EventQueue,
+    assignments: &[Assignment],
+) -> Result<usize, SimError> {
+    let mut dispatched = 0;
+    for a in assignments {
+        if a.job.index() >= jobs_seen {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("unknown job {}", a.job),
+            });
+        }
+        let Some(idx) = member.slot(a.job) else {
+            let Some(slot) = jobs.get(a.job.index()) else {
+                // Retired by serve-mode compaction: settled history;
+                // the stale assignment is forgiven unconditionally (the
+                // stage-count validation retired with the slot).
+                continue;
+            };
+            // A job that completed earlier inside the current window is
+            // settled in spirit — its global-table write is merely deferred
+            // to the barrier merge — so it earns the same forgiveness.
+            // Sequential and batched runs pass an empty list here.
+            if slot.settled() || window_completed.contains(&a.job) {
+                // An assignment to an already finished (or rejected) job
+                // is a harmless no-op — but an out-of-range stage is
+                // still a scheduler bug and keeps being reported (the
+                // retained stage count outlives the retired job's DAG).
+                if a.stage.index() >= slot.stage_count as usize {
+                    return Err(SimError::InvalidAssignment {
+                        reason: format!("{} has no {}", a.job, a.stage),
+                    });
+                }
+                continue;
+            }
+            // Not settled and not active here: mid-migration, routed
+            // to a different member, or not arrived at all.  A job that
+            // has migrated at least once gets the same forgiveness as a
+            // completed one — its former member's scheduler had no event
+            // through which to learn it left (the SchedEvent stream is
+            // advisory), so a stale assignment is a harmless no-op.  A
+            // *never*-migrated job on another member stays a hard error:
+            // a scheduler can only name such a job by bug.
+            if slot.migrated {
+                continue;
+            }
+            if let Some(other) = slot.routed {
+                return Err(SimError::InvalidAssignment {
+                    reason: format!(
+                        "{} is routed to member {}, not this member",
+                        a.job, other
+                    ),
+                });
+            }
+            return Err(SimError::InvalidAssignment {
+                reason: format!("{} has not arrived yet", a.job),
+            });
+        };
+        if a.stage.index() >= member.active[idx].dag.num_stages() {
+            return Err(SimError::InvalidAssignment {
+                reason: format!("{} has no {}", a.job, a.stage),
+            });
+        }
+        if a.executors == 0 {
+            continue;
+        }
+        let cap_room = member
+            .config
+            .job_cap()
+            .saturating_sub(member.active[idx].busy_executors);
+        let budget = a
+            .executors
+            .min(member.executors.free_count())
+            .min(cap_room)
+            .min(member.active[idx].progress.pending_tasks(a.stage));
+        for _ in 0..budget {
+            let Some(exec_idx) = member.executors.pick_free_for(a.job) else {
+                break;
+            };
+            let active = &mut member.active[idx];
+            let Some(task_idx) = active.progress.dispatch_task(&active.dag, a.stage) else {
+                break;
+            };
+            let task = active.dag.stage(a.stage).tasks[task_idx];
+            let move_delay = if member.executors.get(exec_idx).needs_move_delay(a.job) {
+                member.config.executor_move_delay
+            } else {
+                0.0
+            };
+            let finish_time = time + move_delay + task.duration;
+            member.executors.start(exec_idx, a.job, time);
+            active.first_start.get_or_insert(time);
+            active.busy_executors += 1;
+            active.executor_seconds += task.duration;
+            member.outstanding_work -= task.duration;
+            member.running[exec_idx] = Some(RunningTask {
+                job: a.job,
+                stage: a.stage,
+                task: task_idx,
+                started: time,
+                duration: task.duration,
+                finish_time,
+            });
+            events.push(
+                finish_time,
+                Event::TaskFinish {
+                    member: target,
+                    executor: exec_idx,
+                    job: a.job,
+                    stage: a.stage,
+                    epoch: member.epochs[exec_idx],
+                },
+            );
+            if member.config.profile_mode == ProfileMode::Full {
+                member.profile.record_segment(ExecutorSegment {
+                    executor: exec_idx,
+                    job: a.job,
+                    stage: a.stage,
+                    start: time,
+                    end: finish_time,
+                });
+            }
+            dispatched += 1;
+            member.tasks_dispatched += 1;
+        }
+    }
+    if dispatched > 0 {
+        member.record_usage_sample(time);
+    }
+    Ok(dispatched)
+}
+
+/// Advances one member independently through every event strictly inside
+/// `[start, window_end)`: its bucket of drained events is replayed through
+/// a member-local queue (so newly produced finishes and wakeups inside the
+/// window are processed in exactly the shared queue's order), same-instant
+/// events are batched like [`ExecutionMode::Batched`], and job completions
+/// are reported — not applied — because the global job table is shared
+/// read-only across the worker pool.  Deterministic given the member's
+/// state and bucket, which is what makes the result independent of the
+/// worker layout.
+#[allow(clippy::too_many_arguments)]
+fn member_window(
+    member: &mut MemberState<'_>,
+    target: usize,
+    start: f64,
+    window_end: f64,
+    events_in: Vec<(f64, Event)>,
+    jobs: &JobTable,
+    jobs_seen: usize,
+    scheduler: &mut dyn Scheduler,
+) -> Result<WindowOutcome, SimError> {
+    let mut local = EventQueue::new();
+    for (t, event) in events_in {
+        local.push(t, event);
+    }
+    let mut completions: Vec<JobId> = Vec::new();
+    let mut time = start;
+    let mut sink = std::mem::take(&mut member.sink);
+    let mut run = || -> Result<(), SimError> {
+        while let Some(t) = local.peek_time() {
+            if t >= window_end {
+                break;
+            }
+            time = t;
+            debug_assert!(
+                member.available,
+                "windows only open while every member is available"
+            );
+            let mut merged: Option<EventSeed> = None;
+            while local.peek_time() == Some(t) {
+                let (_, event) = local.pop().expect("peeked time implies non-empty");
+                match member_handle_event(member, target, t, event)? {
+                    LocalOutcome::Stale => {}
+                    LocalOutcome::Seed(seed) => {
+                        merged = Some(match merged {
+                            Some(m) => merge_seeds(m, seed),
+                            None => seed,
+                        });
+                    }
+                    LocalOutcome::Completed { job, seed } => {
+                        completions.push(job);
+                        merged = Some(match merged {
+                            Some(m) => merge_seeds(m, seed),
+                            None => seed,
+                        });
+                    }
+                }
+            }
+            if let Some(seed) = merged {
+                member_schedule_pass(
+                    member,
+                    target,
+                    t,
+                    jobs_seen,
+                    jobs,
+                    &completions,
+                    &mut local,
+                    scheduler,
+                    &mut sink,
+                    seed,
+                )?;
+            }
+        }
+        Ok(())
+    };
+    let result = run();
+    member.sink = sink;
+    result?;
+    let mut leftovers = Vec::with_capacity(local.len());
+    while let Some(entry) = local.pop() {
+        leftovers.push(entry);
+    }
+    Ok(WindowOutcome { leftovers, completions, end_time: time })
 }
 
 impl<'a> Engine<'a> {
@@ -725,7 +1280,15 @@ impl<'a> Engine<'a> {
             view_buf,
             candidate_buf: Vec::new(),
             migration_sink: MigrationSink::new(),
+            mode: ExecutionMode::Sequential,
+            in_transit: 0,
+            seed_buf: Vec::new(),
         }
+    }
+
+    /// Selects how the event loop advances (see [`ExecutionMode`]).
+    pub(crate) fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
     }
 
     /// Refills the arrival window: pulls the next job from the source,
@@ -922,6 +1485,15 @@ impl<'a> Engine<'a> {
                 }
                 return Ok(true);
             }
+            // Parallel mode: try to advance every member independently up
+            // to the next cross-member interaction point.  Falls through to
+            // one normal sequential iteration whenever a window cannot open
+            // (members coupled, or nothing strictly inside the window).
+            if let ExecutionMode::Parallel { workers } = self.mode {
+                if self.maybe_run_window(stop_at, schedulers, workers.max(1))? {
+                    continue;
+                }
+            }
             // The earliest member carbon step (ties broken by member index,
             // so multi-member runs stay deterministic).
             let mut carbon_member = 0usize;
@@ -1041,13 +1613,224 @@ impl<'a> Engine<'a> {
                 if self.time > self.max_sim_time {
                     return Err(self.time_limit_error());
                 }
-                // `None`: the event was recognised as stale (a finish whose
-                // executor crashed under it) and dropped without a pass.
-                if let Some((target, seed)) = self.handle_event(event)? {
-                    self.schedule_loop(target, &mut *schedulers[target], seed)?;
+                if self.mode == ExecutionMode::Sequential {
+                    // `None`: the event was recognised as stale (a finish
+                    // whose executor crashed under it) and dropped without
+                    // a pass.
+                    if let Some((target, seed)) = self.handle_event(event)? {
+                        self.schedule_loop(target, &mut *schedulers[target], seed)?;
+                    }
+                } else {
+                    self.handle_event_burst(event, schedulers)?;
                 }
             }
         }
+    }
+
+    /// Batched queue-event processing ([`ExecutionMode::Batched`] and the
+    /// sequential iterations of [`ExecutionMode::Parallel`]): drains every
+    /// event sharing the head timestamp, applies all side effects first (in
+    /// queue order), then invokes each touched member's scheduler once with
+    /// a coalesced seed, members in first-touched order.
+    fn handle_event_burst(
+        &mut self,
+        first: Event,
+        schedulers: &mut [&mut dyn Scheduler],
+    ) -> Result<(), SimError> {
+        let t = self.time;
+        let mut seeds = std::mem::take(&mut self.seed_buf);
+        seeds.clear();
+        if let Some(pair) = self.handle_event(first)? {
+            seeds.push(pair);
+        }
+        while self.events.peek_time() == Some(t) {
+            let (_, event) = self.events.pop().expect("peeked time implies non-empty");
+            if let Some(pair) = self.handle_event(event)? {
+                seeds.push(pair);
+            }
+        }
+        let mut i = 0;
+        while i < seeds.len() {
+            let (target, mut merged) = seeds[i];
+            // usize::MAX marks a seed already folded into an earlier
+            // member's coalesced invocation.
+            if target != usize::MAX {
+                for later in seeds[i + 1..].iter_mut() {
+                    if later.0 == target {
+                        merged = merge_seeds(merged, later.1);
+                        later.0 = usize::MAX;
+                    }
+                }
+                self.schedule_loop(target, &mut *schedulers[target], merged)?;
+            }
+            i += 1;
+        }
+        self.seed_buf = seeds;
+        Ok(())
+    }
+
+    /// Attempts one conservative time window ([`ExecutionMode::Parallel`]).
+    /// Returns `Ok(true)` when a window ran (the loop re-evaluates from the
+    /// barrier), `Ok(false)` when the engine must take one sequential
+    /// iteration instead.
+    ///
+    /// A window may open only while members are fully decoupled: no
+    /// migration in flight (its arrival re-registers state on another
+    /// member) and every member available (a drained finish on an outaged
+    /// member evacuates cross-member).  The barrier is the earliest instant
+    /// members can interact again — the pending arrival (routing reads
+    /// every member's view), the next fault injection, any member's next
+    /// carbon step (migration policies are consulted there), the serve
+    /// horizon and the time limit.  Only events *strictly* inside the
+    /// window are advanced; the barrier event itself is left queued, so
+    /// every cross-class tie rule (arrivals win ties, faults fire only when
+    /// strictly earliest, carbon loses ties to queue events) is decided by
+    /// the unchanged sequential branches.
+    fn maybe_run_window(
+        &mut self,
+        stop_at: Option<f64>,
+        schedulers: &mut [&mut dyn Scheduler],
+        workers: usize,
+    ) -> Result<bool, SimError> {
+        if self.members.len() < 2 || self.in_transit > 0 {
+            return Ok(false);
+        }
+        if self.members.iter().any(|m| !m.available) {
+            return Ok(false);
+        }
+        let mut barrier = f64::INFINITY;
+        if let Some(p) = &self.pending {
+            barrier = barrier.min(p.job.arrival);
+        }
+        if let Some(inj) = self.faults.injections().get(self.next_fault) {
+            barrier = barrier.min(inj.time);
+        }
+        for m in &self.members {
+            barrier = barrier.min(m.next_carbon_change);
+        }
+        if let Some(stop) = stop_at {
+            barrier = barrier.min(stop);
+        }
+        barrier = barrier.min(self.max_sim_time);
+        // Progress guard: at least one queue event strictly inside the
+        // window.  Events never predate the clock, so this also implies
+        // the barrier lies strictly ahead of `self.time`.
+        match self.events.peek_time() {
+            Some(t) if t < barrier => {}
+            _ => return Ok(false),
+        }
+        let n = self.members.len();
+        let mut buckets: Vec<Vec<(f64, Event)>> = vec![Vec::new(); n];
+        while let Some(t) = self.events.peek_time() {
+            if t >= barrier {
+                break;
+            }
+            let (t, event) = self.events.pop().expect("peeked time implies non-empty");
+            debug_assert!(
+                !matches!(event, Event::MigrationArrival { .. }),
+                "no migration arrivals are queued while in_transit == 0"
+            );
+            buckets[event.member()].push((t, event));
+        }
+        let start = self.time;
+        let jobs = &self.jobs;
+        let jobs_seen = self.jobs_seen;
+        // Worker count 1 runs the exact same windowed algorithm inline —
+        // worker-count invariance holds because the per-member computation
+        // and the member-index merge order below are both layout-blind.
+        let outcomes: Vec<Result<WindowOutcome, SimError>> = if workers <= 1 {
+            self.members
+                .iter_mut()
+                .zip(schedulers.iter_mut())
+                .zip(buckets.iter_mut())
+                .enumerate()
+                .map(|(i, ((m, s), b))| {
+                    member_window(
+                        m,
+                        i,
+                        start,
+                        barrier,
+                        std::mem::take(b),
+                        jobs,
+                        jobs_seen,
+                        &mut **s,
+                    )
+                })
+                .collect()
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                let mut base = 0usize;
+                for ((ms, ss), bs) in self
+                    .members
+                    .chunks_mut(chunk)
+                    .zip(schedulers.chunks_mut(chunk))
+                    .zip(buckets.chunks_mut(chunk))
+                {
+                    let first = base;
+                    base += ms.len();
+                    handles.push(scope.spawn(move || {
+                        ms.iter_mut()
+                            .zip(ss.iter_mut())
+                            .zip(bs.iter_mut())
+                            .enumerate()
+                            .map(|(k, ((m, s), b))| {
+                                member_window(
+                                    m,
+                                    first + k,
+                                    start,
+                                    barrier,
+                                    std::mem::take(b),
+                                    jobs,
+                                    jobs_seen,
+                                    &mut **s,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("window worker threads do not panic"))
+                    .collect()
+            })
+        };
+        // Merge at the barrier in member-index order, whatever the worker
+        // layout: completions settle in the global table in index order,
+        // leftover events re-enter the shared queue in index order (fresh
+        // sequence numbers; within-member relative order is preserved
+        // because each leftover list drained from a deterministic local
+        // queue), and the first error by member index wins.
+        let mut first_err: Option<SimError> = None;
+        let mut end = start;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    end = end.max(o.end_time);
+                    for job in o.completions {
+                        self.jobs
+                            .get_mut(job.index())
+                            .expect("a completing job is resident")
+                            .completed = true;
+                        self.completed_jobs += 1;
+                    }
+                    for (t, event) in o.leftovers {
+                        self.events.push(t, event);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.time = end;
+        Ok(true)
     }
 
     /// Drains the engine's recorded state into a [`FederationResult`].
@@ -1198,121 +1981,68 @@ impl<'a> Engine<'a> {
     /// a scheduling pass.  (Workload arrivals are not queue events — see
     /// [`Engine::admit_arrival`].)
     fn handle_event(&mut self, event: Event) -> Result<Option<(usize, EventSeed)>, SimError> {
-        match event {
-            Event::TaskFinish { member: target, executor, job, stage, epoch } => {
-                let time = self.time;
-                let member = &mut self.members[target];
-                // A crash bumps the executor's epoch, so a finish stamped
-                // with an older one belongs to a killed task: the queue's
-                // deterministic analogue of cancelling the event.  Always
-                // equal on fault-free runs.
-                if epoch != member.epochs[executor] {
-                    return Ok(None);
-                }
-                member.executors.finish(executor);
-                member.running[executor] = None;
-                let Some(idx) = member.slot(job) else {
-                    return Err(SimError::InvalidAssignment {
-                        reason: format!(
-                            "task of {stage} finished for {job}, which is not active on member {target}"
-                        ),
-                    });
-                };
-                let active = &mut member.active[idx];
-                active.busy_executors = active.busy_executors.saturating_sub(1);
-                let stage_done = active.progress.finish_task(&active.dag, stage);
-                let mut job_completed = false;
-                if stage_done && active.progress.job_complete() {
-                    job_completed = true;
-                    let completion = time;
-                    active.completion = Some(completion);
-                    let done = member.retire_active(idx);
-                    self.jobs
-                        .get_mut(done.id.index())
-                        .expect("a completing job is resident")
-                        .completed = true;
-                    self.completed_jobs += 1;
-                    member.records.push(JobRecord {
-                        id: done.id,
-                        name: done.dag.name.clone(),
-                        arrival: done.arrival,
-                        completion,
-                        first_start: done.first_start.unwrap_or(completion),
-                        executor_seconds: done.executor_seconds,
-                        total_work: done.dag.total_work(),
-                        num_stages: done.dag.num_stages(),
-                    });
-                    member
-                        .profile
-                        .record_jobs_in_system(time, member.active.len());
-                }
-                member.record_usage_sample(time);
+        // Migration arrivals re-register state across members and touch the
+        // global job table, so they stay engine-level; every other variant
+        // is member-scoped and shared with the windowed path through
+        // `member_handle_event`.
+        if let Event::MigrationArrival { member: target, job } = event {
+            let state = self
+                .jobs
+                .get_mut(job.index())
+                .expect("in-transit jobs are never retired")
+                .in_transit
+                .take()
+                .expect("migration arrival for a job that is not in transit");
+            self.in_transit -= 1;
+            let remaining = state.progress.remaining_work(&state.dag);
+            let member = &mut self.members[target];
+            // The destination table stays ordered by arrival *at this
+            // member* — a migrated job joins the back of the queue like
+            // a fresh arrival would, whatever its global id.  If the
+            // destination went down while the job was in flight, it
+            // queues here until the outage ends (or a later carbon step
+            // migrates it again) — the transfer was already paid.
+            member.register_active(state);
+            member.routed_jobs += 1;
+            member.outstanding_work += remaining;
+            member
+                .profile
+                .record_jobs_in_system(self.time, member.active.len());
+            return Ok(Some((target, EventSeed::JobArrived(job))));
+        }
+        let target = event.member();
+        match member_handle_event(&mut self.members[target], target, self.time, event)? {
+            LocalOutcome::Stale => Ok(None),
+            LocalOutcome::Completed { job, seed } => {
+                self.jobs
+                    .get_mut(job.index())
+                    .expect("a completing job is resident")
+                    .completed = true;
+                self.completed_jobs += 1;
+                Ok(Some((target, seed)))
+            }
+            LocalOutcome::Seed(seed) => {
                 // An outaged member must not strand work it can no longer
                 // dispatch: once a job's running tasks have drained, it is
                 // evacuated exactly like the idle jobs at outage start.
-                if !member.available && !job_completed {
-                    let idle = {
-                        let j = &self.members[target].active
-                            [self.members[target].slot(job).expect("checked above")];
-                        j.busy_executors == 0 && j.retrying == 0
-                    };
-                    if idle {
-                        if let Some(dest) = self.evacuation_target(target) {
-                            self.apply_migration(job, dest)?;
+                // Only a task finish can drain a job (`TasksCompleted` is
+                // produced by nothing else), so the other seeds skip this.
+                if let EventSeed::TasksCompleted { job, .. } = seed {
+                    if !self.members[target].available {
+                        let idle = {
+                            let member = &self.members[target];
+                            let j = &member.active
+                                [member.slot(job).expect("an uncompleted job stays active")];
+                            j.busy_executors == 0 && j.retrying == 0
+                        };
+                        if idle {
+                            if let Some(dest) = self.evacuation_target(target) {
+                                self.apply_migration(job, dest)?;
+                            }
                         }
                     }
                 }
-                Ok(Some((target, EventSeed::TasksCompleted { job, stage, n: 1 })))
-            }
-            Event::RetryRelease { member: target, job, stage, task } => {
-                let member = &mut self.members[target];
-                // The job cannot have completed (the killed task's stage is
-                // still held open) and cannot have migrated (cooling-down
-                // tasks pin it to this member), so it must be active here —
-                // anything else is an engine bug worth a descriptive error.
-                let Some(idx) = member.slot(job) else {
-                    return Err(SimError::InvalidAssignment {
-                        reason: format!(
-                            "retry release of task {task} of {stage} for {job}, which is not \
-                             active on member {target}"
-                        ),
-                    });
-                };
-                let active = &mut member.active[idx];
-                active.retrying -= 1;
-                active.progress.fail_task(&active.dag, stage, task);
-                member.retries += 1;
-                member.fault_log.push(FaultRecord {
-                    time: self.time,
-                    member: target,
-                    effect: FaultEffect::TaskRetried { job, stage, task },
-                });
-                Ok(Some((target, EventSeed::Kick)))
-            }
-            Event::Wakeup { member, token } => Ok(Some((member, EventSeed::Wakeup(token)))),
-            Event::MigrationArrival { member: target, job } => {
-                let state = self
-                    .jobs
-                    .get_mut(job.index())
-                    .expect("in-transit jobs are never retired")
-                    .in_transit
-                    .take()
-                    .expect("migration arrival for a job that is not in transit");
-                let remaining = state.progress.remaining_work(&state.dag);
-                let member = &mut self.members[target];
-                // The destination table stays ordered by arrival *at this
-                // member* — a migrated job joins the back of the queue like
-                // a fresh arrival would, whatever its global id.  If the
-                // destination went down while the job was in flight, it
-                // queues here until the outage ends (or a later carbon step
-                // migrates it again) — the transfer was already paid.
-                member.register_active(state);
-                member.routed_jobs += 1;
-                member.outstanding_work += remaining;
-                member
-                    .profile
-                    .record_jobs_in_system(self.time, member.active.len());
-                Ok(Some((target, EventSeed::JobArrived(job))))
+                Ok(Some((target, seed)))
             }
         }
     }
@@ -1465,6 +2195,7 @@ impl<'a> Engine<'a> {
         slot.routed = Some(to as u32);
         slot.migrated = true;
         slot.in_transit = Some(state);
+        self.in_transit += 1;
         self.events.push(arrived, Event::MigrationArrival { member: to, job });
         self.migrations.push(MigrationRecord {
             job,
@@ -1743,256 +2474,20 @@ impl<'a> Engine<'a> {
         // scheduler can write into it while the member (whose active table
         // the context borrows) stays immutably borrowed.
         let mut sink = std::mem::take(&mut self.members[target].sink);
-        let result = self.schedule_loop_with(target, scheduler, &mut sink, seed);
+        let result = member_schedule_pass(
+            &mut self.members[target],
+            target,
+            self.time,
+            self.jobs_seen,
+            &self.jobs,
+            &[],
+            &mut self.events,
+            scheduler,
+            &mut sink,
+            seed,
+        );
         self.members[target].sink = sink;
         result
-    }
-
-    fn schedule_loop_with(
-        &mut self,
-        target: usize,
-        scheduler: &mut dyn Scheduler,
-        sink: &mut DecisionSink,
-        mut seed: EventSeed,
-    ) -> Result<(), SimError> {
-        loop {
-            let member = &self.members[target];
-            // An outaged member never dispatches — its scheduler is not even
-            // consulted until the outage ends (running tasks drain on their
-            // own; arrivals and completions still mutate state silently).
-            if !member.available {
-                return Ok(());
-            }
-            if member.executors.free_count() == 0 {
-                return Ok(());
-            }
-            let carbon = member.carbon_view(self.time);
-            let ctx = SchedulingContext::new(
-                self.time,
-                carbon,
-                member.config.num_executors,
-                member.executors.free_count(),
-                member.executors.busy_count(),
-                member.config.job_cap(),
-                &member.active,
-                Some(&member.slots),
-            )
-            .with_slot_base(member.slot_base);
-            if !ctx.has_dispatchable_work() {
-                return Ok(());
-            }
-            let event = match seed {
-                EventSeed::JobArrived(id) => match ctx.job(id) {
-                    Some(job) => SchedEvent::JobArrived { job },
-                    // Unreachable in practice: an arrival is active when its
-                    // scheduling pass starts.  Degrade to a kick, never skip.
-                    None => SchedEvent::Kick,
-                },
-                EventSeed::TasksCompleted { job, stage, n } => {
-                    SchedEvent::TasksCompleted { job, stage, n }
-                }
-                EventSeed::TasksFailed { job, stage, n } => {
-                    SchedEvent::TasksFailed { job, stage, n }
-                }
-                EventSeed::CarbonChanged { prev, now } => SchedEvent::CarbonChanged { prev, now },
-                EventSeed::Wakeup(token) => SchedEvent::Wakeup { token },
-                EventSeed::Kick => SchedEvent::Kick,
-            };
-            sink.clear();
-            if member.config.sample_invocation_latency {
-                let queue_length = ctx.queue_length();
-                let started = Instant::now();
-                scheduler.on_event(event, &ctx, sink);
-                let latency_seconds = started.elapsed().as_secs_f64();
-                self.members[target].invocations.push(InvocationSample {
-                    time: self.time,
-                    queue_length,
-                    latency_seconds,
-                });
-            } else {
-                scheduler.on_event(event, &ctx, sink);
-            }
-            self.apply_deferrals(target, sink.deferrals());
-            if sink.assignments().is_empty() {
-                return Ok(());
-            }
-            let dispatched = self.apply_assignments(target, sink.assignments())?;
-            if dispatched == 0 {
-                return Ok(());
-            }
-            seed = EventSeed::Kick;
-        }
-    }
-
-    /// Resolves one member's control verbs into real events on the shared
-    /// queue: `defer_until` becomes a timer wakeup at the requested instant
-    /// (which may pierce the carbon-step granularity), `defer_below` becomes
-    /// a wakeup at the first future step of *that member's* carbon trace at
-    /// or below the threshold (resolved in O(log trace) against the trace's
-    /// range-min index).
-    fn apply_deferrals(&mut self, target: usize, deferrals: &[DeferRequest]) {
-        let member = &self.members[target];
-        for request in deferrals {
-            match *request {
-                DeferRequest::Until { time, token } => {
-                    // Requests at or before the current instant are dropped:
-                    // the policy is being invoked right now.
-                    if time > self.time {
-                        self.events.push(time, Event::Wakeup { member: target, token });
-                    }
-                }
-                DeferRequest::Below { intensity, token } => {
-                    // Search strictly future steps — if the current step
-                    // already qualified the policy would not be deferring.
-                    let from = member.carbon.next_change(member.carbon_time(self.time));
-                    if let Some(ct) = member.carbon.next_time_at_or_below(from, intensity) {
-                        let time = ct / member.config.time_scale;
-                        // Same future-time guard as the Until arm: when the
-                        // carbon→schedule conversion is inexact in f64, a
-                        // wakeup popped just below a step boundary can
-                        // resolve its re-request back to the current
-                        // instant; re-pushing it would freeze the clock.
-                        // Dropping it is safe — the next regular carbon-step
-                        // event re-invokes the policy anyway.
-                        if time > self.time {
-                            self.events.push(time, Event::Wakeup { member: target, token });
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Applies one member's assignments, returning the number of tasks
-    /// actually dispatched.
-    fn apply_assignments(
-        &mut self,
-        target: usize,
-        assignments: &[Assignment],
-    ) -> Result<usize, SimError> {
-        let jobs_seen = self.jobs_seen;
-        let member = &mut self.members[target];
-        let mut dispatched = 0;
-        for a in assignments {
-            if a.job.index() >= jobs_seen {
-                return Err(SimError::InvalidAssignment {
-                    reason: format!("unknown job {}", a.job),
-                });
-            }
-            let Some(idx) = member.slot(a.job) else {
-                let Some(slot) = self.jobs.get(a.job.index()) else {
-                    // Retired by serve-mode compaction: settled history;
-                    // the stale assignment is forgiven unconditionally (the
-                    // stage-count validation retired with the slot).
-                    continue;
-                };
-                if slot.settled() {
-                    // An assignment to an already finished (or rejected) job
-                    // is a harmless no-op — but an out-of-range stage is
-                    // still a scheduler bug and keeps being reported (the
-                    // retained stage count outlives the retired job's DAG).
-                    if a.stage.index() >= slot.stage_count as usize {
-                        return Err(SimError::InvalidAssignment {
-                            reason: format!("{} has no {}", a.job, a.stage),
-                        });
-                    }
-                    continue;
-                }
-                // Not settled and not active here: mid-migration, routed
-                // to a different member, or not arrived at all.  A job that
-                // has migrated at least once gets the same forgiveness as a
-                // completed one — its former member's scheduler had no event
-                // through which to learn it left (the SchedEvent stream is
-                // advisory), so a stale assignment is a harmless no-op.  A
-                // *never*-migrated job on another member stays a hard error:
-                // a scheduler can only name such a job by bug.
-                if slot.migrated {
-                    continue;
-                }
-                if let Some(other) = slot.routed {
-                    return Err(SimError::InvalidAssignment {
-                        reason: format!(
-                            "{} is routed to member {}, not this member",
-                            a.job, other
-                        ),
-                    });
-                }
-                return Err(SimError::InvalidAssignment {
-                    reason: format!("{} has not arrived yet", a.job),
-                });
-            };
-            if a.stage.index() >= member.active[idx].dag.num_stages() {
-                return Err(SimError::InvalidAssignment {
-                    reason: format!("{} has no {}", a.job, a.stage),
-                });
-            }
-            if a.executors == 0 {
-                continue;
-            }
-            let cap_room = member
-                .config
-                .job_cap()
-                .saturating_sub(member.active[idx].busy_executors);
-            let budget = a
-                .executors
-                .min(member.executors.free_count())
-                .min(cap_room)
-                .min(member.active[idx].progress.pending_tasks(a.stage));
-            for _ in 0..budget {
-                let Some(exec_idx) = member.executors.pick_free_for(a.job) else {
-                    break;
-                };
-                let active = &mut member.active[idx];
-                let Some(task_idx) = active.progress.dispatch_task(&active.dag, a.stage) else {
-                    break;
-                };
-                let task = active.dag.stage(a.stage).tasks[task_idx];
-                let move_delay = if member.executors.get(exec_idx).needs_move_delay(a.job) {
-                    member.config.executor_move_delay
-                } else {
-                    0.0
-                };
-                let finish_time = self.time + move_delay + task.duration;
-                member.executors.start(exec_idx, a.job, self.time);
-                active.first_start.get_or_insert(self.time);
-                active.busy_executors += 1;
-                active.executor_seconds += task.duration;
-                member.outstanding_work -= task.duration;
-                member.running[exec_idx] = Some(RunningTask {
-                    job: a.job,
-                    stage: a.stage,
-                    task: task_idx,
-                    started: self.time,
-                    duration: task.duration,
-                    finish_time,
-                });
-                self.events.push(
-                    finish_time,
-                    Event::TaskFinish {
-                        member: target,
-                        executor: exec_idx,
-                        job: a.job,
-                        stage: a.stage,
-                        epoch: member.epochs[exec_idx],
-                    },
-                );
-                if member.config.profile_mode == ProfileMode::Full {
-                    member.profile.record_segment(ExecutorSegment {
-                        executor: exec_idx,
-                        job: a.job,
-                        stage: a.stage,
-                        start: self.time,
-                        end: finish_time,
-                    });
-                }
-                dispatched += 1;
-                member.tasks_dispatched += 1;
-            }
-        }
-        if dispatched > 0 {
-            member.record_usage_sample(self.time);
-        }
-        Ok(dispatched)
     }
 
     // --- Serve-mode surface (used by `crate::serve`) ---
@@ -2159,6 +2654,9 @@ impl<'a> Engine<'a> {
         self.events = snap.events.clone();
         self.pending = snap.pending.clone().map(|(id, job)| PendingArrival { id, job });
         self.jobs = snap.jobs.clone();
+        // The in-flight count is derived state — recompute it from the
+        // restored table rather than trusting a separately serialized copy.
+        self.in_transit = self.jobs.slots.iter().filter(|s| s.in_transit.is_some()).count();
         self.migrations = snap.migrations.clone();
         for (m, s) in self.members.iter_mut().zip(&snap.members) {
             m.executors = s.executors.clone();
@@ -2582,9 +3080,17 @@ mod tests {
             .expect("no admission policy, so the job is admitted");
         assert_eq!(target, 1, "the router placed the job on member 1");
         // Member 0 now tries to dispatch member 1's job.
-        let err = engine
-            .apply_assignments(0, &[Assignment::new(JobId(0), StageId(0), 1)])
-            .unwrap_err();
+        let err = apply_assignments_for(
+            &mut engine.members[0],
+            0,
+            engine.time,
+            engine.jobs_seen,
+            &engine.jobs,
+            &[],
+            &mut engine.events,
+            &[Assignment::new(JobId(0), StageId(0), 1)],
+        )
+        .unwrap_err();
         match err {
             SimError::InvalidAssignment { reason } => {
                 assert!(reason.contains("routed to member 1"), "got: {reason}")

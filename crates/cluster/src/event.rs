@@ -71,6 +71,20 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// The member cluster this event belongs to.  Every event variant is
+    /// member-scoped — this is what lets the parallel execution mode bucket
+    /// a drained window's events per member without inspecting payloads.
+    pub fn member(&self) -> usize {
+        match *self {
+            Event::TaskFinish { member, .. }
+            | Event::RetryRelease { member, .. }
+            | Event::Wakeup { member, .. }
+            | Event::MigrationArrival { member, .. } => member,
+        }
+    }
+}
+
 /// An event stamped with its occurrence time.
 #[derive(Debug, Clone, Copy)]
 struct Scheduled {

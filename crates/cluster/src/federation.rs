@@ -50,7 +50,7 @@
 //! [`StaticRouter`]: crate::routing::StaticRouter
 
 use crate::config::ClusterConfig;
-use crate::engine::Engine;
+use crate::engine::{Engine, ExecutionMode};
 use crate::error::SimError;
 use crate::faults::{FaultContext, FaultPlan, FaultSchedule, RetryPolicy};
 use crate::job_state::SubmittedJob;
@@ -105,6 +105,10 @@ pub struct Federation {
     /// How crashed tasks are retried.  Irrelevant (never consulted) under an
     /// empty fault schedule.
     retry: RetryPolicy,
+    /// How runs advance the event loop.  Defaults to
+    /// [`ExecutionMode::Sequential`], which is bit-identical to the
+    /// pre-batching engine.
+    execution: ExecutionMode,
 }
 
 impl Federation {
@@ -132,6 +136,7 @@ impl Federation {
             invalid,
             faults: FaultSchedule::none(),
             retry: RetryPolicy::default(),
+            execution: ExecutionMode::Sequential,
         }
     }
 
@@ -226,6 +231,20 @@ impl Federation {
         self
     }
 
+    /// Selects how runs advance the event loop (see [`ExecutionMode`]).
+    /// The default, [`ExecutionMode::Sequential`], is bit-identical to the
+    /// pre-batching engine; the other modes are deterministic in their own
+    /// right (same seed + same mode ⇒ same result, any worker count).
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
+    /// The execution mode runs use (see [`Federation::with_execution_mode`]).
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.execution
+    }
+
     /// The fault schedule every run replays (empty by default).
     pub fn fault_schedule(&self) -> &FaultSchedule {
         &self.faults
@@ -289,6 +308,7 @@ impl Federation {
             &self.faults,
             self.retry,
         );
+        engine.set_mode(self.execution);
         engine.run(router, migration, schedulers)
     }
 
@@ -343,6 +363,7 @@ impl Federation {
             &self.faults,
             self.retry,
         );
+        engine.set_mode(self.execution);
         engine.run(router, migration, schedulers)
     }
 }

@@ -127,6 +127,27 @@
 //!   [`EngineSnapshot`]s capture the full dynamic state for bit-identical
 //!   stop/restore across sessions.  New engine features must keep the
 //!   horizon check side-effect-free and the snapshot exhaustive.
+//! * **Batched + parallel execution.**  The event loop's advance strategy
+//!   is a run-scoped [`ExecutionMode`].  The default (`Sequential`) is
+//!   bit-identical to the historical engine.  `Batched` drains every queue
+//!   event sharing the head timestamp before consulting schedulers, then
+//!   invokes each touched member once per instant with a coalesced event
+//!   (equal `(job, stage)` finishes sum their `n`; heterogeneous bursts
+//!   degrade to one `Kick`) — sound because the [`SchedEvent`] stream is
+//!   advisory by contract.  `Parallel { workers }` additionally advances
+//!   members independently on scoped worker threads between cross-member
+//!   interaction points: a conservative window barrier is the earliest of
+//!   the pending arrival, the next fault injection, any member's next
+//!   carbon step, the serve horizon and the time limit, and a window opens
+//!   only while members are decoupled (no migration in flight, everyone
+//!   available).  Per-member work inside a window goes through the same
+//!   member-scoped free functions as the sequential path, local results
+//!   merge at the barrier in member-index order, and events *at* the
+//!   barrier stay queued for the unchanged sequential branches — so the
+//!   result is deterministic and identical for any worker count (pinned by
+//!   `tests/parallel.rs`), though not bit-identical to `Sequential`.
+//!   Schedulers are `Send` for this reason; new policies must keep their
+//!   state plain data.
 //! * **Typed events, engine-managed timers.**  Policies learn *why* they run
 //!   from [`SchedEvent`] and resume from deferral through engine-scheduled
 //!   wakeups: `defer_until` enqueues a timer event at an exact instant
@@ -221,7 +242,7 @@ pub mod source;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, BoundedQueue};
 pub use config::{ClusterConfig, ProfileMode};
-pub use engine::{EngineSnapshot, Simulator};
+pub use engine::{EngineSnapshot, ExecutionMode, Simulator};
 pub use serve::ServeSession;
 pub use error::{PartialRunSummary, SimError};
 pub use faults::{

@@ -243,16 +243,6 @@ impl<'a> SchedulingContext<'a> {
         })
     }
 
-    /// All `(job, stage)` pairs that could be dispatched right now,
-    /// collected into a fresh vector.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates a Vec per call; use the allocation-free `dispatchable_iter` instead"
-    )]
-    pub fn dispatchable(&self) -> Vec<(JobId, StageId)> {
-        self.dispatchable_iter().collect()
-    }
-
     /// True if at least one stage has undispatched tasks whose precedence
     /// constraints are satisfied.  O(active jobs): each job answers from its
     /// incrementally maintained dispatchable set.
@@ -505,7 +495,13 @@ impl DecisionSink {
 /// Implementations must be deterministic given their own internal RNG state;
 /// the engine itself introduces no randomness.  Recording no decision idles
 /// the free executors until the next scheduling event.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so [`ExecutionMode::Parallel`] can hand each
+/// member's scheduler to a scoped worker thread; policies are plain data
+/// (their RNGs included), so this costs implementations nothing.
+///
+/// [`ExecutionMode::Parallel`]: crate::ExecutionMode
+pub trait Scheduler: Send {
     /// Human-readable policy name used in result tables.
     fn name(&self) -> &str;
 
@@ -561,8 +557,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_dispatchable_matches_iterator() {
+    fn context_is_usable_without_a_slot_table() {
         let dag = Arc::new(make_dag());
         let active = vec![ActiveJob::new(JobId(0), dag, 0.0)];
         let ctx = SchedulingContext::new(
@@ -575,7 +570,11 @@ mod tests {
             &active,
             None,
         );
-        assert_eq!(ctx.dispatchable(), ctx.dispatchable_iter().collect::<Vec<_>>());
+        assert!(ctx.has_dispatchable_work());
+        assert_eq!(
+            ctx.dispatchable_iter().collect::<Vec<_>>(),
+            vec![(JobId(0), StageId(0))]
+        );
     }
 
     #[test]

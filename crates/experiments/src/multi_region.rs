@@ -21,8 +21,8 @@ use crate::format::TextTable;
 use crate::runner::SchedulerSpec;
 use pcaps_carbon::{CarbonAccountant, GridRegion, TraceSet};
 use pcaps_cluster::{
-    Federation, FederationResult, Member, MigrationPolicy, NeverMigrate, Router, Scheduler,
-    TransferMatrix,
+    ExecutionMode, Federation, FederationResult, Member, MigrationPolicy, NeverMigrate, Router,
+    Scheduler, TransferMatrix,
 };
 use pcaps_cluster::{ClusterConfig, SubmittedJob};
 use pcaps_metrics::ExperimentSummary;
@@ -61,6 +61,12 @@ pub struct FederationExperimentConfig {
     /// Network energy per GB migrated (kWh/GB), used to attribute transfer
     /// carbon at the endpoint-mean intensity.
     pub transfer_energy_kwh_per_gb: f64,
+    /// How trials advance the engine's event loop (defaults to
+    /// [`ExecutionMode::Sequential`], the bit-identical historical path).
+    /// Not serialized: it changes throughput, not results, so persisted
+    /// configs always re-run in the default mode.
+    #[serde(skip)]
+    pub execution: ExecutionMode,
 }
 
 impl FederationExperimentConfig {
@@ -82,7 +88,15 @@ impl FederationExperimentConfig {
             trace_offset_hours: 0,
             transfer_seconds_per_gb: 1.0,
             transfer_energy_kwh_per_gb: 0.05,
+            execution: ExecutionMode::Sequential,
         }
+    }
+
+    /// Selects the engine execution mode trials run under (see
+    /// [`ExecutionMode`]).
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
     }
 
     /// Sets the trace offset (hours into every member's trace).
@@ -144,6 +158,7 @@ impl FederationExperimentConfig {
             .collect();
         Federation::new(members, self.workload_stream())
             .with_transfer_matrix(self.transfer_matrix())
+            .with_execution_mode(self.execution)
     }
 
     /// Per-member carbon accountants (same traces and time scale the
@@ -158,10 +173,12 @@ impl FederationExperimentConfig {
 
     /// The per-member scheduler seed, derived like [`run_trial`]'s and
     /// salted per member so sampling policies on different members draw
-    /// independent streams.
+    /// independent streams.  Public so out-of-crate harnesses (the root
+    /// execution-mode determinism suite) can rebuild a trial's schedulers
+    /// exactly.
     ///
     /// [`run_trial`]: crate::runner::run_trial
-    pub(crate) fn member_seed(&self, member: usize) -> u64 {
+    pub fn member_seed(&self, member: usize) -> u64 {
         (self.seed ^ 0x5EED).wrapping_add(member as u64 * 0x9E37_79B9)
     }
 }

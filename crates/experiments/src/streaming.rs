@@ -49,6 +49,12 @@ impl<S: JobSource> ArrivalSource for StreamSource<S> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         self.inner.size_hint()
     }
+
+    fn prevalidated(&self) -> bool {
+        // Workload generators build every DAG through `JobDagBuilder::build`,
+        // which already validates; the engine can skip its per-pull revalidation.
+        true
+    }
 }
 
 /// The streamed twin of [`run_trial`]: same configuration, same scheduler

@@ -11,7 +11,9 @@
 //! stdout.  Two environment variables integrate with the repo's bench smoke
 //! script (`crates/bench/smoke.sh`):
 //!
-//! * `PCAPS_BENCH_QUICK=1` — cut sample counts for a fast smoke run,
+//! * `PCAPS_BENCH_QUICK=1` — cut sample counts for a fast smoke run (at
+//!   least 5 batches are still timed so `min_ns` — the noise-robust
+//!   statistic the ±10% regression gate compares — is meaningful),
 //! * `PCAPS_BENCH_JSON=path` — write `{"<group>/<id>": {"mean_ns": …,
 //!   "samples": …}, …}` to `path` when the run finishes.
 
@@ -63,7 +65,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
-            sample_size: if quick_mode() { 3 } else { 20 },
+            sample_size: if quick_mode() { 5 } else { 20 },
         }
     }
 
@@ -72,7 +74,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = if quick_mode() { 3 } else { 20 };
+        let samples = if quick_mode() { 5 } else { 20 };
         let label = id.into_benchmark_id();
         run_one(&mut self.results, label, samples, |b| f(b));
         self
@@ -111,7 +113,7 @@ impl BenchmarkGroup<'_> {
     /// Sets the number of timed batches per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
-        self.sample_size = if quick_mode() { n.min(3) } else { n };
+        self.sample_size = if quick_mode() { n.min(5) } else { n };
         self
     }
 

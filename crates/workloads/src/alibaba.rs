@@ -128,48 +128,61 @@ impl AlibabaGenerator {
 
         let mut builder = JobDagBuilder::new(name);
         let mut ids: Vec<StageId> = Vec::with_capacity(num_stages);
+        let mut jitters: Vec<f64> = Vec::new();
         for (i, w) in stage_weights.iter().enumerate() {
             let stage_work = total_duration * w / weight_sum;
             // Production stages have anywhere from 1 to ~50 tasks; keep the
             // count roughly proportional to the stage's work.
             let tasks = ((stage_work / 200.0).ceil() as usize).clamp(1, 50);
-            let task_durations: Vec<Task> = {
-                let jitters: Vec<f64> =
-                    (0..tasks).map(|_| self.rng.gen_range(0.5..1.5)).collect();
-                let jitter_sum: f64 = jitters.iter().sum();
-                jitters
-                    .iter()
-                    .map(|j| Task::new(stage_work * j / jitter_sum))
-                    .collect()
-            };
+            jitters.clear();
+            jitters.extend((0..tasks).map(|_| self.rng.gen_range(0.5..1.5)));
+            let jitter_sum: f64 = jitters.iter().sum();
+            let task_durations: Vec<Task> = jitters
+                .iter()
+                .map(|j| Task::new(stage_work * j / jitter_sum))
+                .collect();
             ids.push(builder.add_stage(format!("s{i}"), task_durations));
         }
 
         // 3. Wire edges: every stage in layer > 0 gets 1–3 parents from
         //    earlier layers (preferring the immediately preceding layer),
         //    producing the chain / fan-in / fan-out motifs of the trace.
+        //
+        //    The preference order — closest earlier layer first, ascending
+        //    index within a layer — is the same relative order for every
+        //    stage, so one presort replaces the per-stage filter+sort that
+        //    used to dominate generation time: with stages sorted by
+        //    descending layer (then index), any stage's candidate list is
+        //    the suffix of stages in strictly earlier layers, found at
+        //    offset `ge_count[layer]` (= number of stages with layer ≥ l).
+        let mut order: Vec<usize> = (0..num_stages).collect();
+        order.sort_unstable_by_key(|&j| (std::cmp::Reverse(layer_of[j]), j));
+        let mut ge_count = vec![0usize; num_layers + 1];
+        for &l in &layer_of {
+            ge_count[l] += 1;
+        }
+        for l in (0..num_layers).rev() {
+            ge_count[l] += ge_count[l + 1];
+        }
         let mut edges: Vec<(StageId, StageId)> = Vec::new();
+        let mut chosen: Vec<usize> = Vec::with_capacity(3);
         for i in 0..num_stages {
             if layer_of[i] == 0 {
                 continue;
             }
             let parents_wanted = self.rng.gen_range(1..=3usize);
-            let mut candidates: Vec<usize> = (0..num_stages)
-                .filter(|&j| layer_of[j] < layer_of[i])
-                .collect();
-            // Prefer close layers: sort by layer distance then index.
-            candidates.sort_by_key(|&j| (layer_of[i] - layer_of[j], j));
+            let candidates = &order[ge_count[layer_of[i]]..];
             let take = parents_wanted.min(candidates.len());
             // Pick among the closest 2×take candidates to add variety.
             let pool = candidates.len().min(take * 2);
-            let mut chosen = Vec::new();
+            chosen.clear();
             while chosen.len() < take {
                 let pick = candidates[self.rng.gen_range(0..pool)];
                 if !chosen.contains(&pick) {
                     chosen.push(pick);
                 }
             }
-            for p in chosen {
+            for &p in &chosen {
                 edges.push((ids[p], ids[i]));
             }
         }

@@ -1,0 +1,265 @@
+//! Execution-mode determinism: the engine's batched and parallel execution
+//! modes change wall-clock behaviour only, never schedules.
+//!
+//! Two families of pins:
+//!
+//! * **Worker-count invariance** — a federated trial under
+//!   [`ExecutionMode::Parallel`] produces a bit-identical
+//!   [`FederationResult`] for 1, 2 and 4 workers, across schedulers,
+//!   migration on/off, faults on/off and seeds.  Parallel mode partitions
+//!   members across scoped threads inside conservative time windows and
+//!   merges in member-index order, so how the members are chunked must be
+//!   unobservable.
+//! * **Batched = sequential** — [`ExecutionMode::Batched`] (same-timestamp
+//!   event bursts drained together, one coalesced scheduler invocation per
+//!   member per burst) reproduces the sequential engine bit for bit on all
+//!   seven single-cluster scheduler specs of the experiment harness.
+
+use pcaps_carbon::GridRegion;
+use pcaps_cluster::{
+    ExecutionMode, FederationResult, PoissonCrashes, Scheduler, SimulationResult,
+};
+use pcaps_experiments::multi_region::{
+    FederationExperimentConfig, MigrationSpec, RouterSpec,
+};
+use pcaps_experiments::reliability::{crash_horizon, trial_retry_policy};
+use pcaps_experiments::runner::{
+    run_trial, BaseScheduler, ExperimentConfig, SchedulerSpec,
+};
+
+/// FNV-1a accumulator (the same construction as `tests/determinism.rs`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn mix(&mut self, v: u64) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+}
+
+/// Mixes every schedule-defining field of one member's simulation result.
+fn mix_result(h: &mut Fnv, r: &SimulationResult) {
+    h.mix(r.makespan.to_bits());
+    h.mix(r.tasks_dispatched as u64);
+    h.mix(r.jobs_submitted as u64);
+    h.mix(r.tasks_failed as u64);
+    h.mix(r.retries as u64);
+    h.mix(r.wasted_seconds.to_bits());
+    for job in &r.jobs {
+        h.mix(job.id.0);
+        h.mix(job.arrival.to_bits());
+        h.mix(job.completion.to_bits());
+        h.mix(job.executor_seconds.to_bits());
+    }
+}
+
+/// Digest of an entire federated run: federation-level aggregates, every
+/// member's per-job records, and the full migration log, all at bit
+/// precision.
+fn federation_digest(r: &FederationResult) -> u64 {
+    let mut h = Fnv::new();
+    h.mix(r.makespan.to_bits());
+    h.mix(r.members.len() as u64);
+    for m in &r.members {
+        mix_result(&mut h, &m.result);
+    }
+    h.mix(r.migrations.len() as u64);
+    for m in &r.migrations {
+        h.mix(m.job.0);
+        h.mix(m.from as u64);
+        h.mix(m.to as u64);
+        h.mix(m.departed.to_bits());
+        h.mix(m.arrived.to_bits());
+        h.mix(m.transfer_seconds.to_bits());
+    }
+    h.0
+}
+
+/// Single-cluster fingerprint (identical to `tests/determinism.rs`).
+fn fingerprint(result: &SimulationResult) -> u64 {
+    let mut h = Fnv::new();
+    h.mix(result.makespan.to_bits());
+    h.mix(result.tasks_dispatched as u64);
+    h.mix(result.jobs_submitted as u64);
+    for job in &result.jobs {
+        h.mix(job.id.0);
+        h.mix(job.arrival.to_bits());
+        h.mix(job.completion.to_bits());
+        h.mix(job.executor_seconds.to_bits());
+    }
+    h.0
+}
+
+/// The three-grid federated configuration of the bench suite
+/// (`fed_bench_config(10, 7)`), parameterised by seed.
+fn fed_config(seed: u64) -> FederationExperimentConfig {
+    let mut cfg = FederationExperimentConfig::standard(
+        vec![GridRegion::Caiso, GridRegion::Germany, GridRegion::SouthAfrica],
+        10,
+        seed,
+    );
+    cfg.executors_per_member = 7;
+    cfg.trace_days = 7;
+    cfg
+}
+
+/// Runs one federated trial under the given execution mode, migration
+/// policy and optional Poisson crash process, mirroring the experiment
+/// harness's seed derivations exactly.
+fn run_fed(
+    cfg: &FederationExperimentConfig,
+    mode: ExecutionMode,
+    migration_spec: MigrationSpec,
+    mtbf: Option<f64>,
+    spec: SchedulerSpec,
+) -> FederationResult {
+    let mut federation = cfg
+        .clone()
+        .with_execution_mode(mode)
+        .federation_instance()
+        .with_retry_policy(trial_retry_policy());
+    if let Some(mtbf) = mtbf {
+        let plan =
+            PoissonCrashes::new(cfg.seed ^ 0xFA17, mtbf).with_horizon(crash_horizon(cfg));
+        federation = federation.with_fault_plan(&plan);
+    }
+    let mut schedulers: Vec<Box<dyn Scheduler>> = federation
+        .members()
+        .iter()
+        .enumerate()
+        .map(|(i, member)| spec.build(cfg.member_seed(i), &member.carbon, 60.0))
+        .collect();
+    let mut router = RouterSpec::CarbonQueueAware.build();
+    let mut migration = migration_spec.build();
+    let mut refs: Vec<&mut dyn Scheduler> = Vec::with_capacity(schedulers.len());
+    for s in schedulers.iter_mut() {
+        refs.push(&mut **s);
+    }
+    federation
+        .run_with_migration(router.as_mut(), migration.as_mut(), &mut refs)
+        .expect("execution-mode determinism trials are constructed to always complete")
+}
+
+/// The fault/migration corners every parallel pin crosses.
+const CORNERS: [(MigrationSpec, Option<f64>); 4] = [
+    (MigrationSpec::Never, None),
+    (MigrationSpec::CarbonDelta, None),
+    (MigrationSpec::Never, Some(40.0)),
+    (MigrationSpec::CarbonDelta, Some(40.0)),
+];
+
+#[test]
+fn parallel_results_are_invariant_to_worker_count() {
+    for seed in [11u64, 23, 47] {
+        let cfg = fed_config(seed);
+        for spec in [
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+            SchedulerSpec::pcaps_moderate(),
+        ] {
+            for (migration, mtbf) in CORNERS {
+                let one = run_fed(
+                    &cfg,
+                    ExecutionMode::Parallel { workers: 1 },
+                    migration,
+                    mtbf,
+                    spec,
+                );
+                assert!(one.all_jobs_complete());
+                let reference = federation_digest(&one);
+                for workers in [2usize, 4] {
+                    let more = run_fed(
+                        &cfg,
+                        ExecutionMode::Parallel { workers },
+                        migration,
+                        mtbf,
+                        spec,
+                    );
+                    assert_eq!(
+                        federation_digest(&more),
+                        reference,
+                        "seed {seed}, {spec:?}, {migration:?}, mtbf {mtbf:?}: \
+                         {workers} workers changed the federated schedule"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_are_reproducible() {
+    // Same mode, same worker count, run twice: the scoped-thread path must
+    // be as repeatable as the sequential engine (no wall-clock leakage).
+    let cfg = fed_config(7);
+    for (migration, mtbf) in CORNERS {
+        let a = run_fed(
+            &cfg,
+            ExecutionMode::Parallel { workers: 2 },
+            migration,
+            mtbf,
+            SchedulerSpec::pcaps_moderate(),
+        );
+        let b = run_fed(
+            &cfg,
+            ExecutionMode::Parallel { workers: 2 },
+            migration,
+            mtbf,
+            SchedulerSpec::pcaps_moderate(),
+        );
+        assert_eq!(federation_digest(&a), federation_digest(&b));
+    }
+}
+
+/// The reference configuration of `tests/determinism.rs`.
+fn reference_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::simulator(GridRegion::Germany, 8, 1);
+    cfg.executors = 20;
+    cfg.trace_days = 7;
+    cfg
+}
+
+/// The seven scheduler specs of the experiment harness.
+fn all_specs() -> [(&'static str, SchedulerSpec); 7] {
+    [
+        ("fifo", SchedulerSpec::Baseline(BaseScheduler::Fifo)),
+        ("k8s_default", SchedulerSpec::Baseline(BaseScheduler::KubeDefault)),
+        ("weighted_fair", SchedulerSpec::Baseline(BaseScheduler::WeightedFair)),
+        ("decima", SchedulerSpec::Baseline(BaseScheduler::Decima)),
+        ("greenhadoop", SchedulerSpec::GreenHadoop { theta: 0.5 }),
+        ("cap_fifo", SchedulerSpec::Cap { base: BaseScheduler::Fifo, b: 5 }),
+        ("pcaps", SchedulerSpec::Pcaps { gamma: 0.5 }),
+    ]
+}
+
+/// Runs one single-cluster trial under [`ExecutionMode::Batched`], with the
+/// same construction (config, seed derivation, scheduler build) as
+/// [`run_trial`].
+fn run_batched(cfg: &ExperimentConfig, spec: SchedulerSpec) -> SimulationResult {
+    let sim = cfg
+        .simulator_instance()
+        .with_execution_mode(ExecutionMode::Batched);
+    let mut scheduler = spec.build(cfg.seed ^ 0x5EED, sim.carbon(), 60.0);
+    sim.run(scheduler.as_mut())
+        .expect("batched trials are constructed to always complete")
+}
+
+#[test]
+fn batched_mode_reproduces_the_sequential_schedule_for_every_spec() {
+    let cfg = reference_config();
+    for (name, spec) in all_specs() {
+        let sequential = run_trial(&cfg, spec);
+        let batched = run_batched(&cfg, spec);
+        assert_eq!(
+            fingerprint(&batched),
+            fingerprint(&sequential.result),
+            "{name}: batched event coalescing changed the schedule"
+        );
+    }
+}
