@@ -71,6 +71,33 @@ fn simulator_throughput(c: &mut Criterion) {
             })
         },
     );
+    // The migrating federated trial again, now through the link-level
+    // network model: every member's uplink is capacity-limited, so each
+    // move becomes a max-min fair-shared flow with reallocation events
+    // instead of a fixed delay.  The A/B against fed3_migrate_pcaps above
+    // is the cost of the fluid flow machinery on an otherwise identical
+    // trial.
+    group.bench_function(
+        BenchmarkId::new("10_jobs_20_exec", "fed3_netmig_pcaps"),
+        |b| {
+            let mut network = pcaps_cluster::NetworkTopology::from_matrix(&fed_cfg.transfer_matrix());
+            for m in 0..3 {
+                network = network.with_uplink(m, 0.5);
+            }
+            let net_cfg = fed_cfg.clone().with_network(network);
+            b.iter(|| {
+                criterion::black_box(
+                    run_federated_trial_with_migration(
+                        &net_cfg,
+                        RouterSpec::CarbonQueueAware,
+                        MigrationSpec::CarbonDelta,
+                        SchedulerSpec::pcaps_moderate(),
+                    )
+                    .makespan,
+                )
+            })
+        },
+    );
     // The routed federated trial again, now under a 40 s-MTBF Poisson
     // crash process per member with retry recovery — tracks the cost of
     // the fault layer when it actually fires (crash bookkeeping, epoch

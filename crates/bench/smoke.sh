@@ -62,12 +62,16 @@ require_full_suite() {
 # admission conservation, open-loop determinism, bounded residency);
 # tests/parallel.rs pins the execution modes (batched ≡ sequential bit for
 # bit on every spec, parallel results invariant to worker count across
-# schedulers × migration × faults × seeds).
+# schedulers × migration × faults × seeds); tests/network.rs pins the
+# link-level transfer model (flow completions vs the from-scratch max-min
+# oracle, from_matrix ≡ TransferMatrix bit-identity on fed3_migrate_pcaps,
+# drain-then-move replay determinism).
 require_full_suite migration "migration conformance suite"
 require_full_suite streaming "streaming-equivalence suite"
 require_full_suite faults "fault-injection conformance suite"
 require_full_suite steady_state "steady-state serving suite"
 require_full_suite parallel "execution-mode determinism suite"
+require_full_suite network "network-topology conformance suite"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

@@ -58,6 +58,7 @@ use crate::faults::{
 };
 use crate::federation::{Federation, Member};
 use crate::job_state::{ActiveJob, JobRecord, SubmittedJob};
+use crate::network::{FlowArrivalPlan, FlowSet, NetworkTopology};
 use crate::source::ArrivalSource;
 use crate::profile::{ExecutorSegment, UsageProfile};
 use crate::result::{
@@ -572,8 +573,24 @@ impl JobTable {
 /// Mutable state of one federated run.
 pub(crate) struct Engine<'a> {
     members: Vec<MemberState<'a>>,
-    /// Cross-region transfer costs charged on migration.
+    /// Cross-region transfer costs charged on migration (the fixed per-GB
+    /// pricing used when no network topology is attached).
     transfer: &'a TransferMatrix,
+    /// Link-level network topology, when the federation attached one:
+    /// transfers over pairs that cross capacitated links become max-min
+    /// fair-shared flows in `flows`; uncontended pairs keep the exact
+    /// matrix arithmetic.
+    network: Option<&'a NetworkTopology>,
+    /// In-flight transfer flows (allocated only when a network is attached;
+    /// `None` otherwise, keeping the matrix path untouched).
+    flows: Option<FlowSet>,
+    /// Jobs currently draining toward a migration (their `ActiveJob` holds
+    /// the destination).  Like `in_transit`, a conservative window can only
+    /// open at zero: the drain trigger is an engine-level cross-member
+    /// action.
+    draining_jobs: usize,
+    /// Reused buffer for flow-arrival (re)scheduling plans.
+    flow_plan_buf: Vec<FlowArrivalPlan>,
 
     time: f64,
     events: EventQueue,
@@ -828,8 +845,8 @@ fn member_handle_event(
             Ok(LocalOutcome::Seed(EventSeed::Kick))
         }
         Event::Wakeup { member: _, token } => Ok(LocalOutcome::Seed(EventSeed::Wakeup(token))),
-        Event::MigrationArrival { .. } => {
-            unreachable!("migration arrivals are engine-level (handled before delegation)")
+        Event::MigrationArrival { .. } | Event::FlowArrival { .. } => {
+            unreachable!("migration and flow arrivals are engine-level (handled before delegation)")
         }
     }
 }
@@ -1050,6 +1067,13 @@ fn apply_assignments_for(
                 reason: format!("{} has no {}", a.job, a.stage),
             });
         }
+        // A draining job dispatches nothing: its running tasks finish in
+        // place and it then migrates.  The SchedEvent stream is advisory,
+        // so the scheduler may still name it — a forgiven no-op, like an
+        // assignment to a job that already migrated.
+        if member.active[idx].draining.is_some() {
+            continue;
+        }
         if a.executors == 0 {
             continue;
         }
@@ -1210,6 +1234,7 @@ impl<'a> Engine<'a> {
         members: &'a [Member],
         workload: &'a [SubmittedJob],
         transfer: &'a TransferMatrix,
+        network: Option<&'a NetworkTopology>,
         faults: &'a FaultSchedule,
         retry: RetryPolicy,
     ) -> Self {
@@ -1217,6 +1242,7 @@ impl<'a> Engine<'a> {
             members,
             EngineSource::Slice { jobs: workload, next: 0 },
             transfer,
+            network,
             faults,
             retry,
         )
@@ -1227,6 +1253,7 @@ impl<'a> Engine<'a> {
         members: &'a [Member],
         source: &'a mut dyn ArrivalSource,
         transfer: &'a TransferMatrix,
+        network: Option<&'a NetworkTopology>,
         faults: &'a FaultSchedule,
         retry: RetryPolicy,
     ) -> Self {
@@ -1235,6 +1262,7 @@ impl<'a> Engine<'a> {
             members,
             EngineSource::Dyn { source, validate },
             transfer,
+            network,
             faults,
             retry,
         )
@@ -1244,6 +1272,7 @@ impl<'a> Engine<'a> {
         members: &'a [Member],
         source: EngineSource<'a>,
         transfer: &'a TransferMatrix,
+        network: Option<&'a NetworkTopology>,
         faults: &'a FaultSchedule,
         retry: RetryPolicy,
     ) -> Self {
@@ -1261,6 +1290,10 @@ impl<'a> Engine<'a> {
         Engine {
             members: member_states,
             transfer,
+            network,
+            flows: network.map(FlowSet::new),
+            draining_jobs: 0,
+            flow_plan_buf: Vec::new(),
             time: 0.0,
             events: EventQueue::new(),
             source,
@@ -1692,7 +1725,7 @@ impl<'a> Engine<'a> {
         schedulers: &mut [&mut dyn Scheduler],
         workers: usize,
     ) -> Result<bool, SimError> {
-        if self.members.len() < 2 || self.in_transit > 0 {
+        if self.members.len() < 2 || self.in_transit > 0 || self.draining_jobs > 0 {
             return Ok(false);
         }
         if self.members.iter().any(|m| !m.available) {
@@ -1727,8 +1760,8 @@ impl<'a> Engine<'a> {
             }
             let (t, event) = self.events.pop().expect("peeked time implies non-empty");
             debug_assert!(
-                !matches!(event, Event::MigrationArrival { .. }),
-                "no migration arrivals are queued while in_transit == 0"
+                !matches!(event, Event::MigrationArrival { .. } | Event::FlowArrival { .. }),
+                "no migration or flow arrivals are queued while in_transit == 0"
             );
             buckets[event.member()].push((t, event));
         }
@@ -1869,11 +1902,16 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|m| m.result.makespan)
             .fold(0.0_f64, f64::max);
+        let links = match (self.network, &self.flows) {
+            (Some(topo), Some(flows)) => flows.utilization(topo),
+            _ => Vec::new(),
+        };
         FederationResult {
             router: router_name.to_string(),
             migration_policy: migration_name.to_string(),
             members: members_out,
             migrations: std::mem::take(&mut self.migrations),
+            links,
             makespan,
         }
     }
@@ -1986,34 +2024,63 @@ impl<'a> Engine<'a> {
         // is member-scoped and shared with the windowed path through
         // `member_handle_event`.
         if let Event::MigrationArrival { member: target, job } = event {
-            let state = self
-                .jobs
-                .get_mut(job.index())
-                .expect("in-transit jobs are never retired")
-                .in_transit
-                .take()
-                .expect("migration arrival for a job that is not in transit");
-            self.in_transit -= 1;
-            let remaining = state.progress.remaining_work(&state.dag);
-            let member = &mut self.members[target];
-            // The destination table stays ordered by arrival *at this
-            // member* — a migrated job joins the back of the queue like
-            // a fresh arrival would, whatever its global id.  If the
-            // destination went down while the job was in flight, it
-            // queues here until the outage ends (or a later carbon step
-            // migrates it again) — the transfer was already paid.
-            member.register_active(state);
-            member.routed_jobs += 1;
-            member.outstanding_work += remaining;
-            member
-                .profile
-                .record_jobs_in_system(self.time, member.active.len());
+            self.register_migration_arrival(target, job);
+            return Ok(Some((target, EventSeed::JobArrived(job))));
+        }
+        if let Event::FlowArrival { member: target, job, epoch } = event {
+            let topo = self.network.expect("flow arrivals only exist with a network");
+            let mut flows = self.flows.take().expect("network runs carry a flow set");
+            flows.settle(topo, self.time);
+            let Some(flow) = flows.finish(topo, job, epoch) else {
+                // The flow's rate changed after this event was pushed — a
+                // replacement event with the current epoch is queued.
+                self.flows = Some(flows);
+                return Ok(None);
+            };
+            // Finalize the provisional record with the actual arrival and
+            // the transfer-interval carbon integral, then re-solve the
+            // allocation for the surviving flows (the departed flow's
+            // bandwidth is redistributed).
+            let departed = self.migrations[flow.record].departed;
+            let gb = self.migrations[flow.record].gb;
+            let grams =
+                self.transfer_carbon(topo.energy_kwh_per_gb(), gb, flow.from, flow.to, departed, self.time);
+            let record = &mut self.migrations[flow.record];
+            record.arrived = self.time;
+            record.transfer_seconds = self.time - departed;
+            record.transfer_carbon_grams = grams;
+            let mut plans = std::mem::take(&mut self.flow_plan_buf);
+            plans.clear();
+            flows.reallocate(topo, self.time, &mut plans);
+            self.flows = Some(flows);
+            self.apply_flow_plans(&plans);
+            self.flow_plan_buf = plans;
+            self.register_migration_arrival(target, job);
             return Ok(Some((target, EventSeed::JobArrived(job))));
         }
         let target = event.member();
+        // The drain trigger needs the job an event touched even when its
+        // seed does not carry it (a retry release degrades to a `Kick`),
+        // and whether it was draining *before* the event (a completion
+        // retires the `ActiveJob` along with its flag).  Guarded by the
+        // counter so drain-free runs pay nothing here.
+        let touched = match event {
+            Event::TaskFinish { job, .. } | Event::RetryRelease { job, .. } => Some(job),
+            _ => None,
+        };
+        let was_draining = self.draining_jobs > 0
+            && touched.is_some_and(|j| {
+                let m = &self.members[target];
+                m.slot(j).is_some_and(|idx| m.active[idx].draining.is_some())
+            });
         match member_handle_event(&mut self.members[target], target, self.time, event)? {
             LocalOutcome::Stale => Ok(None),
             LocalOutcome::Completed { job, seed } => {
+                // A draining job whose last task completed the whole job
+                // has nothing left to move: the drain dissolves with it.
+                if was_draining {
+                    self.draining_jobs -= 1;
+                }
                 self.jobs
                     .get_mut(job.index())
                     .expect("a completing job is resident")
@@ -2022,6 +2089,24 @@ impl<'a> Engine<'a> {
                 Ok(Some((target, seed)))
             }
             LocalOutcome::Seed(seed) => {
+                // Drain-then-move trigger: the moment a draining job's last
+                // running or retrying task resolves, it departs for the
+                // destination its policy chose.  Checked before the outage
+                // evacuation below — a policy-chosen destination outranks
+                // the evacuation heuristic.
+                if was_draining {
+                    let job = touched.expect("was_draining implies a touched job");
+                    let member = &self.members[target];
+                    let idx = member.slot(job).expect("an uncompleted job stays active");
+                    let j = &member.active[idx];
+                    if j.busy_executors == 0 && j.retrying == 0 {
+                        let dest = j.draining.expect("was_draining reads the same flag") as usize;
+                        self.members[target].active[idx].draining = None;
+                        self.draining_jobs -= 1;
+                        self.apply_migration(job, dest, false)?;
+                        return Ok(Some((target, seed)));
+                    }
+                }
                 // An outaged member must not strand work it can no longer
                 // dispatch: once a job's running tasks have drained, it is
                 // evacuated exactly like the idle jobs at outage start.
@@ -2037,13 +2122,97 @@ impl<'a> Engine<'a> {
                         };
                         if idle {
                             if let Some(dest) = self.evacuation_target(target) {
-                                self.apply_migration(job, dest)?;
+                                self.apply_migration(job, dest, false)?;
                             }
                         }
                     }
                 }
                 Ok(Some((target, seed)))
             }
+        }
+    }
+
+    /// Re-registers a migrated job at its destination member once its
+    /// transfer completes — shared by the fixed-delay
+    /// [`Event::MigrationArrival`] and the flow-priced
+    /// [`Event::FlowArrival`] paths.
+    fn register_migration_arrival(&mut self, target: usize, job: JobId) {
+        let state = self
+            .jobs
+            .get_mut(job.index())
+            .expect("in-transit jobs are never retired")
+            .in_transit
+            .take()
+            .expect("migration arrival for a job that is not in transit");
+        self.in_transit -= 1;
+        let remaining = state.progress.remaining_work(&state.dag);
+        let member = &mut self.members[target];
+        // The destination table stays ordered by arrival *at this
+        // member* — a migrated job joins the back of the queue like
+        // a fresh arrival would, whatever its global id.  If the
+        // destination went down while the job was in flight, it
+        // queues here until the outage ends (or a later carbon step
+        // migrates it again) — the transfer was already paid.
+        member.register_active(state);
+        member.routed_jobs += 1;
+        member.outstanding_work += remaining;
+        member
+            .profile
+            .record_jobs_in_system(self.time, member.active.len());
+    }
+
+    /// Mean intensity of member `m`'s trace over the schedule-time interval
+    /// `[t0, t1]` (converted to the member's carbon time), degenerating to
+    /// the instantaneous intensity for a zero-duration interval.
+    fn mean_intensity(&self, m: usize, t0: f64, t1: f64) -> f64 {
+        let member = &self.members[m];
+        let ct0 = member.carbon_time(t0);
+        let ct1 = member.carbon_time(t1);
+        if ct1 > ct0 {
+            member.carbon.integrate(ct0, ct1) / (ct1 - ct0)
+        } else {
+            member.carbon.intensity(ct0)
+        }
+    }
+
+    /// Carbon attributed to a transfer of `gb` gigabytes `from → to` over
+    /// `[departed, arrived]`: the network energy priced at the mean of the
+    /// two endpoints' average intensities over the interval (half
+    /// attribution each).  Integrating — rather than sampling the departure
+    /// instant — is what prices a transfer that spans carbon steps against
+    /// every step it crosses.
+    fn transfer_carbon(
+        &self,
+        energy_kwh_per_gb: f64,
+        gb: f64,
+        from: usize,
+        to: usize,
+        departed: f64,
+        arrived: f64,
+    ) -> f64 {
+        let avg_src = self.mean_intensity(from, departed, arrived);
+        let avg_dst = self.mean_intensity(to, departed, arrived);
+        gb * energy_kwh_per_gb * 0.5 * (avg_src + avg_dst)
+    }
+
+    /// Turns flow-reallocation plans into queue events and keeps each
+    /// affected flow's provisional migration record current (best-estimate
+    /// arrival, so a serve-mode assemble with flows still in flight reports
+    /// estimates rather than placeholders).
+    fn apply_flow_plans(&mut self, plans: &[FlowArrivalPlan]) {
+        let topo = self.network.expect("flow plans only exist with a network");
+        for p in plans {
+            self.events
+                .push(p.at, Event::FlowArrival { member: p.to, job: p.job, epoch: p.epoch });
+            let (from, to, gb, departed) = {
+                let r = &self.migrations[p.record];
+                (r.from, r.to, r.gb, r.departed)
+            };
+            let grams = self.transfer_carbon(topo.energy_kwh_per_gb(), gb, from, to, departed, p.at);
+            let r = &mut self.migrations[p.record];
+            r.arrived = p.at;
+            r.transfer_seconds = p.at - departed;
+            r.transfer_carbon_grams = grams;
         }
     }
 
@@ -2092,17 +2261,21 @@ impl<'a> Engine<'a> {
                 remaining_gb,
                 busy_executors: job.busy_executors,
                 retrying_tasks: job.retrying,
+                draining: job.draining.is_some(),
             });
         }
         let mut sink = std::mem::take(&mut self.migration_sink);
         sink.clear();
-        let ctx = MigrationContext::new(self.time, changed, &views, self.transfer);
+        let mut ctx = MigrationContext::new(self.time, changed, &views, self.transfer);
+        if let (Some(topo), Some(flows)) = (self.network, &self.flows) {
+            ctx = ctx.with_network(topo, flows);
+        }
         policy.on_carbon_change(&ctx, &candidates, &mut sink);
         self.view_buf = views;
         self.candidate_buf = candidates;
         let mut result = Ok(());
         for &m in sink.moves() {
-            result = self.apply_migration(m.job, m.to);
+            result = self.apply_migration(m.job, m.to, m.drain);
             if result.is_err() {
                 break;
             }
@@ -2111,14 +2284,18 @@ impl<'a> Engine<'a> {
         result
     }
 
-    /// Validates and applies one `Migrate { job, to }` verb: detaches the
-    /// job from its source member, charges the transfer delay and carbon
-    /// from the [`TransferMatrix`], and enqueues the
-    /// [`Event::MigrationArrival`] that re-registers it at the destination.
-    /// Both members' incremental counters (queue depth, outstanding work)
-    /// are fixed up in O(changed) — the slot reindex on the source is
-    /// O(its active jobs), the same cost class as the completion path.
-    fn apply_migration(&mut self, job: JobId, to: usize) -> Result<(), SimError> {
+    /// Validates and applies one migration verb: detaches the job from its
+    /// source member, charges the transfer delay (fixed, from the
+    /// [`TransferMatrix`] or an uncontended topology pair; fair-shared, as a
+    /// network flow, when the pair crosses modeled links) and the
+    /// interval-integrated transfer carbon, and enqueues the arrival event
+    /// that re-registers it at the destination.  With `drain` set, a busy
+    /// or retrying job is flagged instead of rejected: it stops dispatching
+    /// and departs when its last task resolves.  Both members' incremental
+    /// counters (queue depth, outstanding work) are fixed up in O(changed)
+    /// — the slot reindex on the source is O(its active jobs), the same
+    /// cost class as the completion path.
+    fn apply_migration(&mut self, job: JobId, to: usize, drain: bool) -> Result<(), SimError> {
         let invalid = |reason: String| SimError::InvalidMigration {
             job: job.to_string(),
             reason,
@@ -2154,17 +2331,36 @@ impl<'a> Engine<'a> {
         let idx = self.members[src]
             .slot(job)
             .expect("an incomplete, routed, non-transit job is active on its member");
-        if self.members[src].active[idx].busy_executors > 0 {
-            return Err(invalid(format!(
-                "the job still has {} running task(s) on member {src}; drain them first",
-                self.members[src].active[idx].busy_executors
-            )));
-        }
-        if self.members[src].active[idx].retrying > 0 {
+        if self.members[src].active[idx].busy_executors > 0
+            || self.members[src].active[idx].retrying > 0
+        {
+            if drain {
+                // Drain-then-move: flag the job instead of moving it.  It
+                // dispatches nothing from here on and departs for `to` when
+                // its last running or retrying task resolves.  A later
+                // drain verb overwrites the destination (last one wins).
+                let a = &mut self.members[src].active[idx];
+                if a.draining.is_none() {
+                    self.draining_jobs += 1;
+                }
+                a.draining = Some(to as u32);
+                return Ok(());
+            }
+            if self.members[src].active[idx].busy_executors > 0 {
+                return Err(invalid(format!(
+                    "the job still has {} running task(s) on member {src}; drain them first",
+                    self.members[src].active[idx].busy_executors
+                )));
+            }
             return Err(invalid(format!(
                 "the job has {} task(s) in retry backoff on member {src}; they must release first",
                 self.members[src].active[idx].retrying
             )));
+        }
+        // An idle job moves immediately, whether the verb was a migrate or a
+        // drain.  Any pending drain flag dissolves into this move.
+        if self.members[src].active[idx].draining.take().is_some() {
+            self.draining_jobs -= 1;
         }
 
         // Detach from the source and fix its incremental counters.  The
@@ -2179,17 +2375,55 @@ impl<'a> Engine<'a> {
             .profile
             .record_jobs_in_system(self.time, member.active.len());
 
-        // Price the movement: transfer time from the matrix, transfer carbon
-        // at the mean of the two endpoint intensities right now.
-        let transfer_seconds = self.transfer.transfer_seconds(src, to, gb);
-        let c_src = self.members[src]
-            .carbon
-            .intensity(self.members[src].carbon_time(self.time));
-        let c_to = self.members[to]
-            .carbon
-            .intensity(self.members[to].carbon_time(self.time));
-        let transfer_carbon_grams = self.transfer.transfer_carbon_grams(gb, c_src, c_to);
+        if let Some(topo) = self.network.filter(|t| !t.path(src, to).is_empty()) {
+            // The pair crosses modeled links: the transfer becomes a flow
+            // whose arrival is decided by max-min fair sharing with every
+            // other flow in flight.  Its migration record is provisional
+            // (best-estimate arrival and carbon) until the flow delivers.
+            let record = self.migrations.len();
+            let slot = self.jobs.get_mut(job.index()).expect("checked resident above");
+            slot.routed = Some(to as u32);
+            slot.migrated = true;
+            slot.in_transit = Some(state);
+            self.in_transit += 1;
+            self.migrations.push(MigrationRecord {
+                job,
+                from: src,
+                to,
+                departed: self.time,
+                arrived: self.time,
+                gb,
+                transfer_seconds: 0.0,
+                transfer_carbon_grams: 0.0,
+            });
+            let mut flows = self.flows.take().expect("network runs carry a flow set");
+            flows.settle(topo, self.time);
+            flows.begin(job, src, to, gb, record);
+            let mut plans = std::mem::take(&mut self.flow_plan_buf);
+            plans.clear();
+            flows.reallocate(topo, self.time, &mut plans);
+            self.flows = Some(flows);
+            self.apply_flow_plans(&plans);
+            self.flow_plan_buf = plans;
+            return Ok(());
+        }
+
+        // Fixed-delay path: the matrix, or a topology pair that crosses no
+        // modeled link.  The delay is known at departure; the carbon
+        // integrates each endpoint's trace over the transfer interval.
+        let (transfer_seconds, energy_kwh_per_gb) = match self.network {
+            Some(topo) => (
+                gb * topo.seconds_per_gb(src, to) + topo.latency(src, to),
+                topo.energy_kwh_per_gb(),
+            ),
+            None => (
+                self.transfer.transfer_seconds(src, to, gb),
+                self.transfer.energy_kwh_per_gb(),
+            ),
+        };
         let arrived = self.time + transfer_seconds;
+        let transfer_carbon_grams =
+            self.transfer_carbon(energy_kwh_per_gb, gb, src, to, self.time, arrived);
 
         let slot = self.jobs.get_mut(job.index()).expect("checked resident above");
         slot.routed = Some(to as u32);
@@ -2351,7 +2585,7 @@ impl<'a> Engine<'a> {
         let mut evacuated = 0;
         if let Some(dest) = self.evacuation_target(target) {
             for job in evacuees {
-                self.apply_migration(job, dest)?;
+                self.apply_migration(job, dest, false)?;
                 evacuated += 1;
             }
         }
@@ -2575,6 +2809,7 @@ impl<'a> Engine<'a> {
             pending: self.pending.as_ref().map(|p| (p.id, p.job.clone())),
             jobs: self.jobs.clone(),
             migrations: self.migrations.clone(),
+            flows: self.flows.clone(),
             members: self
                 .members
                 .iter()
@@ -2658,6 +2893,7 @@ impl<'a> Engine<'a> {
         // restored table rather than trusting a separately serialized copy.
         self.in_transit = self.jobs.slots.iter().filter(|s| s.in_transit.is_some()).count();
         self.migrations = snap.migrations.clone();
+        self.flows = snap.flows.clone();
         for (m, s) in self.members.iter_mut().zip(&snap.members) {
             m.executors = s.executors.clone();
             m.active = s.active.clone();
@@ -2682,6 +2918,13 @@ impl<'a> Engine<'a> {
             m.retries = s.retries;
             m.fault_log = s.fault_log.clone();
         }
+        // Like `in_transit`, the drain count is derived state — recompute it
+        // from the restored active tables (the flags travel with the jobs).
+        self.draining_jobs = self
+            .members
+            .iter()
+            .map(|m| m.active.iter().filter(|j| j.draining.is_some()).count())
+            .sum();
         self.primed = true;
         Ok(())
     }
@@ -2711,6 +2954,7 @@ pub struct EngineSnapshot {
     pending: Option<(JobId, SubmittedJob)>,
     jobs: JobTable,
     migrations: Vec<MigrationRecord>,
+    flows: Option<FlowSet>,
     members: Vec<MemberSnapshot>,
 }
 
@@ -3068,6 +3312,7 @@ mod tests {
             fed.members(),
             fed.workload(),
             fed.transfer(),
+            fed.network(),
             fed.fault_schedule(),
             fed.retry_policy(),
         );

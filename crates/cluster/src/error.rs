@@ -98,6 +98,14 @@ pub enum SimError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A transfer matrix or network topology does not fit the federation it
+    /// was attached to (wrong member dimension), so its pair lookups would
+    /// misprice or panic deep inside the engine.  Reported on the first
+    /// `run_*` call, like [`SimError::InvalidFault`].
+    InvalidTopology {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
     /// A serve-session snapshot cannot be installed: the engine shape or
     /// source position does not line up with what the snapshot captured
     /// (different member count, a source that drained before reaching the
@@ -154,6 +162,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidFault { reason } => {
                 write!(f, "fault schedule is invalid for this federation: {reason}")
+            }
+            SimError::InvalidTopology { reason } => {
+                write!(f, "transfer topology is invalid for this federation: {reason}")
             }
             SimError::SnapshotMismatch { reason } => {
                 write!(f, "snapshot cannot be restored into this session: {reason}")
@@ -214,6 +225,11 @@ mod tests {
             reason: "injection targets member 5 of a 2-member federation".into(),
         };
         assert!(fault.to_string().contains("member 5"));
+        let topology = SimError::InvalidTopology {
+            reason: "the transfer matrix covers 4 member(s), this federation has 3".into(),
+        };
+        assert!(topology.to_string().contains("transfer topology is invalid"));
+        assert!(topology.to_string().contains("4 member(s)"));
         let snapshot = SimError::SnapshotMismatch {
             reason: "the snapshot covers 2 member(s), this federation has 3".into(),
         };

@@ -62,12 +62,28 @@ pub enum Event {
     },
     /// A migrating job finishes its cross-region transfer and arrives at its
     /// destination member (the job was detached from its source when the
-    /// migration was applied; this event re-registers it).
+    /// migration was applied; this event re-registers it).  Used for
+    /// transfers over uncontended pairs, whose duration is known at
+    /// departure.
     MigrationArrival {
         /// Destination member cluster.
         member: usize,
         /// The migrating job.
         job: JobId,
+    },
+    /// A migrating job's *network flow* finishes delivering over contended
+    /// links and the job arrives at its destination member.  The arrival
+    /// instant depends on bandwidth sharing, so whenever the flow's max-min
+    /// rate changes a replacement event is pushed with a bumped epoch; an
+    /// event whose epoch no longer matches the flow's is stale and dropped
+    /// (the same invalidation scheme crashed task finishes use).
+    FlowArrival {
+        /// Destination member cluster.
+        member: usize,
+        /// The migrating job.
+        job: JobId,
+        /// The flow's epoch stamp at push time.
+        epoch: u64,
     },
 }
 
@@ -80,7 +96,8 @@ impl Event {
             Event::TaskFinish { member, .. }
             | Event::RetryRelease { member, .. }
             | Event::Wakeup { member, .. }
-            | Event::MigrationArrival { member, .. } => member,
+            | Event::MigrationArrival { member, .. }
+            | Event::FlowArrival { member, .. } => member,
         }
     }
 }
@@ -232,6 +249,22 @@ mod tests {
                 assert_eq!(t, 6.0);
                 assert_eq!(member, 1);
                 assert_eq!(job, JobId(5));
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_arrival_events_carry_member_job_and_epoch() {
+        let mut q = EventQueue::new();
+        q.push(8.0, Event::FlowArrival { member: 2, job: JobId(3), epoch: 4 });
+        match q.pop().unwrap() {
+            (t, e @ Event::FlowArrival { member, job, epoch }) => {
+                assert_eq!(t, 8.0);
+                assert_eq!(member, 2);
+                assert_eq!(job, JobId(3));
+                assert_eq!(epoch, 4);
+                assert_eq!(e.member(), 2);
             }
             other => panic!("wrong event: {other:?}"),
         }

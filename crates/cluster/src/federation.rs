@@ -54,6 +54,7 @@ use crate::engine::{Engine, ExecutionMode};
 use crate::error::SimError;
 use crate::faults::{FaultContext, FaultPlan, FaultSchedule, RetryPolicy};
 use crate::job_state::SubmittedJob;
+use crate::network::NetworkTopology;
 use crate::result::FederationResult;
 use crate::routing::{MigrationPolicy, NeverMigrate, Router, TransferMatrix};
 use crate::scheduler_api::Scheduler;
@@ -95,6 +96,11 @@ pub struct Federation {
     /// Cross-region transfer costs charged when jobs migrate between
     /// members.  Defaults to [`TransferMatrix::zero`] (free movement).
     transfer: TransferMatrix,
+    /// Optional link-level network model.  When attached, migration delays
+    /// come from max-min fair sharing of the topology's links instead of the
+    /// fixed per-pair matrix rates (see [`NetworkTopology`]); `None` keeps
+    /// the matrix path bit for bit.
+    network: Option<NetworkTopology>,
     /// First workload validation failure, if any — detected once at
     /// construction and reported by every [`Federation::run`] call.
     invalid: Option<SimError>,
@@ -133,6 +139,7 @@ impl Federation {
             members,
             workload,
             transfer,
+            network: None,
             invalid,
             faults: FaultSchedule::none(),
             retry: RetryPolicy::default(),
@@ -157,16 +164,60 @@ impl Federation {
     /// arrival stays free, because the job's input is assumed to be uploaded
     /// to wherever the router placed it.
     ///
-    /// # Panics
-    /// Panics if the matrix dimension differs from the member count.
+    /// A matrix whose dimension differs from the member count poisons the
+    /// federation like an invalid fault plan: the builder chain stays
+    /// infallible and the first run reports a descriptive
+    /// [`SimError::InvalidTopology`].
     pub fn with_transfer_matrix(mut self, transfer: TransferMatrix) -> Self {
-        assert_eq!(
-            transfer.num_members(),
-            self.members.len(),
-            "transfer matrix dimension must match the member count"
-        );
+        if transfer.num_members() != self.members.len() {
+            if self.invalid.is_none() {
+                self.invalid = Some(SimError::InvalidTopology {
+                    reason: format!(
+                        "the transfer matrix covers {} member(s), this federation has {}",
+                        transfer.num_members(),
+                        self.members.len()
+                    ),
+                });
+            }
+            return self;
+        }
         self.transfer = transfer;
         self
+    }
+
+    /// Attaches a link-level network model: migration delays are then
+    /// decided by max-min fair sharing among all transfers in flight over
+    /// the topology's links, and transfer carbon uses the topology's energy
+    /// figure.  Pairs whose [`NetworkTopology::path`] crosses no modeled
+    /// link keep the fixed per-pair delay (so
+    /// [`NetworkTopology::from_matrix`] reproduces the matrix path bit for
+    /// bit), and the matrix set via [`Federation::with_transfer_matrix`] is
+    /// no longer consulted for pricing — only for policy-side estimates on
+    /// runs without the network attached.
+    ///
+    /// A topology whose dimension differs from the member count poisons the
+    /// federation: the first run reports [`SimError::InvalidTopology`].
+    pub fn with_network(mut self, network: NetworkTopology) -> Self {
+        if network.num_members() != self.members.len() {
+            if self.invalid.is_none() {
+                self.invalid = Some(SimError::InvalidTopology {
+                    reason: format!(
+                        "the network topology covers {} member(s), this federation has {}",
+                        network.num_members(),
+                        self.members.len()
+                    ),
+                });
+            }
+            return self;
+        }
+        self.network = Some(network);
+        self
+    }
+
+    /// The attached network topology, if any (see
+    /// [`Federation::with_network`]).
+    pub fn network(&self) -> Option<&NetworkTopology> {
+        self.network.as_ref()
     }
 
     /// The member clusters, in member-index order.
@@ -305,6 +356,7 @@ impl Federation {
             &self.members,
             &self.workload,
             &self.transfer,
+            self.network.as_ref(),
             &self.faults,
             self.retry,
         );
@@ -360,6 +412,7 @@ impl Federation {
             &self.members,
             source,
             &self.transfer,
+            self.network.as_ref(),
             &self.faults,
             self.retry,
         );

@@ -93,6 +93,13 @@ pub struct ActiveJob {
     /// exist only for tasks that have crashed at least once, so fault-free
     /// jobs carry an empty (unallocated) vector.
     pub attempts: Vec<(StageId, u32, u32)>,
+    /// Drain-then-move destination: `Some(member)` while the job is
+    /// draining toward a migration.  A draining job dispatches no new tasks
+    /// (assignments for it are forgiven no-ops); once its last running or
+    /// retrying task resolves, the engine detaches it and starts the
+    /// transfer to this member.  A later drain verb overwrites the
+    /// destination (last one wins).  `None` for non-draining jobs.
+    pub draining: Option<u32>,
 }
 
 impl ActiveJob {
@@ -117,6 +124,7 @@ impl ActiveJob {
             data_gb,
             retrying: 0,
             attempts: Vec::new(),
+            draining: None,
         }
     }
 
@@ -137,6 +145,7 @@ impl ActiveJob {
             data_gb: job.data_gb,
             retrying: 0,
             attempts: Vec::new(),
+            draining: None,
         }
     }
 

@@ -77,13 +77,22 @@
 //!   (multi-member federations with a non-inert policy only — the
 //!   single-cluster `Simulator` and plain [`Federation::run`] skip the layer
 //!   entirely via [`NeverMigrate`] and reproduce the pre-migration engine
-//!   bit for bit) and may move *idle* jobs (no running tasks) between
-//!   members.  A move is priced by the federation's [`TransferMatrix`]: the
-//!   job spends `remaining_gb × seconds_per_gb(from, to)` schedule seconds
-//!   in transit on no member (the cross-region analogue of the in-cluster
-//!   executor-move delay), and `remaining_gb × energy_kwh_per_gb × ½(c_from
-//!   + c_to)` grams of transfer carbon are logged in the
-//!   [`FederationResult::migrations`] records.  Applying a move re-registers
+//!   bit for bit) and may move jobs between members — *idle* jobs
+//!   immediately, busy ones via a drain verb that stops their dispatching
+//!   and moves them when the last running task resolves.  A move is priced
+//!   by the federation's [`TransferMatrix`] (fixed per-pair rates: the job
+//!   spends `remaining_gb × seconds_per_gb(from, to)` schedule seconds in
+//!   transit on no member, the cross-region analogue of the in-cluster
+//!   executor-move delay) or, when a [`NetworkTopology`] is attached, by
+//!   max-min fair sharing of the topology's links among every transfer in
+//!   flight — concurrent transfers over a congested link slow each other
+//!   down, and the engine recomputes the allocation as a deterministic
+//!   event whenever a flow starts or finishes.  Either way the transfer
+//!   carbon integrates each endpoint's trace over the whole in-transit
+//!   interval (`remaining_gb × energy_kwh_per_gb × ½(avg_from + avg_to)`
+//!   grams, logged in the [`FederationResult::migrations`] records), so a
+//!   transfer that spans carbon steps is priced against every step it
+//!   crosses, not the departure instant.  Applying a move re-registers
 //!   the job's `Arc<JobDag>`/`JobProgress` wholesale under the destination
 //!   (joining the back of its arrival-ordered queue) and fixes both
 //!   members' incremental counters in O(changed) — the source slot reindex
@@ -232,6 +241,7 @@ pub mod executor;
 pub mod faults;
 pub mod federation;
 pub mod job_state;
+pub mod network;
 pub mod profile;
 pub mod result;
 pub mod routing;
@@ -252,8 +262,9 @@ pub use faults::{
 };
 pub use federation::{Federation, Member};
 pub use job_state::{JobRecord, SubmittedJob};
+pub use network::{FlowArrivalPlan, FlowSet, NetworkLink, NetworkTopology, TransferFlow};
 pub use profile::{ExecutorSegment, UsageProfile};
-pub use result::{FederationResult, MemberResult, MigrationRecord, SimulationResult};
+pub use result::{FederationResult, LinkUtilization, MemberResult, MigrationRecord, SimulationResult};
 pub use routing::{
     MemberView, Migration, MigrationCandidate, MigrationContext, MigrationPolicy, MigrationSink,
     NeverMigrate, Router, RoutingContext, StaticRouter, TransferMatrix,

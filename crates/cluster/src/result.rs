@@ -145,9 +145,31 @@ pub struct MigrationRecord {
     pub gb: f64,
     /// Transfer delay charged (schedule seconds).
     pub transfer_seconds: f64,
-    /// Carbon attributed to the transfer itself (grams CO₂eq), priced at the
-    /// mean of the two endpoint intensities at the departure instant.
+    /// Carbon attributed to the transfer itself (grams CO₂eq): the transfer
+    /// energy priced at the mean of the two endpoints' *average* intensities
+    /// over `[departed, arrived]` (each endpoint trace integrated over the
+    /// transfer interval, half attribution each; instantaneous intensities
+    /// for a zero-duration transfer).
     pub transfer_carbon_grams: f64,
+}
+
+/// Traffic summary of one capacitated network link over a federated run.
+/// Only produced when the federation carries a
+/// [`NetworkTopology`](crate::network::NetworkTopology); matrix-priced runs
+/// report an empty link table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkUtilization {
+    /// The link's label (`uplink(m)`, `downlink(m)`, `link(a->b)`).
+    pub label: String,
+    /// Configured capacity (GB per schedule second).
+    pub capacity_gb_per_s: f64,
+    /// Total gigabytes carried over the run.
+    pub gb_carried: f64,
+    /// Schedule seconds during which at least one flow crossed the link.
+    pub busy_seconds: f64,
+    /// Mean utilization while busy: `gb_carried / (capacity × busy_seconds)`
+    /// (0 for a link no flow ever crossed).
+    pub utilization: f64,
 }
 
 /// Everything recorded during one federated run: one [`MemberResult`] per
@@ -162,6 +184,11 @@ pub struct FederationResult {
     pub members: Vec<MemberResult>,
     /// Every applied migration, in application order.
     pub migrations: Vec<MigrationRecord>,
+    /// Per-link traffic summaries when the federation prices transfers
+    /// through a network topology (empty for matrix-priced runs, and when
+    /// deserializing results recorded before the network layer existed).
+    #[serde(default)]
+    pub links: Vec<LinkUtilization>,
     /// Schedule time at which the last job of the whole federation completed.
     pub makespan: f64,
 }
@@ -357,6 +384,7 @@ mod tests {
                 },
             ],
             migrations: vec![],
+            links: vec![],
             makespan: 40.0,
         };
         assert!(fed.all_jobs_complete());
@@ -386,6 +414,7 @@ mod tests {
             migration_policy: "test".into(),
             members: vec![MemberResult { member: 0, label: "a".into(), result: result() }],
             migrations: vec![migration(0, 1, 5.0, 30.0), migration(1, 0, 7.0, 12.0)],
+            links: vec![],
             makespan: 25.0,
         };
         assert_eq!(fed.num_migrations(), 2);
@@ -403,6 +432,7 @@ mod tests {
             migration_policy: "never-migrate".into(),
             members: vec![MemberResult { member: 0, label: "DE".into(), result: result() }],
             migrations: vec![],
+            links: vec![],
             makespan: 25.0,
         };
         assert_eq!(fed.into_single().makespan, 25.0);
@@ -419,6 +449,7 @@ mod tests {
                 MemberResult { member: 1, label: "b".into(), result: result() },
             ],
             migrations: vec![],
+            links: vec![],
             makespan: 25.0,
         };
         let _ = fed.into_single();

@@ -13,17 +13,48 @@
 //!   job stranded on a grid that turned dirty after arrival can be re-routed
 //!   mid-flight.
 //!
-//! Moving a job is not free.  Each federation carries a [`TransferMatrix`]
-//! pricing the member-to-member links: migrating a job charges a transfer
-//! delay of `remaining_gb × seconds_per_gb(from, to)` **schedule seconds**
-//! (the cross-region analogue of the in-cluster
-//! [`ClusterConfig::executor_move_delay`]) during which the job runs
-//! nowhere, plus a transfer carbon cost of
-//! `remaining_gb × energy_kwh_per_gb × ½(c_from + c_to)` grams attributed at
-//! the migration instant (the network path touches both regions, so the
-//! endpoint mean is used).  `remaining_gb` scales the job's
-//! [`SubmittedJob::data_gb`] by its fraction of undispatched work, modelling
-//! migration of in-flight DAG state rather than a full re-upload.
+//! ## Migration pricing
+//!
+//! Moving a job is not free.  A migrating job's remaining state
+//! (`remaining_gb` — the job's [`SubmittedJob::data_gb`] scaled by its
+//! fraction of undispatched work, modelling in-flight DAG state rather than
+//! a full re-upload) crosses the federation's network, during which the job
+//! runs nowhere.  Two layers can price that crossing:
+//!
+//! * the [`TransferMatrix`] charges a **fixed** per-GB latency:
+//!   `remaining_gb × seconds_per_gb(from, to)` schedule seconds (the
+//!   cross-region analogue of the in-cluster
+//!   [`ClusterConfig::executor_move_delay`]), independent of how many other
+//!   transfers are in flight;
+//! * a [`NetworkTopology`] (see the `network` module) additionally routes
+//!   each transfer as a *flow* over capacitated links, sharing every link's
+//!   bandwidth **max-min fairly** among the concurrent flows, so the delay
+//!   of a transfer depends on the contention it meets.  Pairs crossing no
+//!   capacitated link fall back to the exact matrix arithmetic, which keeps
+//!   [`NetworkTopology::from_matrix`] runs bit-identical to the matrix
+//!   path.
+//!
+//! The transfer's **carbon** is priced against both endpoint grids, half
+//! each: the energy `remaining_gb × energy_kwh_per_gb` is charged at
+//! `½(avg_from + avg_to)` grams/kWh, where each average is the endpoint
+//! trace's mean intensity over the transfer interval
+//! `[departure, arrival]` (via the trace integral, so a transfer spanning
+//! carbon steps prices every step it crosses — not a snapshot of the
+//! departure instant, which mispriced long transfers).  For a zero-duration
+//! transfer the mean degenerates to the instantaneous intensity.
+//!
+//! ## Drain-then-move
+//!
+//! A candidate with running or retrying tasks cannot be moved immediately,
+//! but a policy may emit a [`MigrationSink::drain`] verb for it: the job
+//! stops dispatching new tasks (assignments for it become forgiven no-ops),
+//! its running tasks finish in place, and when the last one resolves the
+//! engine detaches the job and transfers its remaining state as usual.
+//! Candidates expose [`MigrationCandidate::draining`] so policies can avoid
+//! re-draining a job already on its way out.
+//!
+//! [`NetworkTopology`]: crate::network::NetworkTopology
+//! [`NetworkTopology::from_matrix`]: crate::network::NetworkTopology::from_matrix
 //!
 //! Both layers obey the same hot-path discipline as scheduling: the engine
 //! maintains each member's queue depth and outstanding (undispatched) work
@@ -48,6 +79,7 @@
 //! [`Simulator`]: crate::engine::Simulator
 
 use crate::job_state::SubmittedJob;
+use crate::network::{FlowSet, NetworkTopology};
 use crate::scheduler_api::CarbonView;
 use pcaps_dag::JobId;
 
@@ -274,11 +306,12 @@ impl TransferMatrix {
     }
 
     /// Carbon (grams CO₂eq) attributed to moving `gb` gigabytes between
-    /// grids currently at `c_from` and `c_to` g/kWh: the network path
-    /// touches both regions, so its energy is priced at the endpoint mean.
-    /// This is **the** pricing definition — the engine charges migrations
-    /// through it, and cost-aware policies must call it (not re-derive it)
-    /// so their profitability checks stay bit-identical to the charge.
+    /// grids at `c_from` and `c_to` g/kWh: the network path touches both
+    /// regions, so its energy is priced at the endpoint mean.  The engine
+    /// charges migrations through this formula with each endpoint's **mean
+    /// intensity over the transfer interval** (see the module docs); a
+    /// policy's profitability estimate calls it with the instantaneous
+    /// intensities, which is exact for transfers that cross no carbon step.
     pub fn transfer_carbon_grams(&self, gb: f64, c_from: f64, c_to: f64) -> f64 {
         gb * self.energy_kwh_per_gb * 0.5 * (c_from + c_to)
     }
@@ -308,11 +341,18 @@ pub struct MigrationCandidate {
     /// with cooling-down tasks cannot migrate: the retry timer is anchored
     /// to the member that owns the job.  Always 0 on fault-free runs.
     pub retrying_tasks: usize,
+    /// True if the job is already draining toward a migration (a previous
+    /// [`MigrationSink::drain`] verb is pending its running tasks).
+    /// Policies typically skip draining candidates to avoid churning the
+    /// destination while the job is on its way out.
+    pub draining: bool,
 }
 
 impl MigrationCandidate {
     /// True if the job may be migrated right now (no running tasks and no
-    /// tasks in retry backoff on the source member).
+    /// tasks in retry backoff on the source member).  Non-migratable
+    /// candidates can still be *drained* toward a destination with
+    /// [`MigrationSink::drain`].
     pub fn migratable(&self) -> bool {
         self.busy_executors == 0 && self.retrying_tasks == 0
     }
@@ -330,6 +370,7 @@ pub struct MigrationContext<'a> {
     pub member: usize,
     members: &'a [MemberView],
     transfer: &'a TransferMatrix,
+    network: Option<(&'a NetworkTopology, &'a FlowSet)>,
 }
 
 impl<'a> MigrationContext<'a> {
@@ -340,7 +381,16 @@ impl<'a> MigrationContext<'a> {
         members: &'a [MemberView],
         transfer: &'a TransferMatrix,
     ) -> Self {
-        MigrationContext { time, member, members, transfer }
+        MigrationContext { time, member, members, transfer, network: None }
+    }
+
+    /// Attaches the federation's network topology and the current in-flight
+    /// flow set, making [`estimated_transfer_seconds`] contention-aware.
+    ///
+    /// [`estimated_transfer_seconds`]: MigrationContext::estimated_transfer_seconds
+    pub fn with_network(mut self, topology: &'a NetworkTopology, flows: &'a FlowSet) -> Self {
+        self.network = Some((topology, flows));
+        self
     }
 
     /// The member views, ordered by member index.
@@ -357,15 +407,49 @@ impl<'a> MigrationContext<'a> {
     pub fn transfer(&self) -> &'a TransferMatrix {
         self.transfer
     }
+
+    /// The federation's network topology, if one is attached.
+    pub fn network(&self) -> Option<&'a NetworkTopology> {
+        self.network.map(|(t, _)| t)
+    }
+
+    /// Estimated transfer delay (schedule seconds) of moving `gb` gigabytes
+    /// `from → to` *right now*.  With a network attached this is
+    /// contention-aware: the max-min share a new flow would get against the
+    /// transfers currently in flight, held constant (a lower bound on
+    /// interference — rates can drop further if more flows start).  Without
+    /// one it is the fixed [`TransferMatrix::transfer_seconds`].
+    pub fn estimated_transfer_seconds(&self, from: usize, to: usize, gb: f64) -> f64 {
+        match self.network {
+            Some((topo, flows)) => flows.estimate_seconds(topo, from, to, gb),
+            None => self.transfer.transfer_seconds(from, to, gb),
+        }
+    }
+
+    /// Estimated transfer carbon (grams) of moving `gb` gigabytes between
+    /// grids at `c_from` and `c_to` g/kWh, using whichever pricing layer is
+    /// attached (the formula is the same; only the energy scalar differs).
+    pub fn estimated_transfer_carbon_grams(&self, gb: f64, c_from: f64, c_to: f64) -> f64 {
+        match self.network {
+            Some((topo, _)) => gb * topo.energy_kwh_per_gb() * 0.5 * (c_from + c_to),
+            None => self.transfer.transfer_carbon_grams(gb, c_from, c_to),
+        }
+    }
 }
 
-/// A migration verb: move `job` to member `to`.
+/// A migration verb: move `job` to member `to`, either immediately
+/// (`drain: false`, legal only for idle jobs) or by drain-then-move
+/// (`drain: true`, which also accepts jobs with running/retrying tasks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Migration {
     /// The job to move.
     pub job: JobId,
     /// Destination member index.
     pub to: usize,
+    /// True for a drain-then-move verb: the job stops dispatching, running
+    /// tasks finish in place, then the remaining state transfers.  A drain
+    /// verb for an already-idle job migrates it immediately.
+    pub drain: bool,
 }
 
 /// The engine-owned, reused buffer a migration policy writes its verbs
@@ -384,9 +468,16 @@ impl MigrationSink {
         MigrationSink::default()
     }
 
-    /// Records a `Migrate { job, to }` verb.
+    /// Records an immediate-migration verb (legal only for idle jobs).
     pub fn migrate(&mut self, job: JobId, to: usize) {
-        self.moves.push(Migration { job, to });
+        self.moves.push(Migration { job, to, drain: false });
+    }
+
+    /// Records a drain-then-move verb: `job` stops dispatching, its running
+    /// tasks finish in place, then it migrates to `to`.  Legal for any
+    /// active job; an already-idle job migrates immediately.
+    pub fn drain(&mut self, job: JobId, to: usize) {
+        self.moves.push(Migration { job, to, drain: true });
     }
 
     /// The verbs recorded since the last [`MigrationSink::clear`].
@@ -410,12 +501,13 @@ impl MigrationSink {
 /// The engine consults the policy on **every member's carbon step** (for
 /// federations of at least two members), offering that member's active jobs
 /// as [`MigrationCandidate`]s.  The policy may emit `Migrate` verbs for any
-/// *migratable* candidate (no running tasks); the engine validates each verb
-/// — migrating a completed job is a no-op (historical semantics, matching
-/// stale assignments), every other invalid verb aborts the run with
-/// [`SimError::InvalidMigration`] — then charges the transfer delay and
-/// carbon from the federation's [`TransferMatrix`] and re-registers the job
-/// under the destination member.
+/// *migratable* candidate (no running tasks) and `Drain` verbs for any
+/// candidate at all; the engine validates each verb — migrating a completed
+/// job is a no-op (historical semantics, matching stale assignments), every
+/// other invalid verb aborts the run with [`SimError::InvalidMigration`] —
+/// then charges the transfer delay and carbon from the federation's
+/// [`TransferMatrix`] (or its [`NetworkTopology`], when one is attached)
+/// and re-registers the job under the destination member.
 ///
 /// Implementations must be deterministic given their own internal state; the
 /// engine introduces no randomness.
@@ -570,9 +662,14 @@ mod tests {
         assert!(sink.is_empty());
         sink.migrate(JobId(3), 1);
         sink.migrate(JobId(5), 0);
+        sink.drain(JobId(7), 2);
         assert_eq!(
             sink.moves(),
-            &[Migration { job: JobId(3), to: 1 }, Migration { job: JobId(5), to: 0 }]
+            &[
+                Migration { job: JobId(3), to: 1, drain: false },
+                Migration { job: JobId(5), to: 0, drain: false },
+                Migration { job: JobId(7), to: 2, drain: true },
+            ]
         );
         sink.clear();
         assert!(sink.is_empty());
@@ -588,6 +685,32 @@ mod tests {
         assert_eq!(ctx.time, 7.0);
         assert_eq!(ctx.members()[1].member, 1);
         assert_eq!(ctx.transfer().seconds_per_gb(0, 1), 3.0);
+        // Without a network the estimators delegate to the matrix exactly.
+        assert!(ctx.network().is_none());
+        assert_eq!(
+            ctx.estimated_transfer_seconds(0, 1, 4.0),
+            transfer.transfer_seconds(0, 1, 4.0)
+        );
+        assert_eq!(
+            ctx.estimated_transfer_carbon_grams(4.0, 500.0, 100.0),
+            transfer.transfer_carbon_grams(4.0, 500.0, 100.0)
+        );
+    }
+
+    #[test]
+    fn migration_context_estimates_through_an_attached_network() {
+        let views = [view(0, 400.0, 0.0), view(1, 100.0, 0.0)];
+        let transfer = TransferMatrix::zero(2);
+        let topo = crate::network::NetworkTopology::new(2)
+            .with_uplink(0, 2.0)
+            .with_energy_per_gb(0.1);
+        let flows = crate::network::FlowSet::new(&topo);
+        let ctx = MigrationContext::new(0.0, 0, &views, &transfer).with_network(&topo, &flows);
+        assert!(ctx.network().is_some());
+        // 10 GB over an idle 2 GB/s uplink.
+        assert!((ctx.estimated_transfer_seconds(0, 1, 10.0) - 5.0).abs() < 1e-12);
+        // Carbon prices through the topology's energy scalar.
+        assert!((ctx.estimated_transfer_carbon_grams(10.0, 500.0, 100.0) - 300.0).abs() < 1e-9);
     }
 
     #[test]
@@ -598,6 +721,7 @@ mod tests {
             remaining_gb: 0.1,
             busy_executors: 0,
             retrying_tasks: 0,
+            draining: false,
         };
         let busy = MigrationCandidate { busy_executors: 2, ..idle };
         let cooling = MigrationCandidate { retrying_tasks: 1, ..idle };

@@ -125,6 +125,7 @@ impl<'a> ServeSession<'a> {
             fed.members(),
             source,
             fed.transfer(),
+            fed.network(),
             fed.fault_schedule(),
             fed.retry_policy(),
         );

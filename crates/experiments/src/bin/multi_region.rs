@@ -3,6 +3,12 @@
 //! carbon-agnostic and carbon-aware schedulers.  Writes
 //! `results/multi_region.csv` with per-region breakdowns (region-qualified
 //! labels, migration counts, transfer seconds) and TOTAL rows.
+//!
+//! A second, congested arm reruns a two-region carbon cliff with the dirty
+//! grid's uplink choked to 0.01 GB/s through the link-level network model,
+//! demonstrating the green-behind-congested-link inversion: blind
+//! carbon-delta migration loses on JCT against never-migrate, while the
+//! transfer-delay-aware variant declines the contended moves.
 use pcaps_carbon::GridRegion;
 use pcaps_experiments::multi_region::{
     multi_region_sweep, render, to_csv, FederationExperimentConfig, MigrationSpec, RouterSpec,
@@ -47,5 +53,32 @@ fn main() {
          per-GB transfer (delay + network energy).  See results/multi_region.csv for the\n\
          per-region breakdown including migration counts and transfer seconds."
     );
-    let _ = write_results_file("multi_region.csv", &to_csv(&outputs));
+    // Congested arm: the two-region cliff (round-robin strands half the
+    // jobs on the dirty grid) with that grid's uplink choked to 0.01 GB/s —
+    // a single 6 GB move takes 600 schedule seconds alone, far past the
+    // aware policy's 60 s cap, and max-min sharing makes concurrent
+    // evacuations slower still.
+    let mut cliff =
+        FederationExperimentConfig::standard(vec![GridRegion::Caiso, GridRegion::SouthAfrica], 12, 42);
+    cliff.executors_per_member = 4;
+    let congested = cliff.clone().with_network(cliff.congested_uplink(1, 0.01));
+    let congested_outputs = multi_region_sweep(
+        &congested,
+        &[RouterSpec::RoundRobin],
+        &MigrationSpec::ALL,
+        &[SchedulerSpec::Baseline(BaseScheduler::Fifo)],
+    );
+    println!("\nCongested-uplink arm — ZA's uplink capped at 0.01 GB/s (link-level network model):\n");
+    println!("{}", render(&congested_outputs).render());
+    println!(
+        "Behind a congested link the payoff inverts: blind carbon-delta migration still\n\
+         chases the green grid, but its transfers crawl through the shared 0.01 GB/s\n\
+         uplink and JCT ends up worse than never migrating.  The delay-aware variant\n\
+         sees the contention-aware transfer estimate blow past its cap and declines\n\
+         the moves, recovering the JCT loss."
+    );
+    let mut csv = to_csv(&outputs);
+    // Same schema, so the congested rows append under the one header.
+    csv.push_str(to_csv(&congested_outputs).split_once('\n').map(|(_, rest)| rest).unwrap_or(""));
+    let _ = write_results_file("multi_region.csv", &csv);
 }

@@ -21,8 +21,8 @@ use crate::format::TextTable;
 use crate::runner::SchedulerSpec;
 use pcaps_carbon::{CarbonAccountant, GridRegion, TraceSet};
 use pcaps_cluster::{
-    ExecutionMode, Federation, FederationResult, Member, MigrationPolicy, NeverMigrate, Router,
-    Scheduler, TransferMatrix,
+    ExecutionMode, Federation, FederationResult, Member, MigrationPolicy, NetworkTopology,
+    NeverMigrate, Router, Scheduler, TransferMatrix,
 };
 use pcaps_cluster::{ClusterConfig, SubmittedJob};
 use pcaps_metrics::ExperimentSummary;
@@ -67,6 +67,13 @@ pub struct FederationExperimentConfig {
     /// configs always re-run in the default mode.
     #[serde(skip)]
     pub execution: ExecutionMode,
+    /// Optional link-level network model attached to every trial's
+    /// federation: migration delays then come from max-min fair sharing of
+    /// the topology's links instead of the fixed matrix rates.  `None` (the
+    /// default) keeps the matrix path bit for bit.  Not serialized —
+    /// persisted configs re-run on the plain matrix.
+    #[serde(skip)]
+    pub network: Option<NetworkTopology>,
 }
 
 impl FederationExperimentConfig {
@@ -89,7 +96,24 @@ impl FederationExperimentConfig {
             transfer_seconds_per_gb: 1.0,
             transfer_energy_kwh_per_gb: 0.05,
             execution: ExecutionMode::Sequential,
+            network: None,
         }
+    }
+
+    /// Attaches a link-level network model to every trial's federation
+    /// (see [`FederationExperimentConfig::network`]).
+    pub fn with_network(mut self, network: NetworkTopology) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// A congested variant of this config's topology: the per-pair matrix
+    /// rates carry over as per-flow caps, but every transfer departing
+    /// `member` must also cross one thin `gb_per_s` uplink — concurrent
+    /// departures (a migration wave, an outage evacuation) then fair-share
+    /// that link and slow each other down.
+    pub fn congested_uplink(&self, member: usize, gb_per_s: f64) -> NetworkTopology {
+        NetworkTopology::from_matrix(&self.transfer_matrix()).with_uplink(member, gb_per_s)
     }
 
     /// Selects the engine execution mode trials run under (see
@@ -156,9 +180,13 @@ impl FederationExperimentConfig {
                 Member::new(region.code(), config, trace)
             })
             .collect();
-        Federation::new(members, self.workload_stream())
+        let federation = Federation::new(members, self.workload_stream())
             .with_transfer_matrix(self.transfer_matrix())
-            .with_execution_mode(self.execution)
+            .with_execution_mode(self.execution);
+        match &self.network {
+            Some(network) => federation.with_network(network.clone()),
+            None => federation,
+        }
     }
 
     /// Per-member carbon accountants (same traces and time scale the
@@ -196,6 +224,11 @@ pub enum RouterSpec {
     CarbonQueueAware,
 }
 
+/// Transfer-delay cap of [`MigrationSpec::CarbonDeltaAware`], in schedule
+/// seconds (60 s = one carbon hour at the paper's 60× time scale).  Moves
+/// whose contention-aware estimated transfer exceeds this are skipped.
+pub const AWARE_MAX_TRANSFER_SECONDS: f64 = 60.0;
+
 /// Which live-migration policy a federated trial uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MigrationSpec {
@@ -204,17 +237,32 @@ pub enum MigrationSpec {
     /// Greedy carbon-delta-vs-transfer-cost with hysteresis
     /// ([`CarbonDeltaMigrator`] defaults).
     CarbonDelta,
+    /// [`MigrationSpec::CarbonDelta`] with drain-then-move enabled: busy
+    /// jobs drain toward the greenest grid instead of being skipped.
+    CarbonDeltaDrain,
+    /// [`MigrationSpec::CarbonDelta`] with the transfer-delay guard
+    /// ([`AWARE_MAX_TRANSFER_SECONDS`]): contention-aware when the trial's
+    /// federation has a network attached, so a green grid behind a
+    /// congested link stops attracting work.
+    CarbonDeltaAware,
 }
 
 impl MigrationSpec {
-    /// Both built-in migration policies.
-    pub const ALL: [MigrationSpec; 2] = [MigrationSpec::Never, MigrationSpec::CarbonDelta];
+    /// All built-in migration policies.
+    pub const ALL: [MigrationSpec; 4] = [
+        MigrationSpec::Never,
+        MigrationSpec::CarbonDelta,
+        MigrationSpec::CarbonDeltaDrain,
+        MigrationSpec::CarbonDeltaAware,
+    ];
 
     /// Short label used in tables and CSV rows.
     pub fn label(&self) -> &'static str {
         match self {
             MigrationSpec::Never => "never",
             MigrationSpec::CarbonDelta => "carbon-delta",
+            MigrationSpec::CarbonDeltaDrain => "carbon-delta-drain",
+            MigrationSpec::CarbonDeltaAware => "carbon-delta-aware",
         }
     }
 
@@ -223,6 +271,10 @@ impl MigrationSpec {
         match self {
             MigrationSpec::Never => Box::new(NeverMigrate::new()),
             MigrationSpec::CarbonDelta => Box::new(CarbonDeltaMigrator::new()),
+            MigrationSpec::CarbonDeltaDrain => Box::new(CarbonDeltaMigrator::new().with_drain()),
+            MigrationSpec::CarbonDeltaAware => Box::new(
+                CarbonDeltaMigrator::new().with_max_transfer_seconds(AWARE_MAX_TRANSFER_SECONDS),
+            ),
         }
     }
 }
@@ -284,6 +336,9 @@ pub struct FederatedTrialOutput {
     pub router: RouterSpec,
     /// The live-migration policy used.
     pub migration: MigrationSpec,
+    /// Transfer model label: `"network"` when the trial's federation carried
+    /// a link-level [`NetworkTopology`], `"matrix"` otherwise.
+    pub network: &'static str,
     /// The (per-member) scheduling policy used.
     pub spec: SchedulerSpec,
     /// Per-member breakdowns, in member-index order.
@@ -363,6 +418,7 @@ pub fn run_federated_trial_with_migration(
     FederatedTrialOutput {
         router: router_spec,
         migration: migration_spec,
+        network: if config.network.is_some() { "network" } else { "matrix" },
         spec: sched_spec,
         num_migrations: result.num_migrations(),
         transfer_seconds: result.total_transfer_seconds(),
@@ -410,6 +466,7 @@ pub fn render(outputs: &[FederatedTrialOutput]) -> TextTable {
     let mut table = TextTable::new(&[
         "Router",
         "Migration",
+        "Net",
         "Scheduler",
         "Carbon (kg)",
         "Moves",
@@ -421,6 +478,7 @@ pub fn render(outputs: &[FederatedTrialOutput]) -> TextTable {
         table.row(vec![
             out.router.label().to_string(),
             out.migration.label().to_string(),
+            out.network.to_string(),
             out.spec.label(),
             format!("{:.1}", out.total_carbon_grams / 1000.0),
             format!("{}", out.num_migrations),
@@ -444,15 +502,16 @@ pub fn render(outputs: &[FederatedTrialOutput]) -> TextTable {
 /// their member rows whenever migration moved data.
 pub fn to_csv(outputs: &[FederatedTrialOutput]) -> String {
     let mut csv = String::from(
-        "router,migration,scheduler,region,label,jobs_routed,migrations,transfer_s,\
+        "router,migration,network,scheduler,region,label,jobs_routed,migrations,transfer_s,\
          transfer_carbon_g,carbon_g,makespan_s,avg_jct_s\n",
     );
     for out in outputs {
         for m in &out.members {
             csv.push_str(&format!(
-                "{},{},{},{},{},{},{},{:.3},,{:.3},{:.3},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{:.3},,{:.3},{:.3},{:.3}\n",
                 out.router.label(),
                 out.migration.label(),
+                out.network,
                 out.spec.label(),
                 m.region.code(),
                 m.label,
@@ -465,9 +524,10 @@ pub fn to_csv(outputs: &[FederatedTrialOutput]) -> String {
             ));
         }
         csv.push_str(&format!(
-            "{},{},{},TOTAL,{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},TOTAL,{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
             out.router.label(),
             out.migration.label(),
+            out.network,
             out.spec.label(),
             out.spec.label(),
             out.members.iter().map(|m| m.jobs_routed).sum::<usize>(),
@@ -537,14 +597,16 @@ mod tests {
             SchedulerSpec::pcaps_moderate(),
         ];
         let outputs = multi_region_sweep(&cfg, &routers, &MigrationSpec::ALL, &specs);
-        assert_eq!(outputs.len(), 8);
+        assert_eq!(outputs.len(), 16);
         let csv = to_csv(&outputs);
-        // Header + (2 members + 1 total) × 8 combinations.
-        assert_eq!(csv.lines().count(), 1 + 3 * 8);
-        assert!(csv.starts_with("router,migration,scheduler,region,label,"));
+        // Header + (2 members + 1 total) × 16 combinations.
+        assert_eq!(csv.lines().count(), 1 + 3 * 16);
+        assert!(csv.starts_with("router,migration,network,scheduler,region,label,"));
         assert!(csv
-            .contains("carbon-queue-aware,never,PCAPS(γ=0.5),CAISO,PCAPS(γ=0.5)@CAISO"));
-        assert!(csv.contains("carbon-queue-aware,carbon-delta,PCAPS(γ=0.5),CAISO"));
+            .contains("carbon-queue-aware,never,matrix,PCAPS(γ=0.5),CAISO,PCAPS(γ=0.5)@CAISO"));
+        assert!(csv.contains("carbon-queue-aware,carbon-delta,matrix,PCAPS(γ=0.5),CAISO"));
+        assert!(csv.contains("carbon-delta-drain,matrix"));
+        assert!(csv.contains("carbon-delta-aware,matrix"));
         assert!(csv.contains(",TOTAL,"));
         let text = render(&outputs).render();
         assert!(text.contains("round-robin") && text.contains("carbon-queue-aware"));
@@ -592,6 +654,108 @@ mod tests {
     }
 
     #[test]
+    fn congested_uplink_inverts_the_migration_payoff_and_aware_recovers() {
+        // Same cliff config as above, but the dirty grid's uplink is choked
+        // to 0.01 GB/s: a single 6 GB move now takes 600 schedule seconds
+        // alone (worse under contention), versus ~6 s on the uncontended
+        // matrix.  Chasing the green grid through that link stalls jobs in
+        // transit, so blind carbon-delta migration should now *lose* on JCT
+        // against never-migrate — the inversion the link-level model exists
+        // to expose — while the delay-aware variant sees the contended
+        // estimate blow past its cap and declines the moves.
+        let mut cfg = small_config();
+        cfg.num_jobs = 12;
+        cfg.executors_per_member = 4;
+        let congested = cfg.clone().with_network(cfg.congested_uplink(1, 0.01));
+
+        let never = run_federated_trial_with_migration(
+            &congested,
+            RouterSpec::RoundRobin,
+            MigrationSpec::Never,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        let blind = run_federated_trial_with_migration(
+            &congested,
+            RouterSpec::RoundRobin,
+            MigrationSpec::CarbonDelta,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        let aware = run_federated_trial_with_migration(
+            &congested,
+            RouterSpec::RoundRobin,
+            MigrationSpec::CarbonDeltaAware,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+
+        assert_eq!(never.network, "network");
+        assert!(blind.num_migrations > 0, "blind carbon-delta must still take the bait");
+        assert!(
+            blind.avg_jct > never.avg_jct,
+            "behind a congested link, migrating must cost JCT: {} vs {}",
+            blind.avg_jct,
+            never.avg_jct
+        );
+        assert!(
+            aware.avg_jct < blind.avg_jct,
+            "the transfer-delay guard must recover most of the JCT loss: {} vs {}",
+            aware.avg_jct,
+            blind.avg_jct
+        );
+        // The same policy on the uncontended matrix still pays off on
+        // carbon — the inversion is the link's fault, not the policy's.
+        let uncongested = run_federated_trial_with_migration(
+            &cfg,
+            RouterSpec::RoundRobin,
+            MigrationSpec::CarbonDelta,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        let baseline = run_federated_trial_with_migration(
+            &cfg,
+            RouterSpec::RoundRobin,
+            MigrationSpec::Never,
+            SchedulerSpec::Baseline(BaseScheduler::Fifo),
+        );
+        assert_eq!(uncongested.network, "matrix");
+        assert!(uncongested.total_carbon_grams < baseline.total_carbon_grams);
+    }
+
+    #[test]
+    fn empty_network_topology_matches_the_matrix_path_bitwise() {
+        // `NetworkTopology::from_matrix` carries the per-pair seconds-per-GB
+        // but no capacitated links, so every transfer takes the engine's
+        // fixed-delay path — the run must be bit-identical to the plain
+        // matrix federation.
+        let mut cfg = small_config();
+        cfg.num_jobs = 12;
+        cfg.executors_per_member = 4;
+        let wrapped =
+            cfg.clone().with_network(NetworkTopology::from_matrix(&cfg.transfer_matrix()));
+        for spec in MigrationSpec::ALL {
+            let a = run_federated_trial_with_migration(
+                &cfg,
+                RouterSpec::RoundRobin,
+                spec,
+                SchedulerSpec::Baseline(BaseScheduler::Fifo),
+            );
+            let b = run_federated_trial_with_migration(
+                &wrapped,
+                RouterSpec::RoundRobin,
+                spec,
+                SchedulerSpec::Baseline(BaseScheduler::Fifo),
+            );
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{}", spec.label());
+            assert_eq!(a.avg_jct.to_bits(), b.avg_jct.to_bits(), "{}", spec.label());
+            assert_eq!(
+                a.total_carbon_grams.to_bits(),
+                b.total_carbon_grams.to_bits(),
+                "{}",
+                spec.label()
+            );
+            assert_eq!(a.num_migrations, b.num_migrations, "{}", spec.label());
+        }
+    }
+
+    #[test]
     fn never_migration_spec_matches_the_plain_trial() {
         let cfg = small_config();
         let plain = run_federated_trial(
@@ -614,8 +778,14 @@ mod tests {
     fn migration_spec_labels_are_stable() {
         assert_eq!(MigrationSpec::Never.label(), "never");
         assert_eq!(MigrationSpec::CarbonDelta.label(), "carbon-delta");
+        assert_eq!(MigrationSpec::CarbonDeltaDrain.label(), "carbon-delta-drain");
+        assert_eq!(MigrationSpec::CarbonDeltaAware.label(), "carbon-delta-aware");
         assert_eq!(MigrationSpec::Never.build().name(), "never-migrate");
         assert_eq!(MigrationSpec::CarbonDelta.build().name(), "carbon-delta");
+        assert_eq!(MigrationSpec::CarbonDeltaDrain.build().name(), "carbon-delta-drain");
+        // The aware variant keeps the base name: it is carbon-delta plus a
+        // transfer-delay guard, not a different decision rule.
+        assert_eq!(MigrationSpec::CarbonDeltaAware.build().name(), "carbon-delta");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::format::TextTable;
 use crate::multi_region::{FederationExperimentConfig, MigrationSpec, RouterSpec};
 use crate::runner::{BaseScheduler, SchedulerSpec};
 use pcaps_cluster::{
-    FederationResult, PoissonCrashes, RetryPolicy, Scheduler, SimError,
+    FederationResult, PoissonCrashes, RegionOutage, RetryPolicy, Scheduler, SimError,
 };
 use pcaps_metrics::{ExperimentSummary, ReliabilitySummary};
 
@@ -70,6 +70,13 @@ impl ReliabilityStrategy {
 /// Output of one reliability trial (one crash rate × one strategy).
 #[derive(Debug, Clone)]
 pub struct ReliabilityTrialOutput {
+    /// What misbehaved: `"fault-free"`, `"crashes"` (Poisson executor
+    /// crashes), or `"outage"` (a windowed whole-member outage whose
+    /// evacuations ride the transfer model).
+    pub scenario: &'static str,
+    /// Transfer model label: `"network"` when the trial's federation carried
+    /// a link-level topology, `"matrix"` otherwise.
+    pub network: &'static str,
     /// Mean time between crashes per member (schedule seconds); `None` is
     /// the fault-free baseline.
     pub mtbf_seconds: Option<f64>,
@@ -116,11 +123,41 @@ pub fn run_reliability_trial(
     let mut federation = config
         .federation_instance()
         .with_retry_policy(trial_retry_policy());
+    let mut scenario = "fault-free";
     if let Some(mtbf) = mtbf_seconds {
         let plan = PoissonCrashes::new(config.seed ^ 0xFA17, mtbf)
             .with_horizon(crash_horizon(config));
         federation = federation.with_fault_plan(&plan);
+        scenario = "crashes";
     }
+    finish_trial(config, federation, mtbf_seconds, scenario, strategy)
+}
+
+/// Runs one outage-evacuation trial: `outage` takes one whole member down
+/// over its window, the engine evacuates that member's drained jobs to the
+/// surviving members, and — when the config carries a link-level network
+/// (see [`FederationExperimentConfig::with_network`]) — those simultaneous
+/// evacuations contend for the outaged member's uplink under max-min fair
+/// sharing instead of each enjoying the uniform matrix delay.
+pub fn run_outage_trial(
+    config: &FederationExperimentConfig,
+    outage: &RegionOutage,
+    strategy: ReliabilityStrategy,
+) -> Result<ReliabilityTrialOutput, SimError> {
+    let federation = config
+        .federation_instance()
+        .with_retry_policy(trial_retry_policy())
+        .with_fault_plan(outage);
+    finish_trial(config, federation, None, "outage", strategy)
+}
+
+fn finish_trial(
+    config: &FederationExperimentConfig,
+    federation: pcaps_cluster::Federation,
+    mtbf_seconds: Option<f64>,
+    scenario: &'static str,
+    strategy: ReliabilityStrategy,
+) -> Result<ReliabilityTrialOutput, SimError> {
     let accountants = config.accountants();
     let mut schedulers: Vec<Box<dyn Scheduler>> = federation
         .members()
@@ -149,6 +186,8 @@ pub fn run_reliability_trial(
     }
     let reliability = reliability.expect("a federation has at least one member");
     Ok(ReliabilityTrialOutput {
+        scenario,
+        network: if config.network.is_some() { "network" } else { "matrix" },
         mtbf_seconds,
         strategy,
         reliability,
@@ -187,6 +226,8 @@ fn mtbf_label(mtbf: Option<f64>) -> String {
 /// Renders the sweep as a text table (one line per trial).
 pub fn render(outputs: &[ReliabilityTrialOutput]) -> TextTable {
     let mut table = TextTable::new(&[
+        "Scenario",
+        "Net",
         "MTBF (s)",
         "Router",
         "Migration",
@@ -201,6 +242,8 @@ pub fn render(outputs: &[ReliabilityTrialOutput]) -> TextTable {
     ]);
     for out in outputs {
         table.row(vec![
+            out.scenario.to_string(),
+            out.network.to_string(),
             mtbf_label(out.mtbf_seconds),
             out.strategy.router.label().to_string(),
             out.strategy.migration.label().to_string(),
@@ -220,12 +263,14 @@ pub fn render(outputs: &[ReliabilityTrialOutput]) -> TextTable {
 /// Serialises the sweep as CSV, one row per trial.
 pub fn to_csv(outputs: &[ReliabilityTrialOutput]) -> String {
     let mut csv = String::from(
-        "mtbf_s,router,migration,scheduler,crashes,retries,wasted_s,wasted_carbon_g,\
-         goodput,useful_s,migrations,carbon_g,makespan_s,avg_jct_s\n",
+        "scenario,network,mtbf_s,router,migration,scheduler,crashes,retries,wasted_s,\
+         wasted_carbon_g,goodput,useful_s,migrations,carbon_g,makespan_s,avg_jct_s\n",
     );
     for out in outputs {
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{:.3},{:.3},{:.6},{:.3},{},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{:.3},{:.3},{:.6},{:.3},{},{:.3},{:.3},{:.3}\n",
+            out.scenario,
+            out.network,
             mtbf_label(out.mtbf_seconds),
             out.strategy.router.label(),
             out.strategy.migration.label(),
@@ -308,10 +353,50 @@ mod tests {
         assert_eq!(outputs.len(), 8);
         let csv = to_csv(&outputs);
         assert_eq!(csv.lines().count(), 9);
-        assert!(csv.starts_with("mtbf_s,router,migration,scheduler,"));
-        assert!(csv.contains("inf,round-robin,never,FIFO,0,0,"));
-        assert!(csv.contains("600,carbon-queue-aware,carbon-delta,PCAPS"));
+        assert!(csv.starts_with("scenario,network,mtbf_s,router,migration,scheduler,"));
+        assert!(csv.contains("fault-free,matrix,inf,round-robin,never,FIFO,0,0,"));
+        assert!(csv.contains("crashes,matrix,600,carbon-queue-aware,carbon-delta,PCAPS"));
         let text = render(&outputs).render();
         assert!(text.contains("Goodput") && text.contains("carbon-queue-aware"));
+    }
+
+    #[test]
+    fn outage_evacuations_contend_for_the_congested_uplink() {
+        // Take the green grid down just after a burst of arrivals: its
+        // queued jobs evacuate to the dirty survivor all at once.  On the
+        // uniform matrix each move pays the same fixed per-GB delay; through
+        // a 0.001 GB/s uplink the simultaneous evacuation flows max-min
+        // share the link, so the same moves take far longer and both
+        // makespan and JCT degrade.
+        let mut cfg = small_config();
+        cfg.num_jobs = 12;
+        cfg.executors_per_member = 2;
+        cfg.mean_interarrival = 1.0;
+        let congested = cfg.clone().with_network(cfg.congested_uplink(0, 0.001));
+        let strategy = ReliabilityStrategy::ladder()[0];
+        let outage = RegionOutage::new(0, 60.0, 86_400.0);
+
+        let matrix = run_outage_trial(&cfg, &outage, strategy).unwrap();
+        let slow = run_outage_trial(&congested, &outage, strategy).unwrap();
+        assert_eq!(matrix.scenario, "outage");
+        assert_eq!(matrix.network, "matrix");
+        assert_eq!(slow.network, "network");
+        assert!(matrix.num_migrations > 0, "the outage must actually evacuate jobs");
+        assert_eq!(
+            matrix.num_migrations, slow.num_migrations,
+            "the link model changes transfer timing, not which jobs evacuate"
+        );
+        assert!(
+            slow.makespan > matrix.makespan,
+            "contended evacuations must finish later: {} vs {}",
+            slow.makespan,
+            matrix.makespan
+        );
+        assert!(slow.avg_jct > matrix.avg_jct);
+        // Determinism: the contended run replays bit for bit.
+        let again = run_outage_trial(&congested, &outage, strategy).unwrap();
+        assert_eq!(slow.makespan.to_bits(), again.makespan.to_bits());
+        assert_eq!(slow.avg_jct.to_bits(), again.avg_jct.to_bits());
+        assert_eq!(slow.num_migrations, again.num_migrations);
     }
 }

@@ -39,6 +39,13 @@
 //!   last moved.  Returning to a previously left grid therefore requires
 //!   that grid to be `min_intensity_delta` cleaner *and* the transfer to be
 //!   re-paid with margin, after the cooldown — oscillation is priced out.
+//!   Two opt-in extensions: [`with_drain`] also moves *busy* jobs by
+//!   drain-then-move (they stop dispatching and depart when their running
+//!   tasks finish), and [`with_max_transfer_seconds`] skips moves whose
+//!   estimated transfer delay — contention-aware when the federation has a
+//!   [`NetworkTopology`](pcaps_cluster::NetworkTopology) attached — exceeds
+//!   a cap, so a green grid behind a congested link stops attracting work
+//!   whose green window would close mid-transfer.
 //!
 //! All policies are deterministic and allocation-free per decision (a single
 //! pass over the member views / candidates; the migrator's per-job cooldown
@@ -48,6 +55,8 @@
 //! [`min_intensity_delta`]: CarbonDeltaMigrator::min_intensity_delta
 //! [`cost_factor`]: CarbonDeltaMigrator::cost_factor
 //! [`cooldown_s`]: CarbonDeltaMigrator::cooldown_s
+//! [`with_drain`]: CarbonDeltaMigrator::with_drain
+//! [`with_max_transfer_seconds`]: CarbonDeltaMigrator::with_max_transfer_seconds
 
 use pcaps_cluster::job_state::SubmittedJob;
 use pcaps_cluster::routing::{
@@ -298,6 +307,17 @@ pub struct CarbonDeltaMigrator {
     pub cost_factor: f64,
     /// Minimum schedule seconds between two migrations of the same job.
     pub cooldown_s: f64,
+    /// When true, a profitable candidate with running or retrying tasks gets
+    /// a drain-then-move verb instead of being skipped: it stops dispatching
+    /// and migrates once its tasks finish in place.  Off by default — the
+    /// default policy only moves idle jobs, bit-identical to the
+    /// pre-drain migrator.
+    pub drain: bool,
+    /// Skip moves whose estimated transfer delay exceeds this many schedule
+    /// seconds (contention-aware when the federation has a network
+    /// attached).  `f64::INFINITY` by default — no estimate is computed and
+    /// decisions match the pre-network migrator exactly.
+    pub max_transfer_seconds: f64,
     /// `last_move[job]` is the schedule time of the job's last migration
     /// (grown on demand; `-inf` before the first move).
     last_move: Vec<f64>,
@@ -314,6 +334,8 @@ impl CarbonDeltaMigrator {
             min_intensity_delta: 30.0,
             cost_factor: 2.0,
             cooldown_s: 120.0,
+            drain: false,
+            max_transfer_seconds: f64::INFINITY,
             last_move: Vec::new(),
         }
     }
@@ -385,6 +407,31 @@ impl CarbonDeltaMigrator {
         self
     }
 
+    /// Enables drain-then-move: profitable candidates with running or
+    /// retrying tasks are drained toward the greenest grid instead of
+    /// skipped.  The policy reports itself as `"carbon-delta-drain"` so
+    /// sweeps can tell the two modes apart.
+    pub fn with_drain(mut self) -> Self {
+        self.drain = true;
+        self
+    }
+
+    /// Caps the estimated transfer delay a move may incur (schedule
+    /// seconds): moves whose data would take longer than this to arrive —
+    /// under current link contention, when a network is attached — are
+    /// skipped even if the carbon arithmetic favours them.  This is the
+    /// guard that keeps a "green" destination behind a congested link from
+    /// attracting work whose green window closes mid-transfer.
+    ///
+    /// # Panics
+    /// Panics unless `seconds` is positive (infinity disables the cap, the
+    /// default).
+    pub fn with_max_transfer_seconds(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "transfer-delay cap must be positive");
+        self.max_transfer_seconds = seconds;
+        self
+    }
+
     fn last_move(&self, job: JobId) -> f64 {
         self.last_move
             .get(job.index())
@@ -408,7 +455,11 @@ impl Default for CarbonDeltaMigrator {
 
 impl MigrationPolicy for CarbonDeltaMigrator {
     fn name(&self) -> &str {
-        "carbon-delta"
+        if self.drain {
+            "carbon-delta-drain"
+        } else {
+            "carbon-delta"
+        }
     }
 
     fn on_carbon_change(
@@ -430,9 +481,15 @@ impl MigrationPolicy for CarbonDeltaMigrator {
         if delta <= 0.0 || delta < self.min_intensity_delta {
             return;
         }
-        let transfer = ctx.transfer();
         for c in candidates {
-            if !c.migratable() {
+            // A job already committed to a drain keeps its destination
+            // until it departs — re-draining it every carbon step would
+            // just churn the flag.
+            if c.draining {
+                continue;
+            }
+            let idle = c.migratable();
+            if !idle && !self.drain {
                 continue;
             }
             if ctx.time - self.last_move(c.job) < self.cooldown_s {
@@ -440,11 +497,22 @@ impl MigrationPolicy for CarbonDeltaMigrator {
             }
             let job_kwh = c.remaining_work * self.time_scale / 3600.0 * self.executor_power_kw;
             let saving = delta * job_kwh;
-            let transfer_grams = transfer.transfer_carbon_grams(c.remaining_gb, c_src, c_dst);
+            let transfer_grams =
+                ctx.estimated_transfer_carbon_grams(c.remaining_gb, c_src, c_dst);
             if saving < self.cost_factor * transfer_grams {
                 continue;
             }
-            out.migrate(c.job, greenest);
+            if self.max_transfer_seconds.is_finite()
+                && ctx.estimated_transfer_seconds(src, greenest, c.remaining_gb)
+                    > self.max_transfer_seconds
+            {
+                continue;
+            }
+            if idle {
+                out.migrate(c.job, greenest);
+            } else {
+                out.drain(c.job, greenest);
+            }
             self.record_move(c.job, ctx.time);
         }
     }
@@ -609,6 +677,7 @@ mod tests {
                 remaining_gb,
                 busy_executors: busy,
                 retrying_tasks: 0,
+                draining: false,
             }
         }
 
@@ -738,6 +807,46 @@ mod tests {
             let p = CarbonDeltaMigrator::new();
             assert_eq!(p.name(), "carbon-delta");
             assert!(!p.never_migrates());
+            assert_eq!(CarbonDeltaMigrator::new().with_drain().name(), "carbon-delta-drain");
+        }
+
+        #[test]
+        fn drain_mode_drains_busy_jobs_and_skips_committed_ones() {
+            let views = [view(0, CarbonView::flat(500.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            let transfer = TransferMatrix::uniform(2, 1.0).with_energy_per_gb(0.05);
+            let busy = candidate(0, 600.0, 1.0, 2);
+            // Without drain the busy job is skipped entirely.
+            let mut plain = CarbonDeltaMigrator::new();
+            assert!(consult(&mut plain, 0.0, 0, &views, &transfer, std::slice::from_ref(&busy))
+                .is_empty());
+            // With drain it gets a drain verb toward the greenest member...
+            let mut draining = CarbonDeltaMigrator::new().with_drain();
+            let ctx = MigrationContext::new(0.0, 0, &views, &transfer);
+            let mut sink = MigrationSink::new();
+            draining.on_carbon_change(&ctx, std::slice::from_ref(&busy), &mut sink);
+            assert_eq!(sink.moves().len(), 1);
+            assert!(sink.moves()[0].drain, "busy candidates get drain verbs");
+            assert_eq!(sink.moves()[0].to, 1);
+            // ...and one already flagged as draining is left alone.
+            let committed = MigrationCandidate { draining: true, ..busy };
+            let mut again = CarbonDeltaMigrator::new().with_drain();
+            assert!(consult(&mut again, 0.0, 0, &views, &transfer, &[committed]).is_empty());
+        }
+
+        #[test]
+        fn transfer_delay_cap_blocks_slow_moves() {
+            let views = [view(0, CarbonView::flat(500.0), 0.0), view(1, CarbonView::flat(100.0), 0.0)];
+            // 10 s/GB × 1 GB = 10 s of transfer delay.
+            let transfer = TransferMatrix::uniform(2, 10.0).with_energy_per_gb(0.05);
+            let idle = candidate(0, 600.0, 1.0, 0);
+            let mut capped = CarbonDeltaMigrator::new().with_max_transfer_seconds(5.0);
+            assert!(consult(&mut capped, 0.0, 0, &views, &transfer, std::slice::from_ref(&idle))
+                .is_empty());
+            let mut roomy = CarbonDeltaMigrator::new().with_max_transfer_seconds(20.0);
+            assert_eq!(
+                consult(&mut roomy, 0.0, 0, &views, &transfer, std::slice::from_ref(&idle)),
+                vec![(0, 1)]
+            );
         }
 
         #[test]

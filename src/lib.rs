@@ -70,8 +70,8 @@ pub mod prelude {
         MigrationCandidate, MigrationContext, MigrationPolicy, MigrationRecord, MigrationSink,
         NeverMigrate, NoFaults, PartialRunSummary, PoissonCrashes, ProfileMode, RegionOutage,
         RetryPolicy, Router, RoutingContext, SchedEvent, Scheduler, SchedulingContext,
-        ScriptedFaults, ServeSession, SimulationResult, Simulator, StaticRouter, SubmittedJob,
-        TransferMatrix, WakeupToken,
+        FlowSet, NetworkLink, NetworkTopology, ScriptedFaults, ServeSession, SimulationResult,
+        Simulator, StaticRouter, SubmittedJob, TransferFlow, TransferMatrix, WakeupToken,
     };
     pub use pcaps_core::{Cap, CapConfig, Pcaps, PcapsConfig};
     pub use pcaps_dag::{JobDag, JobDagBuilder, StageId, Task};

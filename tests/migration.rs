@@ -228,7 +228,9 @@ fn migration_logs_replay_bit_identically() {
                 assert_eq!(runs[0].makespan.to_bits(), runs[1].makespan.to_bits());
                 match migration {
                     MigrationSpec::Never => assert!(runs[0].migrations.is_empty()),
-                    MigrationSpec::CarbonDelta => {
+                    MigrationSpec::CarbonDelta
+                    | MigrationSpec::CarbonDeltaDrain
+                    | MigrationSpec::CarbonDeltaAware => {
                         saw_migrations |= !runs[0].migrations.is_empty()
                     }
                 }

@@ -1,0 +1,393 @@
+//! Network-topology conformance suite.
+//!
+//! The link-level network model replaces the uniform `TransferMatrix`
+//! arithmetic with max-min fair-shared flows, so it is pinned from three
+//! directions:
+//!
+//! 1. **Fluid-model correctness** — driving a [`FlowSet`] through the
+//!    engine's own `settle`/`begin`/`finish`/`reallocate` protocol over
+//!    seeded random topologies and flow sets must reproduce the completion
+//!    times of an independent from-scratch fluid simulation built directly
+//!    on [`NetworkTopology::fair_share_rates`], plus a hand-computed
+//!    latency-tail case.
+//! 2. **Do-no-harm** — a [`NetworkTopology::from_matrix`] topology has no
+//!    capacitated links, so every transfer takes the engine's fixed-delay
+//!    path and the `fed3_migrate_pcaps` federation replays the plain
+//!    `TransferMatrix` run bit for bit (fingerprints and migration logs).
+//! 3. **Determinism** — drain-then-move trials over a capacitated network
+//!    replay bit-identically across {FIFO, PCAPS} × 3 seeds.
+
+use carbon_aware_dag_sched::prelude::*;
+use pcaps_cluster::{FlowArrivalPlan, FlowSet, NetworkTopology};
+use pcaps_dag::JobId;
+use pcaps_experiments::multi_region::{
+    run_federated_trial_with_migration, FederationExperimentConfig, MigrationSpec, RouterSpec,
+};
+use pcaps_experiments::runner::{BaseScheduler, SchedulerSpec};
+
+/// xorshift64* — the suite's only randomness source, fully seeded.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn r01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    fn below(&mut self, n: usize) -> usize {
+        (self.r01() * n as f64) as usize % n
+    }
+}
+
+/// One generated flow: `(from, to, gigabytes, start_time)`.
+type FlowSpec = (usize, usize, f64, f64);
+
+/// A random capacitated topology: every member gets an uplink (so every
+/// cross-member path is non-empty and takes the flow-priced path), some get
+/// downlinks, some pairs get dedicated links and per-flow rate caps.  All
+/// latencies stay zero so the oracle below needs no tail modelling; the
+/// latency tail is pinned by its own hand-computed test.
+fn random_topology(rng: &mut Rng, members: usize) -> NetworkTopology {
+    let mut topo = NetworkTopology::new(members);
+    for m in 0..members {
+        topo = topo.with_uplink(m, 0.05 + rng.r01());
+        if rng.r01() < 0.5 {
+            topo = topo.with_downlink(m, 0.05 + rng.r01());
+        }
+    }
+    for from in 0..members {
+        for to in 0..members {
+            if from == to {
+                continue;
+            }
+            if rng.r01() < 0.25 {
+                topo = topo.with_link(from, to, 0.05 + rng.r01());
+            }
+            if rng.r01() < 0.4 {
+                topo = topo.with_seconds_per_gb(from, to, 0.5 + 2.5 * rng.r01());
+            }
+        }
+    }
+    topo
+}
+
+/// From-scratch fluid simulation: piecewise-constant max-min rates
+/// recomputed at every start and completion, flows draining at their
+/// allocated rates in between.  Zero-latency topologies only.  Returns each
+/// flow's completion time.
+fn oracle_completions(topo: &NetworkTopology, specs: &[FlowSpec]) -> Vec<f64> {
+    let n = specs.len();
+    let mut remaining: Vec<f64> = specs.iter().map(|s| s.2).collect();
+    let mut done: Vec<Option<f64>> = vec![None; n];
+    let mut now = 0.0;
+    while done.iter().any(Option::is_none) {
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| done[i].is_none() && specs[i].3 <= now)
+            .collect();
+        let pairs: Vec<(usize, usize)> =
+            active.iter().map(|&i| (specs[i].0, specs[i].1)).collect();
+        let rates = topo.fair_share_rates(&pairs);
+        // Unconstrained flows deliver instantly; re-solve without them.
+        let mut any_instant = false;
+        for (k, &i) in active.iter().enumerate() {
+            if rates[k].is_infinite() {
+                done[i] = Some(now);
+                any_instant = true;
+            }
+        }
+        if any_instant {
+            continue;
+        }
+        let next_start = (0..n)
+            .filter(|&i| done[i].is_none() && specs[i].3 > now)
+            .map(|i| specs[i].3)
+            .fold(f64::INFINITY, f64::min);
+        let mut dt = next_start - now;
+        for (k, &i) in active.iter().enumerate() {
+            dt = dt.min(remaining[i] / rates[k]);
+        }
+        assert!(dt.is_finite(), "no event left but {} flows unfinished", n);
+        let target = now + dt;
+        for (k, &i) in active.iter().enumerate() {
+            remaining[i] -= rates[k] * dt;
+            if remaining[i] <= 1e-9 * specs[i].2 {
+                remaining[i] = 0.0;
+                done[i] = Some(target);
+            }
+        }
+        // Pin start instants exactly so `<= now` matches the driver.
+        now = if next_start <= target { next_start } else { target };
+    }
+    done.into_iter().map(|d| d.unwrap()).collect()
+}
+
+/// Drives a [`FlowSet`] through the engine's event protocol — begins at the
+/// flows' start times, arrival events with epoch-staleness filtering, a
+/// reallocation after every membership change — and returns each flow's
+/// completion time.
+fn flow_set_completions(topo: &NetworkTopology, specs: &[FlowSpec]) -> Vec<f64> {
+    let mut flows = FlowSet::new(topo);
+    let mut plans: Vec<FlowArrivalPlan> = Vec::new();
+    let mut scratch: Vec<FlowArrivalPlan> = Vec::new();
+    let mut starts: Vec<(f64, usize)> =
+        specs.iter().enumerate().map(|(i, s)| (s.3, i)).collect();
+    starts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut next_start = 0;
+    let mut done: Vec<Option<f64>> = vec![None; specs.len()];
+    while done.iter().any(Option::is_none) {
+        // The earliest queued arrival (stale ones are filtered at pop, like
+        // the engine's event queue).
+        let arrival = plans
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.at.total_cmp(&b.at).then(a.epoch.cmp(&b.epoch)))
+            .map(|(k, p)| (p.at, k));
+        let start = starts.get(next_start).copied();
+        let take_start = match (start, arrival) {
+            (Some((st, _)), Some((at, _))) => st <= at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => panic!("flows unfinished but no events queued"),
+        };
+        scratch.clear();
+        if take_start {
+            let (st, i) = start.unwrap();
+            next_start += 1;
+            flows.settle(topo, st);
+            flows.begin(JobId(i as u64), specs[i].0, specs[i].1, specs[i].2, i);
+            flows.reallocate(topo, st, &mut scratch);
+        } else {
+            let (at, k) = arrival.unwrap();
+            let plan = plans.swap_remove(k);
+            flows.settle(topo, at);
+            let Some(flow) = flows.finish(topo, plan.job, plan.epoch) else {
+                continue; // superseded by a rate change — stale, dropped
+            };
+            done[flow.job.0 as usize] = Some(at);
+            flows.reallocate(topo, at, &mut scratch);
+        }
+        plans.append(&mut scratch);
+    }
+    done.into_iter().map(|d| d.unwrap()).collect()
+}
+
+/// (1) Property: over seeded random topologies and staggered contended flow
+/// sets, the incremental `FlowSet` and the from-scratch fluid oracle agree
+/// on every completion time.
+#[test]
+fn flow_completions_match_the_from_scratch_max_min_oracle() {
+    for seed in 1..=24u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let members = 3 + rng.below(3);
+        let topo = random_topology(&mut rng, members);
+        let nflows = 3 + rng.below(8);
+        let specs: Vec<FlowSpec> = (0..nflows)
+            .map(|_| {
+                let from = rng.below(members);
+                let to = (from + 1 + rng.below(members - 1)) % members;
+                (from, to, 0.5 + 9.5 * rng.r01(), 5.0 * rng.r01())
+            })
+            .collect();
+        let expected = oracle_completions(&topo, &specs);
+        let got = flow_set_completions(&topo, &specs);
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            assert!(
+                (e - g).abs() <= 1e-6 * e.max(1.0),
+                "seed {seed}, flow {i} ({:?}): oracle {e}, flow set {g}",
+                specs[i]
+            );
+        }
+    }
+}
+
+/// (1b) The latency tail, hand-computed: a 2 GB and a 6 GB flow share a
+/// 1 GB/s uplink (0.5 GB/s each) with a 3 s propagation latency.  Flow 0's
+/// bytes drain at t=4 but its share is only released when its arrival event
+/// fires at t=7 (the fluid model frees bandwidth at events, not
+/// mid-interval), so flow 1 reaches t=7 with 6 − 3.5 = 2.5 GB left, drains
+/// them alone at 1 GB/s by t=9.5, and arrives at 12.5.
+#[test]
+fn latency_tails_hold_bandwidth_until_the_arrival_event() {
+    let topo = NetworkTopology::new(3)
+        .with_uplink(0, 1.0)
+        .with_latency(0, 1, 3.0)
+        .with_latency(0, 2, 3.0);
+    let mut flows = FlowSet::new(&topo);
+    let mut plans = Vec::new();
+    flows.settle(&topo, 0.0);
+    flows.begin(JobId(0), 0, 1, 2.0, 0);
+    flows.begin(JobId(1), 0, 2, 6.0, 1);
+    flows.reallocate(&topo, 0.0, &mut plans);
+    assert_eq!(plans.len(), 2);
+    let first = plans.iter().position(|p| p.job == JobId(0)).expect("flow 0 planned");
+    let first = plans.swap_remove(first);
+    assert!((first.at - 7.0).abs() < 1e-9, "2 GB at 0.5 GB/s + 3 s latency");
+    assert!((plans[0].at - 15.0).abs() < 1e-9, "6 GB at 0.5 GB/s + 3 s latency, pre-release");
+    plans.clear();
+    flows.settle(&topo, first.at);
+    let flow = flows.finish(&topo, first.job, first.epoch).expect("not stale");
+    assert_eq!(flow.remaining_gb, 0.0);
+    flows.reallocate(&topo, first.at, &mut plans);
+    // The survivor re-plans: 2.5 GB left at 1 GB/s + 3 s latency from t=7,
+    // superseding its original t=15 estimate.
+    assert_eq!(plans.len(), 1);
+    assert_eq!(plans[0].job, JobId(1));
+    assert!((plans[0].at - 12.5).abs() < 1e-9, "got {}", plans[0].at);
+    flows.settle(&topo, plans[0].at);
+    let flow = flows.finish(&topo, plans[0].job, plans[0].epoch).expect("not stale");
+    assert_eq!(flow.remaining_gb, 0.0);
+    assert!(flows.is_empty());
+}
+
+/// The `fed3_migrate_pcaps` bench configuration (three grids, 10 jobs,
+/// carbon+queue-aware routing, carbon-delta migration, one PCAPS instance
+/// per member).
+fn fed3_config() -> FederationExperimentConfig {
+    let mut cfg = FederationExperimentConfig::standard(
+        vec![GridRegion::Caiso, GridRegion::Germany, GridRegion::SouthAfrica],
+        10,
+        42,
+    );
+    cfg.executors_per_member = 7;
+    cfg.trace_days = 7;
+    cfg
+}
+
+/// FNV-1a over the schedule-defining outputs of a member's run — identical
+/// to the fingerprint in `tests/determinism.rs` and `tests/migration.rs`.
+fn fingerprint(result: &SimulationResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(result.makespan.to_bits());
+    mix(result.tasks_dispatched as u64);
+    mix(result.jobs_submitted as u64);
+    for job in &result.jobs {
+        mix(job.id.0);
+        mix(job.arrival.to_bits());
+        mix(job.completion.to_bits());
+        mix(job.executor_seconds.to_bits());
+    }
+    h
+}
+
+fn run_fed3(config: &FederationExperimentConfig) -> FederationResult {
+    let federation = config.federation_instance();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = federation
+        .members()
+        .iter()
+        .enumerate()
+        .map(|(i, member)| {
+            SchedulerSpec::pcaps_moderate().build(config.member_seed(i), &member.carbon, 60.0)
+        })
+        .collect();
+    let mut router = RouterSpec::CarbonQueueAware.build();
+    let mut policy = MigrationSpec::CarbonDelta.build();
+    let mut refs: Vec<&mut dyn Scheduler> = Vec::with_capacity(schedulers.len());
+    for s in schedulers.iter_mut() {
+        refs.push(&mut **s);
+    }
+    federation
+        .run_with_migration(router.as_mut(), policy.as_mut(), &mut refs)
+        .expect("the fed3 bench config always completes")
+}
+
+/// (2) Do-no-harm: wrapping the transfer matrix in a link-free
+/// `NetworkTopology` must leave the `fed3_migrate_pcaps` run bit-identical —
+/// same per-member fingerprints, same migration log to the bit.
+#[test]
+fn from_matrix_topology_replays_the_fed3_migrate_pcaps_fingerprints() {
+    let cfg = fed3_config();
+    let wrapped =
+        cfg.clone().with_network(NetworkTopology::from_matrix(&cfg.transfer_matrix()));
+    let matrix = run_fed3(&cfg);
+    let network = run_fed3(&wrapped);
+    assert!(
+        !matrix.migrations.is_empty(),
+        "fed3_migrate_pcaps must actually migrate, or this pin proves nothing"
+    );
+    for (i, (a, b)) in matrix.members.iter().zip(&network.members).enumerate() {
+        assert_eq!(
+            fingerprint(&a.result),
+            fingerprint(&b.result),
+            "member {i}: the empty topology changed the schedule"
+        );
+    }
+    assert_eq!(matrix.makespan.to_bits(), network.makespan.to_bits());
+    assert_eq!(matrix.migrations.len(), network.migrations.len());
+    for (a, b) in matrix.migrations.iter().zip(&network.migrations) {
+        assert_eq!(a.job, b.job);
+        assert_eq!((a.from, a.to), (b.from, b.to));
+        assert_eq!(a.departed.to_bits(), b.departed.to_bits());
+        assert_eq!(a.arrived.to_bits(), b.arrived.to_bits());
+        assert_eq!(a.transfer_carbon_grams.to_bits(), b.transfer_carbon_grams.to_bits());
+    }
+}
+
+/// (3) Determinism: drain-then-move over a capacitated network replays bit
+/// for bit across {FIFO, PCAPS} × 3 seeds, and at least one combination
+/// actually migrates through contended flows.
+#[test]
+fn drain_then_move_trials_replay_bit_identically() {
+    let mut saw_moves = false;
+    for seed in [1u64, 11, 42] {
+        for spec in
+            [SchedulerSpec::Baseline(BaseScheduler::Fifo), SchedulerSpec::pcaps_moderate()]
+        {
+            let mut cfg = FederationExperimentConfig::standard(
+                vec![GridRegion::Caiso, GridRegion::SouthAfrica],
+                12,
+                seed,
+            );
+            cfg.executors_per_member = 2;
+            let network = NetworkTopology::from_matrix(&cfg.transfer_matrix())
+                .with_uplink(0, 0.05)
+                .with_uplink(1, 0.05);
+            let cfg = cfg.with_network(network);
+            let runs: Vec<_> = (0..2)
+                .map(|_| {
+                    run_federated_trial_with_migration(
+                        &cfg,
+                        RouterSpec::RoundRobin,
+                        MigrationSpec::CarbonDeltaDrain,
+                        spec,
+                    )
+                })
+                .collect();
+            assert_eq!(
+                runs[0].makespan.to_bits(),
+                runs[1].makespan.to_bits(),
+                "seed {seed}, {}: drained makespans diverged",
+                spec.label()
+            );
+            assert_eq!(runs[0].avg_jct.to_bits(), runs[1].avg_jct.to_bits());
+            assert_eq!(
+                runs[0].total_carbon_grams.to_bits(),
+                runs[1].total_carbon_grams.to_bits()
+            );
+            assert_eq!(runs[0].transfer_seconds.to_bits(), runs[1].transfer_seconds.to_bits());
+            assert_eq!(runs[0].num_migrations, runs[1].num_migrations);
+            saw_moves |= runs[0].num_migrations > 0;
+        }
+    }
+    assert!(
+        saw_moves,
+        "at least one seed must migrate through the network, or this suite proves nothing"
+    );
+}
