@@ -138,6 +138,23 @@ fn simulator_throughput(c: &mut Criterion) {
             })
         },
     );
+    // The 10k streaming spec again under the paper's headline policy:
+    // PCAPS(γ=0.5) over Decima-like scoring pays a per-event distribution +
+    // softmax + sampling pass on top of FIFO's queue walk, which is exactly
+    // the scheduler-side cost the incremental score table (PR 10) bounds to
+    // O(changed).  The A/B against alibaba_10k_stream above tracks the
+    // policy's trace-scale overhead factor going forward.
+    group.bench_function(
+        BenchmarkId::new("10k_jobs_100_exec", "alibaba_10k_stream_pcaps"),
+        |b| {
+            let cfg = ScaleConfig::standard();
+            b.iter(|| {
+                criterion::black_box(
+                    run_scale_trial(&cfg, 10_000, SchedulerSpec::pcaps_moderate()).makespan,
+                )
+            })
+        },
+    );
     // The 10k streaming spec again under ExecutionMode::Batched: same-time
     // event bursts are drained together and each member's scheduler runs
     // once per burst on a coalesced seed.  The A/B against

@@ -65,13 +65,18 @@ require_full_suite() {
 # schedulers × migration × faults × seeds); tests/network.rs pins the
 # link-level transfer model (flow completions vs the from-scratch max-min
 # oracle, from_matrix ≡ TransferMatrix bit-identity on fed3_migrate_pcaps,
-# drain-then-move replay determinism).
+# drain-then-move replay determinism); tests/scheduler_state.rs pins the
+# incremental probabilistic-scheduler state (DecimaLike's version-stamped
+# score table and cached jobs-with-work count) bit for bit against
+# from-scratch oracles across arrivals, completions, serve-mode compaction
+# and migration.
 require_full_suite migration "migration conformance suite"
 require_full_suite streaming "streaming-equivalence suite"
 require_full_suite faults "fault-injection conformance suite"
 require_full_suite steady_state "steady-state serving suite"
 require_full_suite parallel "execution-mode determinism suite"
 require_full_suite network "network-topology conformance suite"
+require_full_suite scheduler_state "incremental scheduler-state suite"
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

@@ -893,7 +893,8 @@ fn member_schedule_pass(
             &member.active,
             Some(&member.slots),
         )
-        .with_slot_base(member.slot_base);
+        .with_slot_base(member.slot_base)
+        .with_outstanding_work(member.outstanding_work);
         if !ctx.has_dispatchable_work() {
             return Ok(());
         }
@@ -2688,7 +2689,8 @@ impl<'a> Engine<'a> {
             &member.active,
             Some(&member.slots),
         )
-        .with_slot_base(member.slot_base);
+        .with_slot_base(member.slot_base)
+        .with_outstanding_work(member.outstanding_work);
         scheduler.on_event(SchedEvent::MemberAvailability { available }, &ctx, &mut sink);
         sink.clear();
         self.members[target].sink = sink;

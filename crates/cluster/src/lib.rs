@@ -176,6 +176,23 @@
 //!   `remaining_work` answers in O(stages) from the DAG's cached duration
 //!   suffix sums.  Any new mutation of task state must go through
 //!   `dispatch_task`/`finish_task` so those sets stay coherent.
+//! * **Schedulers are incremental too.**  The O(changed) discipline does not
+//!   stop at the engine boundary: policy-side derived state (score tables,
+//!   per-job feature caches, aggregate counts) persists across invocations
+//!   and is revalidated per event against `JobProgress`'s monotonic mutation
+//!   version — equal job id + equal version means equal observable progress,
+//!   so a cached entry is reused bit for bit and only mutated jobs are
+//!   recomputed.  Revalidation keys off engine-owned state, never off the
+//!   [`SchedEvent`] stream: events are advisory (batched mode coalesces
+//!   them, wakeups are suppressed, migrations arrive as plain `JobArrived`),
+//!   so a policy that trusted event delivery for cache invalidation would
+//!   silently go stale.  Aggregates a policy needs every event (e.g. total
+//!   outstanding work) come from the engine's incrementally maintained
+//!   counters via [`SchedulingContext`] accessors rather than per-event
+//!   folds over the job table.  `tests/scheduler_state.rs` pins the
+//!   reference implementation (`DecimaLike`'s version-stamped table) against
+//!   from-scratch oracles across arrivals, completions, serve-mode
+//!   compaction and migration.
 //! * **O(1) carbon bounds.**  Per-event `CarbonView`s (for scheduling and
 //!   routing alike) are served by each trace's sparse-table index; linear
 //!   walks over the forecast horizon belong in trace construction, never in

@@ -180,6 +180,13 @@ pub struct SchedulingContext<'a> {
     /// base keeps id lookups O(1) without the table growing with every job
     /// ever seen.  Always 0 for finite runs and hand-built contexts.
     slot_base: usize,
+    /// Engine-maintained total of owned-but-undispatched task work
+    /// (executor-seconds) across the active jobs — the same incremental
+    /// counter routers and migration policies see as
+    /// `MemberView::outstanding_work`.  `None` for hand-built contexts;
+    /// [`SchedulingContext::outstanding_work`] then falls back to a
+    /// per-job fold.
+    outstanding_work: Option<f64>,
 }
 
 impl<'a> SchedulingContext<'a> {
@@ -208,6 +215,7 @@ impl<'a> SchedulingContext<'a> {
             active,
             slots,
             slot_base: 0,
+            outstanding_work: None,
         }
     }
 
@@ -217,6 +225,30 @@ impl<'a> SchedulingContext<'a> {
     pub fn with_slot_base(mut self, base: usize) -> Self {
         self.slot_base = base;
         self
+    }
+
+    /// Supplies the engine's incrementally maintained outstanding-work
+    /// aggregate (see the `outstanding_work` field).  Hand-built contexts
+    /// can skip this; the accessor falls back to a fold.
+    pub fn with_outstanding_work(mut self, work: f64) -> Self {
+        self.outstanding_work = Some(work);
+        self
+    }
+
+    /// Total undispatched task work (executor-seconds) across the active
+    /// jobs.  O(1) for engine-built contexts — answered from the same
+    /// incremental per-member counter that routing and migration consult —
+    /// and an O(jobs × stages) remaining-work fold for hand-built ones.
+    ///
+    /// The two forms can differ in the last bits (the counter accumulates
+    /// arrival/dispatch/migration deltas over the run; the fold re-sums per
+    /// call) and, on faulted runs, by tasks sitting in retry backoff (the
+    /// counter excludes work that cannot be dispatched yet; the fold
+    /// includes it) — callers comparing against a recomputation should use
+    /// a tolerance, not bit equality.
+    pub fn outstanding_work(&self) -> f64 {
+        self.outstanding_work
+            .unwrap_or_else(|| self.jobs().map(|j| j.remaining_work()).sum())
     }
 
     /// Iterates over the active jobs in arrival (FIFO) order.  Views are

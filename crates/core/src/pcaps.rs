@@ -3,6 +3,7 @@
 use crate::importance::relative_importance;
 use crate::threshold::ThresholdFn;
 use pcaps_cluster::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
+use pcaps_schedulers::probabilistic::sample_cdf;
 use pcaps_schedulers::{ProbabilisticScheduler, StageProbability};
 use rand::Rng;
 use rand::SeedableRng;
@@ -142,6 +143,10 @@ pub struct Pcaps<PB> {
     /// *dirtier* intensity (higher Ψγ(r)), i.e. would wake strictly
     /// earlier.  Cleared when a wakeup arrives.
     pending_wakeup_below: Option<f64>,
+    /// Reused distribution buffer: the wrapped policy writes each event's
+    /// distribution in place ([`ProbabilisticScheduler::distribution_into`]),
+    /// so steady-state events allocate nothing.
+    dist_buf: Vec<StageProbability>,
 }
 
 impl<PB: ProbabilisticScheduler> Pcaps<PB> {
@@ -156,6 +161,7 @@ impl<PB: ProbabilisticScheduler> Pcaps<PB> {
             name,
             last_decision_time: None,
             pending_wakeup_below: None,
+            dist_buf: Vec::new(),
         }
     }
 
@@ -172,19 +178,6 @@ impl<PB: ProbabilisticScheduler> Pcaps<PB> {
     /// Access to the wrapped scheduler.
     pub fn inner(&self) -> &PB {
         &self.inner
-    }
-
-    /// Samples an index from the distribution.
-    fn sample_index(&mut self, dist: &[StageProbability]) -> usize {
-        let r: f64 = self.rng.gen_range(0.0..1.0);
-        let mut acc = 0.0;
-        for (i, entry) in dist.iter().enumerate() {
-            acc += entry.probability;
-            if r <= acc {
-                return i;
-            }
-        }
-        dist.len() - 1
     }
 }
 
@@ -232,16 +225,21 @@ impl<PB: ProbabilisticScheduler> Scheduler for Pcaps<PB> {
         {
             return;
         }
-        // Line 5: sample v ∈ A_t and the probabilities p_{v,t} from PB.
-        let dist = self.inner.distribution(ctx);
-        if dist.is_empty() {
+        // Line 5: sample v ∈ A_t and the probabilities p_{v,t} from PB —
+        // written into the reused buffer, sampled via the shared CDF walk
+        // (`r` is drawn only after the emptiness check, preserving the RNG
+        // stream of the historical inline sampler).
+        self.inner.distribution_into(ctx, &mut self.dist_buf);
+        if self.dist_buf.is_empty() {
             return;
         }
-        let idx = self.sample_index(&dist);
-        let chosen = dist[idx];
+        let r: f64 = self.rng.gen_range(0.0..1.0);
+        let idx = sample_cdf(self.dist_buf.iter().map(|e| e.probability), r)
+            .expect("distribution checked non-empty above");
+        let chosen = self.dist_buf[idx];
 
         // Line 6: relative importance r_{v,t}.
-        let importance = relative_importance(&dist, idx);
+        let importance = relative_importance(&self.dist_buf, idx);
 
         // Line 7: carbon-awareness filter.
         let no_machines_busy = ctx.busy_executors == 0;

@@ -147,6 +147,19 @@ pub struct JobProgress {
     /// `remaining_work` stays O(stages); clamped back to exactly 0.0 when
     /// the queue empties so fault-free arithmetic is untouched).
     retry_work: f64,
+    /// Monotonic mutation counter, bumped by every state change a scheduler
+    /// can observe ([`JobProgress::dispatch_task`],
+    /// [`JobProgress::fail_task`], [`JobProgress::finish_task`]).  Policies
+    /// cache derived per-job values (remaining work, completion fraction)
+    /// keyed by this version and revalidate in O(1) per event instead of
+    /// recomputing O(stages) features for untouched jobs.  The version
+    /// travels with the progress through migration detach/reattach and
+    /// snapshot/restore; equal versions for the same job id imply equal
+    /// observable state *within one timeline* — a caller that restores an
+    /// engine to an earlier snapshot must pair it with equivalently-warmed
+    /// scheduler state (the documented snapshot contract), or versions from
+    /// the abandoned future could alias.
+    version: u64,
 }
 
 impl JobProgress {
@@ -171,7 +184,14 @@ impl JobProgress {
             dispatchable,
             retry: Vec::new(),
             retry_work: 0.0,
+            version: 0,
         }
+    }
+
+    /// The monotonic mutation version (see the `version` field): bumped by
+    /// every successful dispatch, failure, or finish.  O(1).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Structural frontier (completed stages / runnable set).
@@ -274,6 +294,7 @@ impl JobProgress {
                 {
                     sorted_remove(&mut self.dispatchable, stage);
                 }
+                self.version += 1;
                 return Some(task as usize);
             }
         }
@@ -289,6 +310,7 @@ impl JobProgress {
             // branch above consumes them before any fresh task is taken.
             sorted_remove(&mut self.dispatchable, stage);
         }
+        self.version += 1;
         Some(idx)
     }
 
@@ -314,6 +336,7 @@ impl JobProgress {
         self.retry.push((stage, task as u32));
         self.retry_work += job.stage(stage).tasks[task].duration;
         sorted_insert(&mut self.dispatchable, stage);
+        self.version += 1;
     }
 
     /// Marks one running task of `stage` as finished.  Returns `true` if this
@@ -329,6 +352,7 @@ impl JobProgress {
         );
         self.running_tasks[stage.index()] -= 1;
         self.finished_tasks[stage.index()] += 1;
+        self.version += 1;
         let total = job.stage(stage).num_tasks();
         if self.finished_tasks[stage.index()] == total {
             self.frontier.complete(job, stage);

@@ -19,7 +19,9 @@
 //! [`ProbabilisticScheduler`] (when wrapped by PCAPS).  DESIGN.md §1 records
 //! this substitution.
 
-use crate::probabilistic::{softmax, ProbabilisticScheduler, StageProbability};
+use crate::probabilistic::{
+    sample_cdf, softmax_into, ProbabilisticScheduler, StageProbability,
+};
 use pcaps_cluster::{DecisionSink, SchedEvent, Scheduler, SchedulingContext};
 use pcaps_dag::{JobId, StageId};
 use rand::Rng;
@@ -51,21 +53,64 @@ impl Default for DecimaWeights {
     }
 }
 
+/// One job's cached raw feature components, revalidated per event by the
+/// [`JobProgress::version`] stamp: equal id + equal version means the job's
+/// observable progress has not changed since the block was computed, so the
+/// O(stages) `remaining_work` fold and the completion-fraction division are
+/// skipped.  The *final* score is not cacheable per job — the
+/// shortest-remaining-work feature depends on the event's global
+/// max-remaining normaliser — so the table holds raw components and the
+/// scoring pass combines them inline with the exact float operations (and
+/// order) of a from-scratch computation.
+///
+/// [`JobProgress::version`]: pcaps_dag::JobProgress::version
+#[derive(Debug, Clone, Copy)]
+struct JobEntry {
+    id: JobId,
+    version: u64,
+    /// Undispatched work (executor-seconds) — `JobView::remaining_work()`.
+    remaining: f64,
+    /// Completed stages over total stages.
+    completion: f64,
+}
+
 /// The Decima-like scheduler.
+///
+/// Holds a persistent per-job score table plus reused score/probability
+/// buffers, so a steady-state scheduling event costs O(active jobs) pointer
+/// work + O(touched jobs × their stages) feature recomputation and performs
+/// no heap allocation.  Correctness never depends on the lossy-advisory
+/// `SchedEvent` stream: the table is reconciled against the authoritative
+/// `ctx.jobs()` iteration (arrival order) on every event, which absorbs
+/// arrivals, completions, serve-mode compaction's front retirement and
+/// slot-base shifts, and migration detach/reattach uniformly.
 #[derive(Debug, Clone)]
 pub struct DecimaLike {
     weights: DecimaWeights,
     rng: ChaCha8Rng,
+    /// Cached per-job feature blocks, aligned with the previous event's
+    /// `ctx.jobs()` order.
+    table: Vec<JobEntry>,
+    /// Scratch for the table rebuild (swapped with `table` each event).
+    scratch: Vec<JobEntry>,
+    /// `(job, stage)` of each dispatchable pair, aligned with `scores`.
+    pairs: Vec<(JobId, StageId)>,
+    /// Raw scores per dispatchable pair.
+    scores: Vec<f64>,
+    /// Softmax output per dispatchable pair.
+    probs: Vec<f64>,
+    /// Jobs with non-empty dispatchable sets, counted during the table
+    /// pass so the follow-up `parallelism_limit` call (same event, same
+    /// context — see the trait contract) does not rescan.  `None` until
+    /// the first distribution pass.
+    jobs_with_work: Option<usize>,
 }
 
 impl DecimaLike {
     /// Creates the scheduler with default weights and the given sampling
     /// seed.
     pub fn new(seed: u64) -> Self {
-        DecimaLike {
-            weights: DecimaWeights::default(),
-            rng: ChaCha8Rng::seed_from_u64(seed),
-        }
+        DecimaLike::with_weights(seed, DecimaWeights::default())
     }
 
     /// Creates the scheduler with custom feature weights.
@@ -74,88 +119,126 @@ impl DecimaLike {
         DecimaLike {
             weights,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            table: Vec::new(),
+            scratch: Vec::new(),
+            pairs: Vec::new(),
+            scores: Vec::new(),
+            probs: Vec::new(),
+            jobs_with_work: None,
         }
     }
 
-    /// Scores every dispatchable `(job, stage)` pair.
-    fn scores(&self, ctx: &SchedulingContext<'_>) -> Vec<(JobId, StageId, f64)> {
-        // Normalising constant: the largest remaining work among active jobs.
-        let max_remaining = ctx
-            .jobs()
-            .map(|j| j.remaining_work())
-            .fold(0.0_f64, f64::max)
-            .max(1e-9);
-        let mut out = Vec::new();
+    /// Reconciles the score table with the current context and returns the
+    /// event's max-remaining normaliser.
+    ///
+    /// Both the cached table and `ctx.jobs()` list jobs in arrival order,
+    /// and every membership change preserves the relative order of
+    /// survivors (completions and migration departures remove in place,
+    /// compaction retires off the front, arrivals and migrant reattachments
+    /// append) — so one ordered sweep relocates every surviving block.  A
+    /// cached id missing from the context (O(1) slot probe) was removed; a
+    /// context id missing from the cache (or present with a different
+    /// [`JobProgress::version`]) recomputes its block.  Per event this is
+    /// O(jobs) pointer work + O(changed jobs × their stages) feature
+    /// recomputation; a recomputed block is produced by the identical calls
+    /// a from-scratch pass would make, so cache hits and misses are
+    /// bit-indistinguishable.
+    ///
+    /// The max-remaining fold and the jobs-with-work count ride along in
+    /// the same sweep (the fold is `f64::max` over the same values in the
+    /// same order as a from-scratch scan, hence bit-identical).
+    ///
+    /// [`JobProgress::version`]: pcaps_dag::JobProgress::version
+    fn refresh_table(&mut self, ctx: &SchedulingContext<'_>) -> f64 {
+        self.scratch.clear();
+        let mut max_remaining = 0.0_f64;
+        let mut jobs_with_work = 0usize;
+        let mut cursor = 0usize;
         for job in ctx.jobs() {
+            let version = job.progress.version();
+            let mut cached = None;
+            while cursor < self.table.len() {
+                let entry = self.table[cursor];
+                if entry.id == job.id {
+                    cursor += 1;
+                    if entry.version == version {
+                        cached = Some(entry);
+                    }
+                    break;
+                }
+                // Order mismatch: either the cached job left this member
+                // (skip its block) or `job` was inserted ahead of it (a
+                // reattached migrant — stop and recompute).  The slot
+                // table answers membership in O(1).
+                if ctx.job(entry.id).is_some() {
+                    break;
+                }
+                cursor += 1;
+            }
+            let entry = cached.unwrap_or_else(|| JobEntry {
+                id: job.id,
+                version,
+                remaining: job.remaining_work(),
+                completion: job.progress.frontier().num_completed() as f64
+                    / job.dag.num_stages() as f64,
+            });
+            max_remaining = f64::max(max_remaining, entry.remaining);
+            if !job.dispatchable_stages().is_empty() {
+                jobs_with_work += 1;
+            }
+            self.scratch.push(entry);
+        }
+        std::mem::swap(&mut self.table, &mut self.scratch);
+        self.jobs_with_work = Some(jobs_with_work);
+        max_remaining.max(1e-9)
+    }
+
+    /// Computes the distribution into the reused `pairs`/`scores`/`probs`
+    /// buffers: table reconciliation (which also yields the normaliser and
+    /// the jobs-with-work count), one scoring pass over the dispatchable
+    /// stages, then an in-place softmax.  Same float operations in the same
+    /// order as a from-scratch rebuild — probabilities are bit-identical.
+    fn compute(&mut self, ctx: &SchedulingContext<'_>) {
+        let max_remaining = self.refresh_table(ctx);
+        let DecimaLike { weights, table, pairs, scores, .. } = self;
+        pairs.clear();
+        scores.clear();
+        for (entry, job) in table.iter().zip(ctx.jobs()) {
             let dispatchable = job.dispatchable_stages();
             if dispatchable.is_empty() {
                 continue;
             }
-            let remaining = job.remaining_work();
             // Feature 1: jobs with little remaining work score high.
-            let short_job_feature = 1.0 - (remaining / max_remaining);
+            let short_job_feature = 1.0 - (entry.remaining / max_remaining);
             // Per-stage features from the DAG structure — cached on the
             // (shared) DAG, so the graph analysis runs once per job instead
             // of once per scheduling event.
             let bottleneck = job.dag.bottleneck_scores();
-            let total_stages = job.dag.num_stages() as f64;
-            let completed = job.progress.frontier().num_completed() as f64;
-            let completion_feature = completed / total_stages;
             for &stage in dispatchable {
-                let score = self.weights.short_job * short_job_feature
-                    + self.weights.bottleneck * bottleneck[stage.index()]
-                    + self.weights.completion * completion_feature;
-                out.push((job.id, stage, score));
+                let score = weights.short_job * short_job_feature
+                    + weights.bottleneck * bottleneck[stage.index()]
+                    + weights.completion * entry.completion;
+                pairs.push((job.id, stage));
+                scores.push(score);
             }
         }
-        out
-    }
-
-    /// Builds the probability distribution over dispatchable stages.
-    fn build_distribution(&self, ctx: &SchedulingContext<'_>) -> Vec<StageProbability> {
-        let scored = self.scores(ctx);
-        if scored.is_empty() {
-            return Vec::new();
-        }
-        let probs = softmax(
-            &scored.iter().map(|s| s.2).collect::<Vec<_>>(),
-            self.weights.temperature,
-        );
-        scored
-            .iter()
-            .zip(probs)
-            .map(|(&(job, stage, _), probability)| StageProbability {
-                job,
-                stage,
-                probability,
-            })
-            .collect()
-    }
-
-    /// Samples one stage from a distribution.
-    fn sample(&mut self, dist: &[StageProbability]) -> Option<StageProbability> {
-        if dist.is_empty() {
-            return None;
-        }
-        let r: f64 = self.rng.gen_range(0.0..1.0);
-        let mut acc = 0.0;
-        for entry in dist {
-            acc += entry.probability;
-            if r <= acc {
-                return Some(*entry);
-            }
-        }
-        dist.last().copied()
+        softmax_into(&self.scores, self.weights.temperature, &mut self.probs);
     }
 
     /// Decima-style parallelism limit: the job's fair share of the cluster
     /// (executors divided by active jobs with work), but never more than the
-    /// stage's pending tasks and never less than one.
+    /// stage's pending tasks and never less than one.  Answers the
+    /// jobs-with-work count from the distribution pass of the same event
+    /// (the trait contract); the from-scratch scan only runs if no
+    /// distribution has ever been computed.
     fn limit_for(&self, ctx: &SchedulingContext<'_>, job: JobId, stage: StageId) -> usize {
-        let jobs_with_work = ctx
-            .jobs()
-            .filter(|j| !j.dispatchable_stages().is_empty())
-            .count()
+        let jobs_with_work = self
+            .jobs_with_work
+            .unwrap_or_else(|| {
+                ctx.jobs()
+                    .filter(|j| !j.dispatchable_stages().is_empty())
+                    .count()
+            })
             .max(1);
         let fair_share = ctx.total_executors.div_ceil(jobs_with_work);
         let pending = ctx
@@ -171,8 +254,15 @@ impl ProbabilisticScheduler for DecimaLike {
         "decima"
     }
 
-    fn distribution(&mut self, ctx: &SchedulingContext<'_>) -> Vec<StageProbability> {
-        self.build_distribution(ctx)
+    fn distribution_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<StageProbability>) {
+        self.compute(ctx);
+        out.clear();
+        out.extend(
+            self.pairs
+                .iter()
+                .zip(self.probs.iter())
+                .map(|(&(job, stage), &probability)| StageProbability { job, stage, probability }),
+        );
     }
 
     fn parallelism_limit(&self, ctx: &SchedulingContext<'_>, job: JobId, stage: StageId) -> usize {
@@ -191,11 +281,18 @@ impl Scheduler for DecimaLike {
         ctx: &SchedulingContext<'_>,
         out: &mut DecisionSink,
     ) {
-        let dist = self.build_distribution(ctx);
-        if let Some(choice) = self.sample(&dist) {
-            let limit = self.limit_for(ctx, choice.job, choice.stage);
-            out.dispatch(choice.job, choice.stage, limit);
+        self.compute(ctx);
+        if self.probs.is_empty() {
+            return;
         }
+        // Sample directly from the reused pair/probability buffers — the
+        // standalone path never materialises `StageProbability` entries.
+        let r: f64 = self.rng.gen_range(0.0..1.0);
+        let idx = sample_cdf(self.probs.iter().copied(), r)
+            .expect("probs checked non-empty above");
+        let (job, stage) = self.pairs[idx];
+        let limit = self.limit_for(ctx, job, stage);
+        out.dispatch(job, stage, limit);
     }
 }
 

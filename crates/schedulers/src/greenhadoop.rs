@@ -75,7 +75,10 @@ impl GreenHadoop {
     /// Computes the executor limit for the current decision.
     fn executor_limit(&self, ctx: &SchedulingContext<'_>) -> usize {
         let k = ctx.total_executors as f64;
-        let outstanding: f64 = ctx.jobs().map(|j| j.remaining_work()).sum();
+        // The engine maintains this aggregate incrementally (the same
+        // counter routing consults), so reading it is O(1) instead of the
+        // per-event O(jobs × stages) remaining-work fold this used to do.
+        let outstanding: f64 = ctx.outstanding_work();
         if outstanding <= 0.0 {
             return ctx.total_executors;
         }

@@ -41,7 +41,7 @@ pub mod probabilistic;
 pub mod routing;
 pub mod weighted_fair;
 
-pub use decima::DecimaLike;
+pub use decima::{DecimaLike, DecimaWeights};
 pub use fifo::{KubeDefaultFifo, SparkStandaloneFifo};
 pub use greenhadoop::GreenHadoop;
 pub use probabilistic::{ProbabilisticScheduler, StageProbability};

@@ -36,16 +36,33 @@ pub trait ProbabilisticScheduler: Send {
     /// Human-readable policy name.
     fn name(&self) -> &str;
 
-    /// The distribution `{p_{v,t} : v ∈ A_t}` over all dispatchable stages.
+    /// Writes the distribution `{p_{v,t} : v ∈ A_t}` over all dispatchable
+    /// stages into `out` (cleared first).  This is the hot-path form:
+    /// wrappers own a reused buffer, so a steady-state scheduling event
+    /// allocates nothing.
     ///
-    /// Implementations must return an empty vector only when there is no
+    /// Implementations must leave `out` empty only when there is no
     /// dispatchable work; otherwise probabilities must be positive and sum
     /// to 1 (within floating-point tolerance).
-    fn distribution(&mut self, ctx: &SchedulingContext<'_>) -> Vec<StageProbability>;
+    fn distribution_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<StageProbability>);
+
+    /// Allocating convenience form of
+    /// [`ProbabilisticScheduler::distribution_into`].
+    fn distribution(&mut self, ctx: &SchedulingContext<'_>) -> Vec<StageProbability> {
+        let mut out = Vec::new();
+        self.distribution_into(ctx, &mut out);
+        out
+    }
 
     /// The parallelism limit (number of executors) the policy would grant
     /// the given stage if it were scheduled now — the `P` that PCAPS rescales
     /// into `P′` (§5.1).
+    ///
+    /// Callers invoke this immediately after
+    /// [`ProbabilisticScheduler::distribution_into`] within the same
+    /// scheduling event, so implementations may answer from per-event state
+    /// cached by the distribution pass (and must fall back to the context
+    /// when no such state exists yet).
     fn parallelism_limit(&self, ctx: &SchedulingContext<'_>, job: JobId, stage: StageId) -> usize;
 }
 
@@ -53,17 +70,50 @@ pub trait ProbabilisticScheduler: Send {
 /// using a softmax with the given temperature.  Returns an empty vector for
 /// empty input.
 pub fn softmax(scores: &[f64], temperature: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    softmax_into(scores, temperature, &mut out);
+    out
+}
+
+/// In-place form of [`softmax`]: writes the probabilities into `out`
+/// (cleared first), allocating nothing once `out` has warmed to the score
+/// count.  Bit-identical to [`softmax`] — same operations in the same
+/// order.
+pub fn softmax_into(scores: &[f64], temperature: f64, out: &mut Vec<f64>) {
     assert!(temperature > 0.0, "softmax temperature must be positive");
+    out.clear();
     if scores.is_empty() {
-        return Vec::new();
+        return;
     }
     let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = scores
-        .iter()
-        .map(|s| ((s - max) / temperature).exp())
-        .collect();
-    let sum: f64 = exps.iter().sum();
-    exps.iter().map(|e| e / sum).collect()
+    out.extend(scores.iter().map(|s| ((s - max) / temperature).exp()));
+    let sum: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
+}
+
+/// Walks the CDF of a probability sequence and returns the index at which
+/// the cumulative mass first reaches `r` — the shared sampling step of
+/// [`DecimaLike::on_event`] and PCAPS Algorithm 1 line 5 (one
+/// implementation so the two stay bit-identical: same additions in the same
+/// order, same `r <= acc` comparison, same final-index fallback for
+/// `r ≈ 1` under floating-point rounding).  Returns `None` only for an
+/// empty sequence; callers draw `r` *after* ruling that out so RNG streams
+/// are unchanged.
+///
+/// [`DecimaLike::on_event`]: crate::DecimaLike
+pub fn sample_cdf(probs: impl IntoIterator<Item = f64>, r: f64) -> Option<usize> {
+    let mut acc = 0.0;
+    let mut last = None;
+    for (i, p) in probs.into_iter().enumerate() {
+        acc += p;
+        if r <= acc {
+            return Some(i);
+        }
+        last = Some(i);
+    }
+    last
 }
 
 /// Checks that a distribution is valid: non-empty probabilities that are
